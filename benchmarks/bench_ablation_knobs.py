@@ -1,0 +1,72 @@
+"""Compressor-knob ablations the paper describes in passing.
+
+* **K** — "the compressor removes the K best candidates from the heap"
+  and stops "after a pass that doesn't yield at least K patterns for which
+  B is positive"; the results table uses K=20.  Sweeping K trades passes
+  (compression time) against how greedy each step is.
+* **Abundant memory** — "of course, in abundant memory situations we can
+  set B equal to P": dropping the W term admits more patterns and shrinks
+  the program further at the cost of decompressor tables.
+"""
+
+import pytest
+
+from conftest import save_table
+from repro.bench import render_table
+from repro.brisc import compress
+from repro.cfront import compile_to_ast
+from repro.codegen import generate_program
+from repro.corpus import generate_program_source
+from repro.ir import lower_unit
+
+
+@pytest.fixture(scope="module")
+def medium_program():
+    source = generate_program_source(functions=60, seed=33)
+    return generate_program(lower_unit(compile_to_ast(source, "m"), "m"))
+
+
+def test_k_sweep(benchmark, results_dir, medium_program):
+    def sweep():
+        rows = []
+        for k in (5, 20, 50):
+            cp = compress(medium_program, k=k)
+            rows.append([str(k), str(cp.image.code_segment_size),
+                         str(cp.build.dictionary_size),
+                         str(cp.build.passes)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_table(results_dir, "ablation_k",
+               render_table(["K", "code segment B", "dictionary", "passes"],
+                            rows))
+    sizes = {int(r[0]): int(r[1]) for r in rows}
+    passes = {int(r[0]): int(r[3]) for r in rows}
+    # Shape: a larger K converges in fewer passes, and final sizes stay in
+    # the same neighbourhood (greediness granularity, not search power).
+    assert passes[50] <= passes[5]
+    assert max(sizes.values()) < min(sizes.values()) * 1.3
+
+
+def test_abundant_memory(benchmark, results_dir, medium_program):
+    def run_both():
+        constrained = compress(medium_program, k=20)
+        abundant = compress(medium_program, k=20, abundant_memory=True)
+        return constrained, abundant
+
+    constrained, abundant = benchmark.pedantic(run_both, rounds=1,
+                                               iterations=1)
+    rows = [
+        ["B = P - W", str(constrained.image.breakdown["code"]),
+         str(constrained.build.dictionary_size)],
+        ["B = P (abundant)", str(abundant.image.breakdown["code"]),
+         str(abundant.build.dictionary_size)],
+    ]
+    save_table(results_dir, "ablation_abundant",
+               render_table(["benefit metric", "code bytes", "dictionary"],
+                            rows))
+    # Shape: dropping W admits at least as many patterns and never makes
+    # the code bytes (excluding tables) larger.
+    assert abundant.build.dictionary_size >= constrained.build.dictionary_size
+    assert abundant.image.breakdown["code"] <= \
+        constrained.image.breakdown["code"] * 1.02

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the compression substrate kernels.
+
+Not a paper table — these track the throughput of the from-scratch
+primitives (deflate, Huffman, MTF, arithmetic coding) that every pipeline
+stage rests on, so regressions in the substrate are visible.
+"""
+
+import random
+
+import pytest
+
+from repro.compress import arith, deflate
+from repro.compress.huffman import decode_symbols, encode_symbols
+from repro.compress.lz77 import detokenize, tokenize
+from repro.compress.mtf import mtf_decode, mtf_encode
+
+
+@pytest.fixture(scope="module")
+def code_like_data():
+    rng = random.Random(7)
+    chunk = bytes(rng.randrange(256) for _ in range(64))
+    return b"".join(
+        chunk[: rng.randrange(16, 64)] for _ in range(300)
+    )
+
+
+def test_deflate_compress(benchmark, code_like_data):
+    blob = benchmark(lambda: deflate.compress(code_like_data))
+    assert deflate.decompress(blob) == code_like_data
+
+
+def test_deflate_decompress(benchmark, code_like_data):
+    blob = deflate.compress(code_like_data)
+    out = benchmark(lambda: deflate.decompress(blob))
+    assert out == code_like_data
+
+
+def test_lz77_tokenize(benchmark, code_like_data):
+    tokens = benchmark(lambda: tokenize(code_like_data))
+    assert detokenize(tokens) == code_like_data
+
+
+def test_huffman_roundtrip(benchmark):
+    rng = random.Random(3)
+    symbols = [min(63, int(rng.expovariate(0.2))) for _ in range(20_000)]
+
+    def roundtrip():
+        blob = encode_symbols(symbols, 64)
+        return decode_symbols(blob)
+
+    out = benchmark(roundtrip)
+    assert out == symbols
+
+
+def test_mtf_roundtrip(benchmark):
+    rng = random.Random(5)
+    stream = [rng.choice([4, 8, 12, 16, 20, 24]) for _ in range(20_000)]
+
+    def roundtrip():
+        indices, novel = mtf_encode(stream)
+        return mtf_decode(indices, novel)
+
+    assert benchmark(roundtrip) == stream
+
+
+def test_arith_order1(benchmark):
+    data = b"the quick brown fox " * 100
+
+    def roundtrip():
+        blob = arith.compress(data, order=1)
+        return arith.decompress(blob, order=1)
+
+    assert benchmark.pedantic(roundtrip, rounds=1, iterations=1) == data

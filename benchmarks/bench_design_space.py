@@ -1,0 +1,91 @@
+"""D1 — the design-space ablations the paper discusses in section 2.
+
+"No single code compressor suits all applications" — the paper enumerates
+the axes: byte codes vs arithmetic coding, dictionaries, MTF indexing,
+stream separation, and Markov modeling.  This bench places concrete points
+on those axes using our own pipeline:
+
+* split-stream vs single-stream LZ compression of the same trees;
+* MTF+Huffman vs raw literals inside the wire format;
+* order-0 vs order-1 arithmetic coding of the VM code bytes (the
+  "compresses best, cannot be interpreted" end of the spectrum);
+* Markov-context opcode bytes vs a flat 1-byte opcode space for BRISC.
+"""
+
+import pytest
+
+from conftest import save_table
+from repro.bench import compressed_suite, render_table, vm_code_bytes
+from repro.compress import arith, deflate
+from repro.corpus import build_input
+from repro.wire import encode_module
+
+
+def test_design_space_points(benchmark, results_dir):
+    def measure():
+        inp = build_input("lcc")
+        module = inp.module
+        code = vm_code_bytes(inp.program)
+        cp = compressed_suite("lcc")
+        points = {}
+        # Wire format (split streams + MTF + Huffman + LZ).
+        points["wire (split+MTF+Huffman+LZ)"] = len(encode_module(module))
+        # The same container with per-stream LZ disabled.
+        points["wire, no final LZ"] = len(encode_module(module,
+                                                        compress=False))
+        # Single-stream LZ over the raw VM encoding (gzip-the-binary).
+        points["deflate(vm code)"] = len(deflate.compress(code))
+        # Arithmetic coding of the VM code (max compression, no random
+        # access, must be fully decoded before execution).
+        points["arith order-0(vm code)"] = len(arith.compress(code))
+        points["arith order-1(vm code)"] = len(arith.compress(code, order=1))
+        # BRISC: interpretable-in-place.
+        points["BRISC code segment"] = cp.image.code_segment_size
+        points["vm code (uncompressed)"] = len(code)
+        return points
+
+    points = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = render_table(
+        ["design point", "bytes"],
+        [[k, str(v)] for k, v in sorted(points.items(), key=lambda kv: kv[1])])
+    save_table(results_dir, "design_space", text)
+
+    # Shape claims from the paper's design-space discussion:
+    # 1. Everything beats the uncompressed encoding.
+    base = points["vm code (uncompressed)"]
+    for k, v in points.items():
+        if k != "vm code (uncompressed)" and "no final LZ" not in k:
+            assert v < base, (k, v, base)
+    # 2. Order-1 context modeling beats order-0 (the insight behind the
+    #    BRISC Markov model).
+    assert points["arith order-1(vm code)"] < points["arith order-0(vm code)"]
+    # 3. The interpretable representation (BRISC) pays a size premium over
+    #    the best non-interpretable coder — the fundamental trade-off.
+    assert points["BRISC code segment"] > points["arith order-1(vm code)"]
+    # 4. The final LZ stage earns its keep inside the wire format.
+    assert points["wire (split+MTF+Huffman+LZ)"] < points["wire, no final LZ"]
+
+
+def test_mtf_effectiveness_on_literal_streams(benchmark):
+    """MTF turns high-locality literal streams into small indices; Huffman
+    then squeezes them below raw size (the paper's step 3+4)."""
+    from repro.compress.huffman import encode_symbols
+    from repro.compress.mtf import mtf_encode
+    from repro.wire.patternize import patternize_tree
+
+    module = build_input("lcc").module
+    offsets = []
+    for fn in module.functions:
+        for tree in fn.forest:
+            for key, value in patternize_tree(tree)[1]:
+                if key.startswith("ADDRLP") and isinstance(value, int):
+                    offsets.append(value)
+
+    def mtf_cost():
+        indices, novel = mtf_encode(offsets)
+        packed = encode_symbols(indices, max(indices) + 1 if indices else 1)
+        return len(packed)
+
+    packed_size = benchmark(mtf_cost)
+    # Raw encoding would be ≥1 byte per offset.
+    assert packed_size < len(offsets)

@@ -1,0 +1,84 @@
+"""Intro measurement M2 — code delivery over networks.
+
+The paper's introduction: "it can be significantly faster to send
+compressed code that is then interpreted or decompressed and executed.
+This fact is self-evident when delivering code over 28.8kbaud modems, but
+it can be true for faster networks"; and in the results: "Over a modem,
+the tree compression algorithm ... will do better at minimizing the
+latency ... in a local area network, BRISC is a good mobile program
+representation choice", with delivery masking recompilation.
+
+This bench builds the three representations of the lcc suite input (native,
+wire, BRISC) with *measured* sizes and JIT rate, then sweeps links.
+"""
+
+import pytest
+
+from conftest import save_table
+from repro.bench import compressed_suite, render_table, wire_row
+from repro.bench.measure import vm_code_bytes
+from repro.corpus import build_input
+from repro.jit import jit_compile
+from repro.native import PentiumLike
+from repro.system import (
+    DSL_1M, ISDN_128K, LAN_10M, MODEM_28_8, Representation, delivery_time,
+)
+
+LINKS = [MODEM_28_8, ISDN_128K, DSL_1M, LAN_10M]
+
+
+def _representations():
+    inp = build_input("lcc")
+    cp = compressed_suite("lcc")
+    native_bytes = PentiumLike().program_size(inp.program)
+    jit = jit_compile(cp.image.blob)
+    jit_rate = max(1.0, jit.output_bytes / max(jit.compile_seconds, 1e-9))
+    wire_bytes = wire_row("lcc").wire
+    return [
+        Representation("native", native_bytes),
+        Representation("wire", wire_bytes, decompress_rate=2_000_000,
+                       jit_rate=jit_rate, native_bytes=native_bytes),
+        Representation("BRISC", cp.image.code_segment_size,
+                       jit_rate=jit_rate, native_bytes=native_bytes),
+    ]
+
+
+def test_delivery_matrix(benchmark, results_dir):
+    reps = benchmark.pedantic(_representations, rounds=1, iterations=1)
+    rows = []
+    for link in LINKS:
+        for rep in reps:
+            r = delivery_time(rep, link)
+            rows.append([link.name, rep.name, f"{rep.size_bytes}",
+                         f"{r.transfer_seconds:.3f}s",
+                         f"{r.prepare_seconds:.3f}s",
+                         f"{r.total_seconds:.3f}s"])
+    text = render_table(
+        ["link", "representation", "bytes", "transfer", "prepare", "total"],
+        rows)
+    save_table(results_dir, "intro_network", text)
+
+    # Shape claim: over the modem the compressed forms beat native by a
+    # wide margin, and the smallest (wire) wins outright.
+    reps_by_name = {r.name: r for r in reps}
+    modem = {
+        name: delivery_time(rep, MODEM_28_8).total_seconds
+        for name, rep in reps_by_name.items()
+    }
+    assert modem["wire"] < modem["BRISC"] < modem["native"]
+    assert modem["wire"] < modem["native"] / 2
+
+
+def test_delivery_masks_recompilation(benchmark):
+    """"The delivery time from the network or disk can mask some or even
+    all of the recompilation time."""
+    reps = _representations()
+    brisc = next(r for r in reps if r.name == "BRISC")
+
+    def overlap_delta():
+        piped = delivery_time(brisc, MODEM_28_8, overlap=True)
+        serial = delivery_time(brisc, MODEM_28_8, overlap=False)
+        return piped, serial
+
+    piped, serial = benchmark.pedantic(overlap_delta, rounds=1, iterations=1)
+    assert piped.total_seconds <= serial.total_seconds

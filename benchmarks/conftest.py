@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Heavy artifacts (suite compilation, BRISC dictionaries) are cached inside
+:mod:`repro.bench.measure`, so benchmark functions only re-run the cheap
+kernel under measurement.  Every table printed here is also written to
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir, name: str, text: str) -> None:
+    """Persist a rendered table and echo it to the terminal."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

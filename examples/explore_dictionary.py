@@ -1,0 +1,59 @@
+"""Inspect a learned BRISC dictionary.
+
+Usage::
+
+    python examples/explore_dictionary.py
+
+Compresses a repetitive program and prints the dictionary entries the
+greedy builder admitted, in the paper's notation — ``[ld.iw *,4(sp)]`` for
+operand specialization, ``<[...],[...]>`` for opcode combination — along
+with the encoded size each occurrence now costs.
+"""
+
+import repro
+from repro.brisc import compress
+from repro.corpus import generate_program_source
+
+
+def main() -> None:
+    source = generate_program_source(functions=50, seed=5)
+    print("compiling a 50-function synthetic program...")
+    program = repro.compile_c(source, "app")
+    print(f"  {program.instruction_count()} VM instructions\n")
+
+    print("running greedy dictionary construction (K=20)...")
+    cp = compress(program)
+    build = cp.build
+    print(f"  passes            : {build.passes}")
+    print(f"  candidates tested : {build.candidates_tested}")
+    print(f"  base patterns     : {build.base_patterns}")
+    print(f"  final dictionary  : {build.dictionary_size} patterns\n")
+
+    learned = build.dictionary[build.base_patterns:]
+    specialized = [p for p in learned if len(p.parts) == 1]
+    combined = [p for p in learned if len(p.parts) > 1]
+
+    print(f"== operand-specialized entries ({len(specialized)}) ==")
+    for p in specialized[:15]:
+        print(f"  {str(p):60s} {p.encoded_size()} B/occurrence")
+    if len(specialized) > 15:
+        print(f"  ... and {len(specialized) - 15} more")
+
+    print(f"\n== opcode-combined entries ({len(combined)}) ==")
+    for p in combined[:15]:
+        print(f"  {str(p):72s} {p.encoded_size()} B/occurrence")
+    if len(combined) > 15:
+        print(f"  ... and {len(combined) - 15} more")
+
+    print("\n== image breakdown ==")
+    for part, size in cp.image.breakdown.items():
+        print(f"  {part:12s} {size:7d} B")
+    print(f"  {'total':12s} {cp.size:7d} B")
+    print(f"\n  opcode bytes  : {cp.image.opcode_bytes}")
+    print(f"  operand bytes : {cp.image.operand_bytes}")
+    print(f"  max Markov successors: {cp.image.max_successors}"
+          " (paper: at most 244)")
+
+
+if __name__ == "__main__":
+    main()

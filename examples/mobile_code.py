@@ -1,0 +1,74 @@
+"""Mobile code delivery: the paper's transmission-bottleneck scenario.
+
+Usage::
+
+    python examples/mobile_code.py
+
+Builds a medium program, measures its native / wire / BRISC sizes and the
+real JIT throughput, then computes time-to-first-useful-work over links
+from a 28.8k modem to a 10 Mb LAN — reproducing the paper's conclusion
+that the wire code wins over modems while BRISC is the right choice on a
+LAN (where delivery masks recompilation).
+"""
+
+from repro.bench import render_table
+from repro.brisc import compress
+from repro.cfront import compile_to_ast
+from repro.codegen import generate_program
+from repro.corpus import generate_program_source
+from repro.ir import lower_unit
+from repro.jit import jit_compile
+from repro.native import PentiumLike
+from repro.system import (
+    DSL_1M, ISDN_128K, LAN_10M, MODEM_28_8, Representation, delivery_time,
+)
+from repro.wire import encode_module
+
+
+def main() -> None:
+    print("building a medium application (synthetic corpus)...")
+    source = generate_program_source(functions=60, seed=21)
+    module = lower_unit(compile_to_ast(source, "app"), "app")
+    program = generate_program(module)
+
+    native_bytes = PentiumLike().program_size(program)
+    wire_bytes = len(encode_module(module))
+    print("compressing to BRISC (greedy dictionary construction)...")
+    cp = compress(program)
+    jit = jit_compile(cp.image.blob)
+    jit_rate = jit.output_bytes / max(jit.compile_seconds, 1e-9)
+
+    print(f"\nnative: {native_bytes} B   wire: {wire_bytes} B   "
+          f"BRISC: {cp.image.code_segment_size} B   "
+          f"JIT @ {jit.mb_per_second:.2f} MB/s\n")
+
+    reps = [
+        Representation("native", native_bytes),
+        Representation("wire", wire_bytes, decompress_rate=2_000_000,
+                       jit_rate=jit_rate, native_bytes=native_bytes),
+        Representation("BRISC", cp.image.code_segment_size,
+                       jit_rate=jit_rate, native_bytes=native_bytes),
+    ]
+
+    rows = []
+    for link in (MODEM_28_8, ISDN_128K, DSL_1M, LAN_10M):
+        best = None
+        for rep in reps:
+            r = delivery_time(rep, link)
+            rows.append([link.name, rep.name,
+                         f"{r.transfer_seconds:8.3f}s",
+                         f"{r.prepare_seconds:8.3f}s",
+                         f"{r.total_seconds:8.3f}s"])
+            if best is None or r.total_seconds < best[1]:
+                best = (rep.name, r.total_seconds)
+        rows.append([link.name, f"-> winner: {best[0]}", "", "", ""])
+    print(render_table(
+        ["link", "representation", "transfer", "prepare", "total"], rows))
+
+    print("\nNote how the winner shifts from 'wire' on slow links (size is"
+          "\neverything) toward BRISC as bandwidth grows, exactly the"
+          "\npaper's guidance for choosing a mobile code representation.")
+
+
+if __name__ == "__main__":
+    main()

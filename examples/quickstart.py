@@ -1,0 +1,79 @@
+"""Quickstart: compile C, run it, and compress it both ways.
+
+Usage::
+
+    python examples/quickstart.py
+
+Walks the whole pipeline on a small program: C source -> lcc-style tree IR
+-> RISC VM code -> (a) the wire format and (b) BRISC, then executes the
+program from every representation to show they agree.
+"""
+
+import repro
+from repro.brisc import compress, decompress, run_image
+from repro.cfront import compile_to_ast
+from repro.codegen import generate_program
+from repro.compress import deflate
+from repro.ir import dump_function, lower_unit
+from repro.native import SparcLike
+from repro.vm import program_size, run_program
+from repro.wire import decode_module, encode_module
+
+SOURCE = r"""
+int gcd(int a, int b) {
+    while (b) { int t = a % b; a = b; b = t; }
+    return a;
+}
+
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+
+int main(void) {
+    print_str("gcd(462, 1071) = ");
+    print_int(gcd(462, 1071));
+    putchar('\n');
+    print_str("fib(15) = ");
+    print_int(fib(15));
+    putchar('\n');
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    print("== 1. compile C to lcc-style tree IR ==")
+    module = lower_unit(compile_to_ast(SOURCE, "quickstart"), "quickstart")
+    print(dump_function(module.function("gcd")))
+    print()
+
+    print("== 2. generate RISC VM code and run it ==")
+    program = generate_program(module)
+    result = run_program(program)
+    print(result.output, end="")
+    print(f"(exit {result.exit_code}, {result.steps} instructions)\n")
+
+    print("== 3. sizes across representations ==")
+    vm_bytes = program_size(program)
+    native = SparcLike().program_size(program)
+    wire_blob = encode_module(module)
+    brisc = compress(program)
+    print(f"  conventional (SPARC-like) : {native:6d} bytes")
+    print(f"  VM binary encoding        : {vm_bytes:6d} bytes")
+    print(f"  wire format               : {len(wire_blob):6d} bytes")
+    print(f"  BRISC image               : {brisc.size:6d} bytes "
+          f"(code segment {brisc.image.code_segment_size})")
+    print()
+
+    print("== 4. run from every compressed representation ==")
+    rewired = run_program(generate_program(decode_module(wire_blob)))
+    print(f"  wire round-trip output matches: "
+          f"{rewired.output == result.output}")
+    inplace = run_image(brisc.image.blob)
+    print(f"  BRISC interpreted in place     : "
+          f"{inplace.output == result.output}")
+    redecoded = run_program(decompress(brisc.image.blob))
+    print(f"  BRISC decompressed and re-run  : "
+          f"{redecoded.output == result.output}")
+
+
+if __name__ == "__main__":
+    main()

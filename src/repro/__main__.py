@@ -1,0 +1,159 @@
+"""Command-line interface: compile, run, compress, and inspect C programs.
+
+Usage::
+
+    python -m repro run prog.c                 # compile and execute
+    python -m repro dump-ir prog.c             # lcc-style trees
+    python -m repro dump-asm prog.c            # RISC VM assembly
+    python -m repro sizes prog.c               # every representation's size
+    python -m repro wire prog.c -o prog.wire   # emit the wire format
+    python -m repro brisc prog.c -o prog.brisc # emit a BRISC image
+    python -m repro exec-brisc prog.brisc      # interpret an image in place
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .brisc import compress, run_image
+from .cfront import CompileError, compile_to_ast
+from .codegen import generate_program
+from .compress import deflate
+from .ir import dump_module, lower_unit
+from .native import PentiumLike, SparcLike
+from .vm import format_function, program_size, run_program
+from .wire import encode_module, wire_size
+
+
+def _load(path: str):
+    with open(path) as f:
+        source = f.read()
+    module = lower_unit(compile_to_ast(source, path), path)
+    return module
+
+
+def cmd_run(args) -> int:
+    program = generate_program(_load(args.file))
+    result = run_program(program, max_steps=args.max_steps)
+    sys.stdout.write(result.output)
+    if args.stats:
+        print(f"\n[{result.steps} instructions executed]", file=sys.stderr)
+    return result.exit_code
+
+
+def cmd_dump_ir(args) -> int:
+    print(dump_module(_load(args.file)))
+    return 0
+
+
+def cmd_dump_asm(args) -> int:
+    program = generate_program(_load(args.file))
+    for fn in program.functions:
+        print(format_function(fn))
+        print()
+    return 0
+
+
+def cmd_sizes(args) -> int:
+    module = _load(args.file)
+    program = generate_program(module)
+    vm = program_size(program)
+    sparc = SparcLike().program_size(program)
+    pentium = PentiumLike().program_size(program)
+    from .bench.measure import vm_code_bytes
+
+    gz = len(deflate.compress(vm_code_bytes(program)))
+    wire = wire_size(module, code_only=True)
+    cp = compress(program)
+    print(f"SPARC-like native   : {sparc:8d} B")
+    print(f"Pentium-like native : {pentium:8d} B")
+    print(f"VM binary encoding  : {vm:8d} B")
+    print(f"deflate(VM code)    : {gz:8d} B")
+    print(f"wire format (code)  : {wire:8d} B")
+    print(f"BRISC code segment  : {cp.image.code_segment_size:8d} B"
+          f"  ({cp.image.pattern_count} patterns)")
+    return 0
+
+
+def cmd_wire(args) -> int:
+    blob = encode_module(_load(args.file))
+    with open(args.output, "wb") as f:
+        f.write(blob)
+    print(f"wrote {len(blob)} bytes to {args.output}")
+    return 0
+
+
+def cmd_brisc(args) -> int:
+    program = generate_program(_load(args.file))
+    cp = compress(program, k=args.k)
+    with open(args.output, "wb") as f:
+        f.write(cp.image.blob)
+    print(f"wrote {cp.size} bytes to {args.output} "
+          f"(code segment {cp.image.code_segment_size}, "
+          f"{cp.image.pattern_count} patterns)")
+    return 0
+
+
+def cmd_exec_brisc(args) -> int:
+    with open(args.file, "rb") as f:
+        blob = f.read()
+    result = run_image(blob, max_steps=args.max_steps)
+    sys.stdout.write(result.output)
+    return result.exit_code
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Code Compression (PLDI 1997) reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="compile a C file and execute it")
+    p.add_argument("file")
+    p.add_argument("--max-steps", type=int, default=200_000_000)
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("dump-ir", help="print the lcc-style trees")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_dump_ir)
+
+    p = sub.add_parser("dump-asm", help="print the RISC VM assembly")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_dump_asm)
+
+    p = sub.add_parser("sizes", help="compare representation sizes")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_sizes)
+
+    p = sub.add_parser("wire", help="emit the wire format")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_wire)
+
+    p = sub.add_parser("brisc", help="compress to a BRISC image")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-k", type=int, default=20,
+                   help="patterns admitted per pass (paper: 20)")
+    p.set_defaults(fn=cmd_brisc)
+
+    p = sub.add_parser("exec-brisc", help="interpret a BRISC image in place")
+    p.add_argument("file")
+    p.add_argument("--max-steps", type=int, default=200_000_000)
+    p.set_defaults(fn=cmd_exec_brisc)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except CompileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # output piped into head etc.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

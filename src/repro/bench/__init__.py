@@ -1,0 +1,13 @@
+"""Measurement runners and table formatting shared by benchmarks."""
+
+from .measure import (
+    AblationRow, BriscRow, WireRow, ablation_rows, brisc_row,
+    compressed_suite, interp_overhead, vm_code_bytes, wire_row,
+)
+from .tables import ablation_table, brisc_table, render_table, wire_table
+
+__all__ = [
+    "AblationRow", "BriscRow", "WireRow", "ablation_rows", "ablation_table",
+    "brisc_row", "brisc_table", "compressed_suite", "interp_overhead",
+    "render_table", "vm_code_bytes", "wire_row", "wire_table",
+]

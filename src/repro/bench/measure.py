@@ -1,0 +1,236 @@
+"""Shared measurement runners behind every table and figure.
+
+Each function computes one experiment's numbers; ``benchmarks/`` and
+``examples/`` call these so the reported rows come from a single code
+path.  Heavyweight artifacts (suite compilation, BRISC compression) are
+cached at module level — pytest-benchmark repeats calls many times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..brisc import CompressedProgram, compress, run_image
+from ..brisc.interp import BriscInterpreter
+from ..codegen import ABLATION_VARIANTS, generate_program
+from ..compress import deflate
+from ..corpus import build_input
+from ..jit import BriscJIT, jit_compile
+from ..native import PPCLike, PentiumLike, SparcLike
+from ..vm import Interpreter, run_program
+from ..vm.encode import encode_function
+from ..vm.instr import VMProgram
+from ..vm.isa import ISA
+from ..wire import encode_module, wire_size
+
+__all__ = [
+    "WireRow", "BriscRow", "AblationRow", "wire_row", "brisc_row",
+    "ablation_rows", "vm_code_bytes", "compressed_suite", "interp_overhead",
+]
+
+
+def vm_code_bytes(program: VMProgram) -> bytes:
+    """The program's code segment in the base VM binary encoding."""
+    symbol_ids = {fn.name: i for i, fn in enumerate(program.functions)}
+    for g in program.globals:
+        symbol_ids.setdefault(g.name, len(symbol_ids))
+    return b"".join(encode_function(fn, symbol_ids) for fn in program.functions)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: wire-format sizes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WireRow:
+    """One row of the paper's wire-code table."""
+
+    name: str
+    conventional: int      # SPARC-like native code bytes (uncompressed)
+    gzipped: int           # deflate of the conventional code
+    wire: int              # our wire format
+
+    @property
+    def wire_factor(self) -> float:
+        """Conventional / wire — the paper reports up to 4.9 for gcc."""
+        return self.conventional / self.wire if self.wire else 0.0
+
+
+_WIRE_CACHE: Dict[str, WireRow] = {}
+
+
+def wire_row(name: str) -> WireRow:
+    """Compute one Table-1 row for a suite input."""
+    cached = _WIRE_CACHE.get(name)
+    if cached is not None:
+        return cached
+    inp = build_input(name)
+    conventional = SparcLike().program_size(inp.program)
+    sparc_bytes = b"".join(
+        SparcLike().encode_function(fn) for fn in inp.program.functions
+    )
+    gzipped = len(deflate.compress(sparc_bytes))
+    # Code segments only, as the paper measures (the baseline carries no
+    # symbol table or data image either).
+    wire = wire_size(inp.module, code_only=True)
+    row = WireRow(name, conventional, gzipped, wire)
+    _WIRE_CACHE[name] = row
+    return row
+
+
+# ---------------------------------------------------------------------------
+# Table 2: BRISC sizes, JIT throughput, runtime ratios
+# ---------------------------------------------------------------------------
+
+
+_BRISC_CACHE: Dict[Tuple[str, int, bool], CompressedProgram] = {}
+
+
+def compressed_suite(
+    name: str, k: int = 20, abundant_memory: bool = False
+) -> CompressedProgram:
+    """Compress a suite input (cached — this is the expensive step)."""
+    key = (name, k, abundant_memory)
+    cached = _BRISC_CACHE.get(key)
+    if cached is not None:
+        return cached
+    inp = build_input(name)
+    cp = compress(inp.program, k=k, abundant_memory=abundant_memory)
+    _BRISC_CACHE[key] = cp
+    return cp
+
+
+@dataclass
+class BriscRow:
+    """One row of the paper's BRISC results table (K=20).
+
+    Sizes are normalized to the Pentium-like native encoding, as the paper
+    normalizes to Visual C++ output.  ``jit_runtime_ratio`` uses the
+    analytic model (JIT output runs at native speed; compilation cost is
+    amortized over the run); ``interp_ratio`` is measured wall-clock of
+    in-place BRISC interpretation against the plain VM interpreter.
+    """
+
+    name: str
+    native_bytes: int
+    brisc_rel: float
+    gzip_rel: float
+    jit_mb_per_s: float
+    jit_runtime_ratio: float
+    interp_ratio: float
+
+
+def interp_overhead(
+    name: str, k: int = 20, max_steps: int = 200_000_000
+) -> Tuple[float, float, float]:
+    """(vm_seconds, brisc_seconds, ratio) on the suite input's workload.
+
+    The BRISC side interprets the compressed image in place with slot
+    caching disabled — every execution of an instruction re-decodes it,
+    which is the configuration whose overhead the paper's 12x figure
+    describes.
+    """
+    inp = build_input(name)
+    cp = compressed_suite(name, k)
+    t0 = time.perf_counter()
+    base = run_program(inp.program, max_steps=max_steps)
+    t1 = time.perf_counter()
+    r = run_image(cp.image.blob, cache_decoded=False, max_steps=max_steps)
+    t2 = time.perf_counter()
+    if (r.exit_code, r.output) != (base.exit_code, base.output):
+        raise AssertionError(f"BRISC run diverged on {name}")
+    vm_s = t1 - t0
+    brisc_s = t2 - t1
+    return vm_s, brisc_s, brisc_s / vm_s if vm_s > 0 else float("inf")
+
+
+_BRISC_ROW_CACHE: Dict[str, BriscRow] = {}
+
+
+def brisc_row(name: str, k: int = 20, measure_interp: bool = True) -> BriscRow:
+    """Compute one Table-2 row."""
+    cached = _BRISC_ROW_CACHE.get(name)
+    if cached is not None:
+        return cached
+    inp = build_input(name)
+    cp = compressed_suite(name, k)
+    target = PentiumLike()
+    native = target.program_size(inp.program)
+    native_bytes = b"".join(
+        target.encode_function(fn) for fn in inp.program.functions
+    )
+    gzip_rel = len(deflate.compress(vm_code_bytes(inp.program))) / native
+    brisc_rel = cp.image.code_segment_size / native
+
+    jit = jit_compile(cp.image.blob, target)
+    # Analytic runtime model: the JIT's output is the same native code the
+    # static compiler would emit (template splicing, no re-optimization),
+    # so steady-state speed is 1.0x; the visible cost is compiling once.
+    # Amortize compile time over a nominal 1-second run, as the paper's
+    # benchmarks (whole-program runs) do.
+    nominal_run_seconds = 1.0
+    jit_ratio = (nominal_run_seconds + jit.compile_seconds) / nominal_run_seconds
+
+    if measure_interp:
+        _, _, interp_ratio = interp_overhead(name, k)
+    else:
+        interp_ratio = float("nan")
+    row = BriscRow(
+        name=name,
+        native_bytes=native,
+        brisc_rel=brisc_rel,
+        gzip_rel=gzip_rel,
+        jit_mb_per_s=jit.mb_per_second,
+        jit_runtime_ratio=jit_ratio,
+        interp_ratio=interp_ratio,
+    )
+    _BRISC_ROW_CACHE[name] = row
+    return row
+
+
+# ---------------------------------------------------------------------------
+# Table 3: the abstract-machine ablation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AblationRow:
+    """One row of the de-tuned abstract machine table."""
+
+    variant: str
+    native_size: int
+    compressed_size: int
+
+    @property
+    def ratio(self) -> float:
+        """compressed/native — the paper's 0.54 / 0.56 / 0.57 / 0.59."""
+        return self.compressed_size / self.native_size
+
+
+_ABLATION_CACHE: Dict[Tuple[str, int], List[AblationRow]] = {}
+
+
+def ablation_rows(name: str = "lcc", k: int = 20) -> List[AblationRow]:
+    """Compress the same input under each abstract-machine variant.
+
+    ``native_size`` is the Pentium-like size of the *full-feature* machine's
+    code, held constant across rows (the paper normalizes each variant's
+    compressed size against native code, which does not change when the
+    abstract machine is de-tuned).
+    """
+    key = (name, k)
+    cached = _ABLATION_CACHE.get(key)
+    if cached is not None:
+        return cached
+    baseline = build_input(name, ABLATION_VARIANTS[0])
+    native = PentiumLike().program_size(baseline.program)
+    rows: List[AblationRow] = []
+    for isa in ABLATION_VARIANTS:
+        inp = build_input(name, isa)
+        cp = compress(inp.program, k=k)
+        rows.append(AblationRow(isa.name, native, cp.image.code_segment_size))
+    _ABLATION_CACHE[key] = rows
+    return rows

@@ -1,0 +1,245 @@
+"""Greedy BRISC dictionary construction.
+
+The paper's algorithm:
+
+1. start from the base instruction set;
+2. scan the program, generating candidate patterns by *operand
+   specialization* (one field at a time) and *opcode combination* (each
+   adjacent pair, crossed with the zero-or-one-field specializations of
+   both sides);
+3. estimate each candidate's benefit ``B = P − W`` and keep a heap;
+4. after each pass, admit the best ``K`` candidates (default 20, the
+   paper's table uses K=20), rewrite the program — combinations first,
+   then any instruction that a new pattern represents more compactly;
+5. stop after a pass yielding fewer than ``K`` candidates with positive B.
+
+The returned :class:`BuildResult` carries the final slot program, the
+dictionary in admission order, and the statistics the paper reports
+(candidates tested, dictionary size).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..vm.instr import VMProgram
+from .cost import CostModel
+from .pattern import DictPattern, InsnPattern, pattern_of_instr
+from .slots import Slot, SlotFunction, SlotProgram, build_slots
+
+__all__ = ["BuildResult", "BriscBuilder", "build_dictionary"]
+
+_MAX_PARTS = 4
+
+
+@dataclass
+class BuildResult:
+    """Output of dictionary construction."""
+
+    slots: SlotProgram
+    dictionary: List[DictPattern]
+    candidates_tested: int
+    passes: int
+    base_patterns: int
+
+    @property
+    def dictionary_size(self) -> int:
+        return len(self.dictionary)
+
+
+class BriscBuilder:
+    """Runs the greedy construction over one program."""
+
+    def __init__(
+        self,
+        program: VMProgram,
+        k: int = 20,
+        abundant_memory: bool = False,
+        max_passes: int = 40,
+    ) -> None:
+        self.slots = build_slots(program)
+        self.k = k
+        self.cost = CostModel(abundant_memory)
+        self.max_passes = max_passes
+        self.seen: Set[DictPattern] = set()
+        self.dictionary: List[DictPattern] = []
+        self.in_dictionary: Set[DictPattern] = set()
+        self.candidates_tested = 0
+        self.passes = 0
+        self._seed_base_patterns()
+        self.base_patterns = len(self.dictionary)
+
+    def _seed_base_patterns(self) -> None:
+        for fn in self.slots.functions:
+            for slot in fn.slots:
+                self._admit(slot.pattern)
+
+    def _admit(self, pattern: DictPattern) -> None:
+        if pattern not in self.in_dictionary:
+            self.in_dictionary.add(pattern)
+            self.dictionary.append(pattern)
+
+    # -- candidate generation ----------------------------------------------
+
+    def _augmented_set(self, slot: Slot) -> List[DictPattern]:
+        """The slot's pattern plus its one-field specializations (the
+        paper's "augmented operand-specialized set")."""
+        out = [slot.pattern]
+        for pi, (part, instr) in enumerate(zip(slot.pattern.parts, slot.insns)):
+            for spec in part.specializations(instr):
+                parts = list(slot.pattern.parts)
+                parts[pi] = spec
+                out.append(DictPattern(tuple(parts)))
+        return out
+
+    def _gather_candidates(self) -> Dict[DictPattern, int]:
+        """One scan: candidate pattern -> total bytes saved (pre-dictionary
+        cost).  Occurrence savings are summed greedily."""
+        savings: Dict[DictPattern, int] = {}
+
+        def account(cand: DictPattern, saved: int) -> None:
+            if cand in self.in_dictionary or saved <= 0:
+                return
+            if cand not in savings and cand not in self.seen:
+                self.candidates_tested += 1
+                self.seen.add(cand)
+            savings[cand] = savings.get(cand, 0) + saved
+
+        for fn in self.slots.functions:
+            slots = fn.slots
+            for i, slot in enumerate(slots):
+                cur_size = slot.size
+                # Operand specialization, one field at a time.
+                for cand in self._augmented_set(slot)[1:]:
+                    account(cand, cur_size - cand.encoded_size())
+                # Opcode combination with the right neighbour.
+                if i + 1 >= len(slots):
+                    continue
+                nxt = slots[i + 1]
+                if nxt.is_block_start:
+                    continue
+                if len(slot.insns) + len(nxt.insns) > _MAX_PARTS:
+                    continue
+                pair_size = cur_size + nxt.size
+                for a in self._augmented_set(slot):
+                    for b in self._augmented_set(nxt):
+                        cand = DictPattern(a.parts + b.parts)
+                        if not cand.is_control_ok():
+                            continue
+                        account(cand, pair_size - cand.encoded_size())
+        return savings
+
+    # -- rewriting -----------------------------------------------------------
+
+    def _apply_patterns(self, admitted: List[DictPattern]) -> None:
+        combos = [p for p in admitted if len(p.parts) > 1]
+        singles_by_shape: Dict[Tuple[str, ...], List[DictPattern]] = {}
+        for p in admitted:
+            shape = tuple(part.name for part in p.parts)
+            singles_by_shape.setdefault(shape, []).append(p)
+
+        for fn in self.slots.functions:
+            # Combination pass: left-to-right, merge windows of slots whose
+            # concatenated instructions match a new combined pattern.
+            if combos:
+                fn.slots = self._combine_function(fn.slots, combos)
+            # Specialization pass: adopt any new pattern that represents a
+            # slot more compactly.
+            for slot in fn.slots:
+                shape = tuple(i.name for i in slot.insns)
+                best = slot.pattern
+                best_size = slot.size
+                for cand in singles_by_shape.get(shape, ()):
+                    if cand.encoded_size() < best_size and cand.matches(slot.insns):
+                        best = cand
+                        best_size = cand.encoded_size()
+                slot.pattern = best
+
+    def _combine_function(
+        self, slots: List[Slot], combos: List[DictPattern]
+    ) -> List[Slot]:
+        by_first: Dict[str, List[DictPattern]] = {}
+        for p in combos:
+            by_first.setdefault(p.parts[0].name, []).append(p)
+        out: List[Slot] = []
+        i = 0
+        while i < len(slots):
+            slot = slots[i]
+            merged = None
+            for cand in by_first.get(slot.insns[0].name, ()):
+                nparts = len(cand.parts)
+                # Collect a window of whole slots covering nparts insns.
+                window = [slot]
+                total = len(slot.insns)
+                j = i + 1
+                ok = True
+                while total < nparts:
+                    if j >= len(slots) or slots[j].is_block_start:
+                        ok = False
+                        break
+                    window.append(slots[j])
+                    total += len(slots[j].insns)
+                    j += 1
+                if not ok or total != nparts:
+                    continue
+                insns = tuple(ins for s in window for ins in s.insns)
+                if not cand.matches(insns):
+                    continue
+                old = sum(s.size for s in window)
+                if cand.encoded_size() >= old:
+                    continue
+                merged = Slot(
+                    insns=insns,
+                    pattern=cand,
+                    is_block_start=slot.is_block_start,
+                    labels=slot.labels,
+                )
+                i = j
+                break
+            if merged is not None:
+                out.append(merged)
+            else:
+                out.append(slot)
+                i += 1
+        return out
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> BuildResult:
+        while self.passes < self.max_passes:
+            self.passes += 1
+            savings = self._gather_candidates()
+            heap = []
+            for cand, saved in savings.items():
+                benefit = self.cost.benefit(cand, saved)
+                if benefit > 0:
+                    heap.append((-benefit, cand.dictionary_size(), str(cand), cand))
+            heapq.heapify(heap)
+            admitted: List[DictPattern] = []
+            while heap and len(admitted) < self.k:
+                _, _, _, cand = heapq.heappop(heap)
+                admitted.append(cand)
+                self._admit(cand)
+            if admitted:
+                self._apply_patterns(admitted)
+            if len(admitted) < self.k:
+                break
+        return BuildResult(
+            slots=self.slots,
+            dictionary=self.dictionary,
+            candidates_tested=self.candidates_tested,
+            passes=self.passes,
+            base_patterns=self.base_patterns,
+        )
+
+
+def build_dictionary(
+    program: VMProgram,
+    k: int = 20,
+    abundant_memory: bool = False,
+    max_passes: int = 40,
+) -> BuildResult:
+    """Run greedy BRISC dictionary construction over ``program``."""
+    return BriscBuilder(program, k, abundant_memory, max_passes).run()

@@ -1,0 +1,494 @@
+"""BRISC image serialization: byte encoding and decoding.
+
+An image holds the dictionary (serialized patterns), the Markov successor
+tables, global data, and per-function code bytes plus the basic-block
+start offsets that make the code randomly addressable.  The decoder
+reconstructs a runnable :class:`~repro.vm.instr.VMProgram`; semantics are
+preserved exactly (labels are regenerated as ``L<offset>``).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..compress.bitio import read_uvarint, write_uvarint
+from ..ir.tree import GlobalData, PtrInit, ScalarInit
+from ..vm.instr import Instr, VMFunction, VMProgram
+from ..vm.isa import Operand, SPEC
+from .markov import CTX_BB, CTX_ENTRY, ESCAPE, MarkovModel, build_markov
+from .pattern import (
+    Burned, DictPattern, Wildcard, deserialize_pattern, serialize_pattern,
+)
+from .slots import SlotProgram
+
+__all__ = ["BriscImage", "encode_image", "decode_image"]
+
+_MAGIC = b"BRI1"
+_NIBBLE_CLASSES = {"r", "f", "n4"}
+_BYTE_WIDTH = {"b": 1, "h": 2, "w": 4, "l": 2, "s": 2, "d": 8}
+
+
+@dataclass
+class BriscImage:
+    """An encoded BRISC program plus its measurement breakdown."""
+
+    blob: bytes
+    breakdown: Dict[str, int] = field(default_factory=dict)
+    opcode_bytes: int = 0
+    operand_bytes: int = 0
+    max_successors: int = 0
+    pattern_count: int = 0
+
+    def __len__(self) -> int:
+        return len(self.blob)
+
+    @property
+    def size(self) -> int:
+        return len(self.blob)
+
+    @property
+    def code_segment_size(self) -> int:
+        """Code + dictionary + Markov tables — the paper's metric scope
+        ("we compress only code segments"; data/meta are excluded)."""
+        return (self.breakdown.get("code", 0)
+                + self.breakdown.get("dictionary", 0)
+                + self.breakdown.get("tables", 0))
+
+
+def _zig(v: int) -> int:
+    return (v << 1) ^ (v >> 63) if v < 0 else v << 1
+
+
+def _unzig(z: int) -> int:
+    return -(z >> 1) - 1 if z & 1 else z >> 1
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def _slot_bytes(
+    pattern: DictPattern,
+    insns: Tuple[Instr, ...],
+    opcode: bytes,
+    label_offsets: Dict[str, int],
+    symbol_ids: Dict[str, int],
+) -> bytes:
+    """Opcode byte(s) + packed operand bytes for one slot."""
+    out = bytearray(opcode)
+    _, classes = pattern.operand_layout()
+    values = pattern.wildcard_values(insns)
+    assert len(values) == len(classes)
+    nibbles: List[int] = []
+    wide = bytearray()
+    for (cls, value) in values:
+        if cls in ("r", "f"):
+            nibbles.append(int(value) & 0xF)
+        elif cls == "n4":
+            nibbles.append((int(value) // 4) & 0xF)
+        elif cls in ("b", "h", "w"):
+            wide += int(value).to_bytes(_BYTE_WIDTH[cls], "little", signed=True)
+        elif cls == "l":
+            assert isinstance(value, str)
+            wide += label_offsets[value].to_bytes(2, "little")
+        elif cls == "s":
+            assert isinstance(value, str)
+            wide += symbol_ids[value].to_bytes(2, "little")
+        else:  # d
+            wide += struct.pack("<d", float(value))
+    for i in range(0, len(nibbles), 2):
+        hi = nibbles[i]
+        lo = nibbles[i + 1] if i + 1 < len(nibbles) else 0
+        out.append((hi << 4) | lo)
+    out += wide
+    return bytes(out)
+
+
+def _opcode_for(model_table: List[int], pid: int) -> bytes:
+    """The context-relative opcode byte (with 2-byte escape if needed)."""
+    try:
+        idx = model_table.index(pid)
+    except ValueError:
+        idx = ESCAPE
+    if idx < ESCAPE:
+        return bytes([idx])
+    return bytes([ESCAPE]) + pid.to_bytes(2, "little")
+
+
+def _pack_globals(out: bytearray, globals_: List[GlobalData]) -> None:
+    write_uvarint(out, len(globals_))
+    for g in globals_:
+        raw = g.name.encode("utf-8")
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+        write_uvarint(out, g.size)
+        write_uvarint(out, g.align)
+        out.append(1 if g.is_string else 0)
+        write_uvarint(out, len(g.items))
+        for item in g.items:
+            if isinstance(item, ScalarInit):
+                if isinstance(item.value, float) or item.size == 8:
+                    out.append(1)
+                    write_uvarint(out, item.offset)
+                    out.extend(struct.pack("<d", float(item.value)))
+                else:
+                    out.append(0)
+                    write_uvarint(out, item.offset)
+                    write_uvarint(out, item.size)
+                    write_uvarint(out, _zig(int(item.value)))
+            else:
+                out.append(2)
+                write_uvarint(out, item.offset)
+                raw = item.symbol.encode("utf-8")
+                write_uvarint(out, len(raw))
+                out.extend(raw)
+
+
+def _unpack_globals(data: bytes, pos: int) -> Tuple[List[GlobalData], int]:
+    count, pos = read_uvarint(data, pos)
+    globals_: List[GlobalData] = []
+    for _ in range(count):
+        n, pos = read_uvarint(data, pos)
+        name = data[pos : pos + n].decode("utf-8")
+        pos += n
+        size, pos = read_uvarint(data, pos)
+        align, pos = read_uvarint(data, pos)
+        is_string = bool(data[pos])
+        pos += 1
+        nitems, pos = read_uvarint(data, pos)
+        g = GlobalData(name, size, align, is_string=is_string)
+        for _ in range(nitems):
+            tag = data[pos]
+            pos += 1
+            offset, pos = read_uvarint(data, pos)
+            if tag == 0:
+                isize, pos = read_uvarint(data, pos)
+                z, pos = read_uvarint(data, pos)
+                g.items.append(ScalarInit(offset, isize, _unzig(z)))
+            elif tag == 1:
+                g.items.append(ScalarInit(offset, 8,
+                                          struct.unpack_from("<d", data, pos)[0]))
+                pos += 8
+            else:
+                n, pos = read_uvarint(data, pos)
+                g.items.append(PtrInit(offset, data[pos : pos + n].decode("utf-8")))
+                pos += n
+        globals_.append(g)
+    return globals_, pos
+
+
+def encode_image(
+    slots: SlotProgram, globals_: List[GlobalData]
+) -> Tuple[BriscImage, MarkovModel]:
+    """Serialize a slot program into a BRISC image."""
+    model, fn_ids = build_markov(slots)
+    # Trim stored tables to 255 entries (escape covers the tail).
+    stored_tables = {ctx: t[:ESCAPE] for ctx, t in model.tables.items()}
+    symbol_ids: Dict[str, int] = {}
+    for fn in slots.functions:
+        symbol_ids[fn.name] = len(symbol_ids)
+    for g in globals_:
+        symbol_ids.setdefault(g.name, len(symbol_ids))
+
+    out = bytearray(_MAGIC)
+    # Dictionary.
+    write_uvarint(out, len(model.patterns))
+    dict_start = len(out)
+    for pattern in model.patterns:
+        out.extend(serialize_pattern(pattern))
+    dict_bytes = len(out) - dict_start
+    # Tables.
+    tables_start = len(out)
+    write_uvarint(out, len(stored_tables))
+    for ctx in sorted(stored_tables):
+        write_uvarint(out, _zig(ctx))
+        table = stored_tables[ctx]
+        write_uvarint(out, len(table))
+        for pid in table:
+            write_uvarint(out, pid)
+    table_bytes = len(out) - tables_start
+    # Globals.
+    meta_start = len(out)
+    _pack_globals(out, globals_)
+    raw = slots.entry.encode("utf-8")
+    write_uvarint(out, len(raw))
+    out.extend(raw)
+    meta_bytes = len(out) - meta_start
+
+    # Functions.
+    code_bytes = 0
+    opcode_total = 0
+    operand_total = 0
+    write_uvarint(out, len(slots.functions))
+    for fi, fn in enumerate(slots.functions):
+        ids = fn_ids[fi]
+        # First pass: slot byte offsets (opcode escapes add 2 bytes).
+        offsets: List[int] = []
+        cursor = 0
+        opcodes: List[bytes] = []
+        prev: Optional[int] = None
+        for i, slot in enumerate(fn.slots):
+            if i == 0:
+                ctx = CTX_ENTRY
+            elif slot.is_block_start:
+                ctx = CTX_BB
+            else:
+                assert prev is not None
+                ctx = prev
+            opcode = _opcode_for(stored_tables.get(ctx, []), ids[i])
+            opcodes.append(opcode)
+            offsets.append(cursor)
+            cursor += len(opcode) + slot.pattern.operand_bytes()
+            prev = ids[i]
+        total_len = cursor
+        label_offsets: Dict[str, int] = {}
+        bb_offsets: List[int] = []
+        for i, slot in enumerate(fn.slots):
+            for label in slot.labels:
+                label_offsets[label] = offsets[i]
+            if slot.is_block_start and i > 0:
+                bb_offsets.append(offsets[i])
+        # Second pass: emit.
+        body = bytearray()
+        for i, slot in enumerate(fn.slots):
+            encoded = _slot_bytes(slot.pattern, slot.insns, opcodes[i],
+                                  label_offsets, symbol_ids)
+            opcode_total += len(opcodes[i])
+            operand_total += len(encoded) - len(opcodes[i])
+            body += encoded
+        assert len(body) == total_len
+        code_bytes += total_len
+
+        raw = fn.name.encode("utf-8")
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+        write_uvarint(out, fn.frame_size)
+        write_uvarint(out, fn.param_bytes)
+        write_uvarint(out, total_len)
+        out.extend(body)
+        write_uvarint(out, len(bb_offsets))
+        last = 0
+        for off in bb_offsets:
+            write_uvarint(out, off - last)
+            last = off
+
+    image = BriscImage(
+        blob=bytes(out),
+        breakdown={
+            "dictionary": dict_bytes,
+            "tables": table_bytes,
+            "meta": meta_bytes,
+            "code": code_bytes,
+        },
+        opcode_bytes=opcode_total,
+        operand_bytes=operand_total,
+        max_successors=model.max_successors(),
+        pattern_count=len(model.patterns),
+    )
+    return image, model
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DecodedImage:
+    """Parsed image: everything needed to interpret or rebuild a program."""
+
+    patterns: List[DictPattern]
+    tables: Dict[int, List[int]]
+    globals: List[GlobalData]
+    entry: str
+    functions: List["DecodedFunction"] = field(default_factory=list)
+
+
+@dataclass
+class DecodedFunction:
+    name: str
+    frame_size: int
+    param_bytes: int
+    code: bytes
+    bb_offsets: Set[int] = field(default_factory=set)
+
+
+def parse_image(blob: bytes) -> DecodedImage:
+    """Parse an image's container structure (no slot decoding yet)."""
+    if blob[:4] != _MAGIC:
+        raise ValueError("not a BRISC image")
+    pos = 4
+    npatterns, pos = read_uvarint(blob, pos)
+    patterns: List[DictPattern] = []
+    for _ in range(npatterns):
+        pattern, pos = deserialize_pattern(blob, pos)
+        patterns.append(pattern)
+    ntables, pos = read_uvarint(blob, pos)
+    tables: Dict[int, List[int]] = {}
+    for _ in range(ntables):
+        zctx, pos = read_uvarint(blob, pos)
+        count, pos = read_uvarint(blob, pos)
+        table: List[int] = []
+        for _ in range(count):
+            pid, pos = read_uvarint(blob, pos)
+            table.append(pid)
+        tables[_unzig(zctx)] = table
+    globals_, pos = _unpack_globals(blob, pos)
+    n, pos = read_uvarint(blob, pos)
+    entry = blob[pos : pos + n].decode("utf-8")
+    pos += n
+    nfuncs, pos = read_uvarint(blob, pos)
+    out = DecodedImage(patterns, tables, globals_, entry)
+    for _ in range(nfuncs):
+        n, pos = read_uvarint(blob, pos)
+        name = blob[pos : pos + n].decode("utf-8")
+        pos += n
+        frame, pos = read_uvarint(blob, pos)
+        params, pos = read_uvarint(blob, pos)
+        code_len, pos = read_uvarint(blob, pos)
+        code = blob[pos : pos + code_len]
+        pos += code_len
+        nbb, pos = read_uvarint(blob, pos)
+        offsets: Set[int] = set()
+        last = 0
+        for _ in range(nbb):
+            delta, pos = read_uvarint(blob, pos)
+            last += delta
+            offsets.add(last)
+        out.functions.append(DecodedFunction(name, frame, params, code, offsets))
+    return out
+
+
+def symbol_names(image: DecodedImage) -> List[str]:
+    """Symbol index space: function names first, then global names."""
+    names = [fn.name for fn in image.functions]
+    for g in image.globals:
+        if g.name not in names:
+            names.append(g.name)
+    return names
+
+
+def decode_slot(
+    image: DecodedImage,
+    fn: DecodedFunction,
+    offset: int,
+    ctx: int,
+    names: Optional[List[str]] = None,
+) -> Tuple[DictPattern, List[Instr], int]:
+    """Decode one slot at ``offset``; returns (pattern, instructions,
+    next_offset).  Label operands come back as ``L<offset>`` names;
+    symbol indices resolve through ``names`` (default: the image's own
+    symbol table)."""
+    if names is None:
+        names = symbol_names(image)
+    code = fn.code
+    byte = code[offset]
+    offset += 1
+    if byte == ESCAPE:
+        pid = int.from_bytes(code[offset : offset + 2], "little")
+        offset += 2
+    else:
+        table = image.tables.get(ctx)
+        if table is None or byte >= len(table):
+            raise ValueError(f"invalid opcode byte {byte} in context {ctx}")
+        pid = table[byte]
+    pattern = image.patterns[pid]
+    _, classes = pattern.operand_layout()
+    nnib = sum(1 for c in classes if c in _NIBBLE_CLASSES)
+    nibbles: List[int] = []
+    for i in range((nnib + 1) // 2):
+        b = code[offset]
+        offset += 1
+        nibbles.append(b >> 4)
+        nibbles.append(b & 0xF)
+    nibbles = nibbles[:nnib]
+    values: List[object] = []
+    ni = 0
+    for cls in classes:
+        if cls in ("r", "f"):
+            values.append(nibbles[ni])
+            ni += 1
+        elif cls == "n4":
+            values.append(nibbles[ni] * 4)
+            ni += 1
+        elif cls in ("b", "h", "w"):
+            width = _BYTE_WIDTH[cls]
+            values.append(int.from_bytes(code[offset : offset + width],
+                                         "little", signed=True))
+            offset += width
+        elif cls == "l":
+            target = int.from_bytes(code[offset : offset + 2], "little")
+            offset += 2
+            values.append(f"L{target}")
+        elif cls == "s":
+            idx = int.from_bytes(code[offset : offset + 2], "little")
+            offset += 2
+            values.append(names[idx])
+        else:
+            values.append(struct.unpack_from("<d", code, offset)[0])
+            offset += 8
+    # Rebuild concrete instructions.
+    instrs: List[Instr] = []
+    vi = 0
+    for part in pattern.parts:
+        operands: List[object] = []
+        for f in part.fields:
+            if isinstance(f, Burned):
+                operands.append(f.value)
+            else:
+                operands.append(values[vi])
+                vi += 1
+        instrs.append(Instr(part.name, tuple(operands)))  # type: ignore[arg-type]
+    return pattern, instrs, offset
+
+
+def decode_image(blob: bytes) -> VMProgram:
+    """Fully decode an image back into a runnable VM program."""
+    image = parse_image(blob)
+    names = symbol_names(image)
+    program = VMProgram("decoded", entry=image.entry)
+    program.globals = list(image.globals)
+    for fn in image.functions:
+        vmf = VMFunction(fn.name, frame_size=fn.frame_size,
+                         param_bytes=fn.param_bytes)
+        offset = 0
+        prev: Optional[int] = None
+        offset_to_index: Dict[int, int] = {}
+        referenced: Set[str] = set()
+        while offset < len(fn.code):
+            if offset == 0:
+                ctx = CTX_ENTRY
+            elif offset in fn.bb_offsets:
+                ctx = CTX_BB
+            else:
+                assert prev is not None
+                ctx = prev
+            offset_to_index[offset] = len(vmf.code)
+            pattern, instrs, next_offset = decode_slot(image, fn, offset, ctx,
+                                                       names)
+            for instr in instrs:
+                for kind, value in zip(instr.spec.signature, instr.operands):
+                    if kind is Operand.LABEL:
+                        referenced.add(str(value))
+            vmf.code.extend(instrs)
+            # Track which pattern id produced this slot for the context.
+            byte = fn.code[offset]
+            if byte == ESCAPE:
+                prev = int.from_bytes(fn.code[offset + 1 : offset + 3], "little")
+            else:
+                prev = image.tables[ctx][byte]
+            offset = next_offset
+        # Labels at every block start and at referenced offsets.
+        for off in sorted(set(fn.bb_offsets) | {0}):
+            if off in offset_to_index:
+                vmf.labels.setdefault(f"L{off}", offset_to_index[off])
+        for label in referenced:
+            off = int(label[1:])
+            if off not in offset_to_index:
+                raise ValueError(f"branch to mid-slot offset {off} in {fn.name}")
+            vmf.labels.setdefault(label, offset_to_index[off])
+        program.functions.append(vmf)
+    return program

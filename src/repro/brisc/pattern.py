@@ -1,0 +1,309 @@
+"""BRISC instruction patterns.
+
+A *pattern* is a VM instruction shape with some fields burned in (operand
+specialization) and possibly several instructions fused (opcode
+combination).  The paper's notation::
+
+    [ld.iw *,4(sp)]          one-part pattern, two burned fields
+    <[mov.i nl,n4],[mov.i nO,n2]>   two-part combined pattern
+
+Field widths: unspecified (wildcard) fields are packed into the operand
+byte stream — registers as nibbles, immediates in one of four classes
+(``n4``: a nibble scaled by 4, the paper's ``-x4`` suffix; ``b``/``h``/``w``:
+1/2/4 bytes), labels and symbols as 2 bytes, double immediates as 8 bytes.
+A pattern fixes the width class of each wildcard, so the byte length of an
+encoded instruction is fully determined by its opcode — the property that
+keeps BRISC randomly addressable and directly interpretable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..compress.bitio import read_uvarint, write_uvarint
+from ..vm.instr import Instr
+from ..vm.isa import MNEMONIC, Operand, SPEC
+
+__all__ = [
+    "Field", "Wildcard", "Burned", "InsnPattern", "DictPattern",
+    "pattern_of_instr", "imm_class",
+]
+
+# Wildcard width classes and their encoded sizes.
+_NIBBLE_CLASSES = {"r", "f", "n4"}
+_BYTE_SIZES = {"b": 1, "h": 2, "w": 4, "l": 2, "s": 2, "d": 8}
+
+FieldValue = Union[int, float, str]
+
+
+def imm_class(value: int) -> str:
+    """Smallest width class holding an integer immediate."""
+    if value % 4 == 0 and 0 <= value < 64:
+        return "n4"
+    if -128 <= value < 128:
+        return "b"
+    if -32768 <= value < 32768:
+        return "h"
+    return "w"
+
+
+@dataclass(frozen=True)
+class Wildcard:
+    """An unspecified field: carried in the operand bytes.
+
+    ``cls`` is one of r/f/n4/b/h/w/l/s/d.
+    """
+
+    cls: str
+
+    def __str__(self) -> str:
+        return "*" if self.cls in ("r", "f") else f"*{self.cls}"
+
+
+@dataclass(frozen=True)
+class Burned:
+    """A specialized field: its value lives in the dictionary entry."""
+
+    value: FieldValue
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Field = Union[Wildcard, Burned]
+
+
+def _field_kind(kind: Operand, value: FieldValue) -> str:
+    if kind is Operand.REG:
+        return "r"
+    if kind is Operand.FREG:
+        return "f"
+    if kind is Operand.IMM:
+        assert isinstance(value, int)
+        return imm_class(value)
+    if kind is Operand.LABEL:
+        return "l"
+    if kind is Operand.SYM:
+        return "s"
+    return "d"
+
+
+@dataclass(frozen=True)
+class InsnPattern:
+    """One instruction's pattern: mnemonic + per-field spec."""
+
+    name: str
+    fields: Tuple[Field, ...]
+
+    def matches(self, instr: Instr) -> bool:
+        """Does ``instr`` fit this pattern (burned fields equal, wildcards
+        wide enough)?"""
+        if instr.name != self.name:
+            return False
+        spec = SPEC[self.name]
+        for field, kind, value in zip(self.fields, spec.signature, instr.operands):
+            if isinstance(field, Burned):
+                if field.value != value:
+                    return False
+            else:
+                if kind is Operand.IMM:
+                    assert isinstance(value, int)
+                    if not _class_holds(field.cls, value):
+                        return False
+        return True
+
+    def wildcard_values(self, instr: Instr) -> List[Tuple[str, FieldValue]]:
+        """The (class, value) pairs an encoder must emit for ``instr``."""
+        out: List[Tuple[str, FieldValue]] = []
+        for field, value in zip(self.fields, instr.operands):
+            if isinstance(field, Wildcard):
+                out.append((field.cls, value))
+        return out
+
+    def specializations(self, instr: Instr) -> List["InsnPattern"]:
+        """All one-more-field-burned versions of this pattern w.r.t. the
+        concrete instruction (the paper specializes one field at a time)."""
+        out: List[InsnPattern] = []
+        for i, field in enumerate(self.fields):
+            if isinstance(field, Wildcard):
+                new_fields = list(self.fields)
+                new_fields[i] = Burned(instr.operands[i])
+                out.append(InsnPattern(self.name, tuple(new_fields)))
+        return out
+
+    def __str__(self) -> str:
+        from ..vm.isa import FREG_NAMES, REG_NAMES
+
+        spec = SPEC[self.name]
+        parts = []
+        for field, kind in zip(self.fields, spec.signature):
+            if isinstance(field, Burned) and kind is Operand.REG:
+                parts.append(REG_NAMES[int(field.value)])
+            elif isinstance(field, Burned) and kind is Operand.FREG:
+                parts.append(FREG_NAMES[int(field.value)])
+            else:
+                parts.append(str(field))
+        inner = ",".join(parts)
+        return f"[{self.name} {inner}]" if inner else f"[{self.name}]"
+
+
+def _class_holds(cls: str, value: int) -> bool:
+    if cls == "n4":
+        return value % 4 == 0 and 0 <= value < 64
+    if cls == "b":
+        return -128 <= value < 128
+    if cls == "h":
+        return -32768 <= value < 32768
+    return True
+
+
+def pattern_of_instr(instr: Instr) -> InsnPattern:
+    """The all-wildcard base pattern of a concrete instruction."""
+    spec = SPEC[instr.name]
+    fields = tuple(
+        Wildcard(_field_kind(kind, value))
+        for kind, value in zip(spec.signature, instr.operands)
+    )
+    return InsnPattern(instr.name, fields)
+
+
+@dataclass(frozen=True)
+class DictPattern:
+    """A dictionary entry: one or more (possibly specialized) parts.
+
+    Control-transfer instructions may appear only in the final part, so a
+    taken branch never leaves a half-executed pattern and return addresses
+    always point at pattern boundaries.
+    """
+
+    parts: Tuple[InsnPattern, ...]
+
+    def matches(self, insns: Sequence[Instr]) -> bool:
+        """Does the concrete instruction sequence fit this pattern?"""
+        if len(insns) != len(self.parts):
+            return False
+        return all(p.matches(i) for p, i in zip(self.parts, insns))
+
+    def operand_layout(self) -> Tuple[int, List[str]]:
+        """Encoded operand size in bytes and the flat wildcard class list."""
+        classes = [
+            f.cls
+            for part in self.parts
+            for f in part.fields
+            if isinstance(f, Wildcard)
+        ]
+        nibbles = sum(1 for c in classes if c in _NIBBLE_CLASSES)
+        whole = sum(_BYTE_SIZES[c] for c in classes if c not in _NIBBLE_CLASSES)
+        return (nibbles + 1) // 2 + whole, classes
+
+    def operand_bytes(self) -> int:
+        """Encoded operand size in bytes."""
+        return self.operand_layout()[0]
+
+    def encoded_size(self) -> int:
+        """Size of one occurrence: opcode byte + operand bytes."""
+        return 1 + self.operand_bytes()
+
+    def wildcard_values(self, insns: Sequence[Instr]) -> List[Tuple[str, FieldValue]]:
+        out: List[Tuple[str, FieldValue]] = []
+        for part, instr in zip(self.parts, insns):
+            out.extend(part.wildcard_values(instr))
+        return out
+
+    def is_control_ok(self) -> bool:
+        """Control transfers only in the final part."""
+        for part in self.parts[:-1]:
+            if SPEC[part.name].group == "flow" or SPEC[part.name].group in (
+                "branch", "brimm"
+            ) or part.name == "sys":
+                return False
+        return True
+
+    def dictionary_size(self) -> int:
+        """Bytes this entry occupies in the transmitted dictionary."""
+        return len(serialize_pattern(self))
+
+    def __str__(self) -> str:
+        if len(self.parts) == 1:
+            return str(self.parts[0])
+        return "<" + ",".join(str(p) for p in self.parts) + ">"
+
+
+# ---------------------------------------------------------------------------
+# Dictionary serialization
+# ---------------------------------------------------------------------------
+
+_MNEMONIC_ID = {name: i for i, name in enumerate(MNEMONIC)}
+_CLS_ID = {c: i for i, c in enumerate(("r", "f", "n4", "b", "h", "w", "l", "s", "d"))}
+_CLS_BY_ID = {i: c for c, i in _CLS_ID.items()}
+
+
+def serialize_pattern(pattern: DictPattern) -> bytes:
+    """Serialize a dictionary entry.
+
+    Layout: part count; per part: mnemonic id, then per field a tag byte
+    (0x80 | class for wildcards, class for burned) followed by the burned
+    value when present.
+    """
+    out = bytearray()
+    write_uvarint(out, len(pattern.parts))
+    for part in pattern.parts:
+        write_uvarint(out, _MNEMONIC_ID[part.name])
+        spec = SPEC[part.name]
+        for field, kind in zip(part.fields, spec.signature):
+            if isinstance(field, Wildcard):
+                out.append(0x80 | _CLS_ID[field.cls])
+                continue
+            value = field.value
+            if kind in (Operand.REG, Operand.FREG):
+                out.append(0x00)
+                out.append(int(value) & 0xF)
+            elif kind is Operand.IMM:
+                out.append(0x01)
+                z = int(value)
+                write_uvarint(out, (z << 1) ^ (z >> 63) if z < 0 else z << 1)
+            elif kind is Operand.DIMM:
+                out.append(0x02)
+                import struct
+
+                out += struct.pack("<d", float(value))
+            else:  # LABEL / SYM burned as strings
+                out.append(0x03)
+                raw = str(value).encode("utf-8")
+                write_uvarint(out, len(raw))
+                out += raw
+    return bytes(out)
+
+
+def deserialize_pattern(data: bytes, pos: int) -> Tuple[DictPattern, int]:
+    """Inverse of :func:`serialize_pattern`; returns (pattern, new_pos)."""
+    import struct
+
+    nparts, pos = read_uvarint(data, pos)
+    parts: List[InsnPattern] = []
+    for _ in range(nparts):
+        mid, pos = read_uvarint(data, pos)
+        name = MNEMONIC[mid]
+        spec = SPEC[name]
+        fields: List[Field] = []
+        for kind in spec.signature:
+            tag = data[pos]
+            pos += 1
+            if tag & 0x80:
+                fields.append(Wildcard(_CLS_BY_ID[tag & 0x7F]))
+            elif tag == 0x00:
+                fields.append(Burned(data[pos]))
+                pos += 1
+            elif tag == 0x01:
+                z, pos = read_uvarint(data, pos)
+                fields.append(Burned(-(z >> 1) - 1 if z & 1 else z >> 1))
+            elif tag == 0x02:
+                fields.append(Burned(struct.unpack_from("<d", data, pos)[0]))
+                pos += 8
+            else:
+                n, pos = read_uvarint(data, pos)
+                fields.append(Burned(data[pos : pos + n].decode("utf-8")))
+                pos += n
+        parts.append(InsnPattern(name, tuple(fields)))
+    return DictPattern(tuple(parts)), pos

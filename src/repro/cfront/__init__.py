@@ -1,0 +1,22 @@
+"""C-subset front end: lexer, parser, type checker.
+
+The reproduction's stand-in for lcc's front half: it turns C source into a
+fully typed AST that :mod:`repro.ir` lowers to lcc-style tree IR.
+"""
+
+from .astnodes import TranslationUnit
+from .errors import CompileError, Location
+from .frontend import compile_to_ast
+from .lexer import tokenize
+from .parser import parse
+from .sema import analyze
+
+__all__ = [
+    "CompileError",
+    "Location",
+    "TranslationUnit",
+    "analyze",
+    "compile_to_ast",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,304 @@
+"""The C-subset type system.
+
+Matches the layout the original lcc used on 32-bit targets, which is what
+the paper's IR statistics assume: char=1, short=2, int=long=pointer=4,
+double=8.  ``float`` is accepted as a synonym for double (the VM has one
+floating width), which preserves the IR operator mix without doubling the
+conversion matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CType", "VoidType", "IntType", "FloatType", "PointerType", "ArrayType",
+    "FunctionType", "StructType", "StructMember",
+    "VOID", "CHAR", "UCHAR", "SHORT", "USHORT", "INT", "UINT", "LONG",
+    "ULONG", "DOUBLE", "POINTER_SIZE",
+    "is_integer", "is_arithmetic", "is_scalar", "usual_arithmetic",
+    "integer_promote", "composite_compatible",
+]
+
+POINTER_SIZE = 4
+
+
+class CType:
+    """Base class for all types; concrete subclasses define size/align."""
+
+    size: int
+    align: int
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CType) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def key(self) -> Tuple:
+        """A structural identity key (overridden by subclasses)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class VoidType(CType):
+    """The ``void`` type (size 0; only valid behind pointers/returns)."""
+
+    size = 0
+    align = 1
+
+    def key(self) -> Tuple:
+        return ("void",)
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True, eq=False)
+class IntType(CType):
+    """An integer type of a given width and signedness."""
+
+    width: int  # bytes: 1, 2, or 4
+    signed: bool
+    name: str
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.width
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.width
+
+    def key(self) -> Tuple:
+        return ("int", self.width, self.signed)
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.width * 8 - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        bits = self.width * 8
+        return (1 << (bits - 1)) - 1 if self.signed else (1 << bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` modulo 2^bits into this type's range."""
+        bits = self.width * 8
+        value &= (1 << bits) - 1
+        if self.signed and value >= 1 << (bits - 1):
+            value -= 1 << bits
+        return value
+
+
+class FloatType(CType):
+    """The single floating type (8-byte double)."""
+
+    size = 8
+    align = 8
+
+    def key(self) -> Tuple:
+        return ("double",)
+
+    def __str__(self) -> str:
+        return "double"
+
+
+@dataclass(frozen=True, eq=False)
+class PointerType(CType):
+    """Pointer to ``target``."""
+
+    target: CType
+
+    size = POINTER_SIZE
+    align = POINTER_SIZE
+
+    def key(self) -> Tuple:
+        return ("ptr", self.target.key())
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+@dataclass(frozen=True, eq=False)
+class ArrayType(CType):
+    """Array of ``count`` elements (count may be None for `[]` params)."""
+
+    element: CType
+    count: Optional[int]
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        if self.count is None:
+            return 0
+        return self.element.size * self.count
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.element.align
+
+    def key(self) -> Tuple:
+        return ("array", self.element.key(), self.count)
+
+    def __str__(self) -> str:
+        return f"{self.element}[{'' if self.count is None else self.count}]"
+
+
+@dataclass(frozen=True, eq=False)
+class FunctionType(CType):
+    """Function type: return type, parameter types, variadic flag."""
+
+    ret: CType
+    params: Tuple[CType, ...]
+    variadic: bool = False
+
+    size = POINTER_SIZE  # decays to pointer for size purposes
+    align = POINTER_SIZE
+
+    def key(self) -> Tuple:
+        return ("fn", self.ret.key(), tuple(p.key() for p in self.params), self.variadic)
+
+    def __str__(self) -> str:
+        ps = ", ".join(str(p) for p in self.params)
+        if self.variadic:
+            ps = f"{ps}, ..." if ps else "..."
+        return f"{self.ret}({ps})"
+
+
+@dataclass
+class StructMember:
+    """One member of a struct/union with its computed byte offset."""
+
+    name: str
+    type: CType
+    offset: int = 0
+
+
+class StructType(CType):
+    """A struct or union; identity is nominal (by tag), layout computed once.
+
+    Incomplete structs (declared but not defined) have ``members is None``.
+    """
+
+    def __init__(self, tag: str, is_union: bool = False) -> None:
+        self.tag = tag
+        self.is_union = is_union
+        self.members: Optional[List[StructMember]] = None
+        self._size = 0
+        self._align = 1
+        self._uid = id(self)
+
+    def define(self, members: List[StructMember]) -> None:
+        """Lay out ``members`` and mark the struct complete."""
+        offset = 0
+        align = 1
+        for m in members:
+            if m.type.size == 0 and not isinstance(m.type, ArrayType):
+                raise ValueError(f"member {m.name} has incomplete type")
+            a = m.type.align
+            align = max(align, a)
+            if self.is_union:
+                m.offset = 0
+                offset = max(offset, m.type.size)
+            else:
+                offset = (offset + a - 1) // a * a
+                m.offset = offset
+                offset += m.type.size
+        self._align = align
+        self._size = (offset + align - 1) // align * align
+        self.members = members
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self._size
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self._align
+
+    @property
+    def complete(self) -> bool:
+        return self.members is not None
+
+    def member(self, name: str) -> Optional[StructMember]:
+        """Look up a member by name (None when absent or incomplete)."""
+        if self.members is None:
+            return None
+        for m in self.members:
+            if m.name == name:
+                return m
+        return None
+
+    def key(self) -> Tuple:
+        return ("struct", self._uid)
+
+    def __str__(self) -> str:
+        kw = "union" if self.is_union else "struct"
+        return f"{kw} {self.tag}"
+
+
+VOID = VoidType()
+CHAR = IntType(1, True, "char")
+UCHAR = IntType(1, False, "unsigned char")
+SHORT = IntType(2, True, "short")
+USHORT = IntType(2, False, "unsigned short")
+INT = IntType(4, True, "int")
+UINT = IntType(4, False, "unsigned int")
+LONG = IntType(4, True, "long")
+ULONG = IntType(4, False, "unsigned long")
+DOUBLE = FloatType()
+
+
+def is_integer(t: CType) -> bool:
+    """True for any integer type."""
+    return isinstance(t, IntType)
+
+
+def is_arithmetic(t: CType) -> bool:
+    """True for integer or floating types."""
+    return isinstance(t, (IntType, FloatType))
+
+
+def is_scalar(t: CType) -> bool:
+    """True for arithmetic or pointer types."""
+    return is_arithmetic(t) or isinstance(t, PointerType)
+
+
+def integer_promote(t: CType) -> CType:
+    """C's integer promotions: sub-int integers promote to int."""
+    if isinstance(t, IntType) and t.width < 4:
+        return INT
+    return t
+
+
+def usual_arithmetic(a: CType, b: CType) -> CType:
+    """The usual arithmetic conversions for a binary operator."""
+    if isinstance(a, FloatType) or isinstance(b, FloatType):
+        return DOUBLE
+    a = integer_promote(a)
+    b = integer_promote(b)
+    assert isinstance(a, IntType) and isinstance(b, IntType)
+    if not a.signed or not b.signed:
+        return UINT
+    return INT
+
+
+def composite_compatible(a: CType, b: CType) -> bool:
+    """Loose compatibility check used for assignments and calls."""
+    if a == b:
+        return True
+    if isinstance(a, PointerType) and isinstance(b, PointerType):
+        return (
+            isinstance(a.target, VoidType)
+            or isinstance(b.target, VoidType)
+            or a.target == b.target
+        )
+    if is_arithmetic(a) and is_arithmetic(b):
+        return True
+    return False

@@ -1,0 +1,17 @@
+"""Front-end driver: source text in, checked AST out."""
+
+from __future__ import annotations
+
+from .astnodes import TranslationUnit
+from .parser import parse
+from .sema import analyze
+
+__all__ = ["compile_to_ast"]
+
+
+def compile_to_ast(source: str, filename: str = "<input>") -> TranslationUnit:
+    """Lex, parse, and semantically check ``source``.
+
+    Raises :class:`repro.cfront.errors.CompileError` on any failure.
+    """
+    return analyze(parse(source, filename))

@@ -1,0 +1,7 @@
+"""IR-to-VM code generation, including the de-tuned ISA variants."""
+
+from .riscgen import CodegenError, generate_function, generate_program
+from .variants import ABLATION_VARIANTS
+
+__all__ = ["CodegenError", "generate_function", "generate_program",
+           "ABLATION_VARIANTS"]

@@ -1,0 +1,149 @@
+"""Peephole optimization over VM functions.
+
+The paper's OmniVM input was "highly optimized using a commercial compiler
+back end"; our tree-walking generator leaves a few classic redundancies on
+the table.  This pass removes them so the compressors see realistic code:
+
+* ``mov.i r, r`` — self-moves (the call-result convention emits them);
+* ``jmp L`` where ``L`` labels the next instruction;
+* ``st.iw rA, o(sp)`` immediately followed by ``ld.iw rB, o(sp)`` — the
+  load becomes ``mov.i rB, rA`` (or disappears when rA == rB);
+* ``bCOND a, b, L1; jmp L2`` with ``L1`` labelling the instruction after
+  the ``jmp`` — the branch inverts to target ``L2`` and the ``jmp`` dies.
+
+All rules respect labels: no rule fires across a label boundary, and label
+indices are remapped after deletions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..vm.instr import Instr, VMFunction
+from ..vm.isa import REG_SP
+
+__all__ = ["peephole_function", "INVERTED_BRANCH"]
+
+INVERTED_BRANCH = {
+    "beq.i": "bne.i", "bne.i": "beq.i",
+    "blt.i": "bge.i", "bge.i": "blt.i",
+    "ble.i": "bgt.i", "bgt.i": "ble.i",
+    "bltu.i": "bgeu.i", "bgeu.i": "bltu.i",
+    "bleu.i": "bgtu.i", "bgtu.i": "bleu.i",
+    "beqi.i": "bnei.i", "bnei.i": "beqi.i",
+    "blti.i": "bgei.i", "bgei.i": "blti.i",
+    "blei.i": "bgti.i", "bgti.i": "blei.i",
+    "bltui.i": "bgeui.i", "bgeui.i": "bltui.i",
+    "bleui.i": "bgtui.i", "bgtui.i": "bleui.i",
+    "beq.d": "bne.d", "bne.d": "beq.d",
+    "blt.d": "bge.d", "bge.d": "blt.d",
+    "ble.d": "bgt.d", "bgt.d": "ble.d",
+}
+
+
+def _label_positions(fn: VMFunction) -> Dict[int, List[str]]:
+    by_index: Dict[int, List[str]] = {}
+    for label, index in fn.labels.items():
+        by_index.setdefault(index, []).append(label)
+    return by_index
+
+
+def _rebuild(fn: VMFunction, keep: List[Optional[Instr]]) -> VMFunction:
+    """Drop None entries, remapping labels to the next surviving index."""
+    new_index: Dict[int, int] = {}
+    out_code: List[Instr] = []
+    for i, instr in enumerate(keep):
+        new_index[i] = len(out_code)
+        if instr is not None:
+            out_code.append(instr)
+    new_index[len(keep)] = len(out_code)
+    result = VMFunction(fn.name, frame_size=fn.frame_size,
+                        param_bytes=fn.param_bytes)
+    result.code = out_code
+    result.labels = {
+        label: new_index[index] for label, index in fn.labels.items()
+    }
+    return result
+
+
+def peephole_function(fn: VMFunction, max_rounds: int = 4) -> VMFunction:
+    """Apply the peephole rules to a fixed point (bounded rounds)."""
+    for _ in range(max_rounds):
+        fn, changed = _one_round(fn)
+        if not changed:
+            break
+    return fn
+
+
+def _one_round(fn: VMFunction) -> Tuple[VMFunction, bool]:
+    labels_at = _label_positions(fn)
+    code = fn.code
+    keep: List[Optional[Instr]] = list(code)
+    changed = False
+
+    for i, instr in enumerate(code):
+        if keep[i] is None:
+            continue
+        nxt = i + 1
+
+        # Rule: self-move.
+        if instr.name in ("mov.i", "mov.d") and \
+                instr.operands[0] == instr.operands[1]:
+            keep[i] = None
+            changed = True
+            continue
+
+        # Rule: jump to the immediately following instruction.
+        if instr.name == "jmp":
+            target = instr.operands[0]
+            if fn.labels.get(str(target)) == nxt:
+                keep[i] = None
+                changed = True
+                continue
+
+        # Rule: branch over an unconditional jump.
+        if instr.name in INVERTED_BRANCH and nxt < len(code) \
+                and keep[nxt] is not None and code[nxt].name == "jmp" \
+                and nxt not in labels_at:
+            target = str(instr.operands[-1])
+            if fn.labels.get(target) == nxt + 1:
+                jmp_target = code[nxt].operands[0]
+                keep[i] = Instr(
+                    INVERTED_BRANCH[instr.name],
+                    instr.operands[:-1] + (jmp_target,),
+                )
+                keep[nxt] = None
+                changed = True
+                continue
+
+        # Rule: store followed by a reload of the same word (both the
+        # displacement and the indirect forms, so the de-tuned abstract
+        # machines benefit equally).
+        if instr.name == "st.iw" and nxt < len(code) \
+                and keep[nxt] is not None and code[nxt].name == "ld.iw" \
+                and nxt not in labels_at:
+            s_reg, s_off, s_base = instr.operands
+            l_reg, l_off, l_base = code[nxt].operands
+            if (s_off, s_base) == (l_off, l_base):
+                if l_reg == s_reg:
+                    keep[nxt] = None
+                else:
+                    keep[nxt] = Instr("mov.i", (l_reg, s_reg))
+                changed = True
+                continue
+        if instr.name == "stx.iw" and nxt < len(code) \
+                and keep[nxt] is not None and code[nxt].name == "ldx.iw" \
+                and nxt not in labels_at:
+            s_reg, s_base = instr.operands
+            l_reg, l_base = code[nxt].operands
+            if s_base == l_base:
+                if l_reg == s_reg:
+                    keep[nxt] = None
+                else:
+                    keep[nxt] = Instr("mov.i", (l_reg, s_reg))
+                changed = True
+                continue
+
+    if not changed:
+        return fn, False
+    return _rebuild(fn, keep), True

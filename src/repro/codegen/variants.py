@@ -1,0 +1,23 @@
+"""The abstract-machine variants of the paper's ablation study.
+
+"RISC designs are reduced but rarely minimal" — the paper de-tunes the VM
+by removing (a) all immediate instructions except load-immediates, (b) all
+addressing modes except load/store-indirect, and (c) both, then measures
+compressed-size/native-size for each variant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..vm.isa import ISA
+
+__all__ = ["ABLATION_VARIANTS"]
+
+#: The four machines of the paper's table, in the paper's row order.
+ABLATION_VARIANTS: List[ISA] = [
+    ISA(immediates=True, regdisp=True, name="RISC"),
+    ISA(immediates=False, regdisp=True, name="minus immediates"),
+    ISA(immediates=True, regdisp=False, name="minus register-displacement"),
+    ISA(immediates=False, regdisp=False, name="minus both"),
+]

@@ -1,0 +1,35 @@
+"""General-purpose compression substrate.
+
+Everything the paper's pipelines need, built from scratch: bit I/O,
+move-to-front coding, canonical Huffman, LZ77, a deflate-like container
+(the reproduction's "gzip"), an arithmetic coder for the design-space
+extreme, and a multi-stream container for split-stream compression.
+"""
+
+from . import arith, bitio, deflate, huffman, lz77, mtf, streams
+from .bitio import BitReader, BitWriter
+from .deflate import compress as deflate_compress
+from .deflate import decompress as deflate_decompress
+from .huffman import HuffmanDecoder, HuffmanEncoder
+from .mtf import mtf_decode, mtf_encode
+from .streams import pack_streams, unpack_streams
+
+__all__ = [
+    "arith",
+    "bitio",
+    "deflate",
+    "huffman",
+    "lz77",
+    "mtf",
+    "streams",
+    "BitReader",
+    "BitWriter",
+    "HuffmanDecoder",
+    "HuffmanEncoder",
+    "deflate_compress",
+    "deflate_decompress",
+    "mtf_decode",
+    "mtf_encode",
+    "pack_streams",
+    "unpack_streams",
+]

@@ -1,0 +1,211 @@
+"""Adaptive arithmetic coding (order-0 and order-1 byte models).
+
+The paper's design-space section places arithmetic coding at the
+"compresses best / hardest to interpret" extreme: it codes fractions of a
+bit per symbol but forces decompression before execution (the authors used
+it per-function).  This module implements a classic 32-bit range arithmetic
+coder with adaptive frequency models so the design-space benchmark
+(`benchmarks/bench_design_space.py`) can place that extreme on the curve.
+
+The coder follows Witten, Neal & Cleary (CACM 1987), the paper's citation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .bitio import BitReader, BitWriter
+
+__all__ = ["AdaptiveModel", "ArithmeticEncoder", "ArithmeticDecoder",
+           "compress", "decompress"]
+
+_CODE_BITS = 32
+_TOP = (1 << _CODE_BITS) - 1
+_HALF = 1 << (_CODE_BITS - 1)
+_QUARTER = 1 << (_CODE_BITS - 2)
+_THREE_QUARTERS = _HALF + _QUARTER
+_MAX_TOTAL = 1 << 16
+
+
+class AdaptiveModel:
+    """Adaptive frequency model over ``size`` symbols (plus implicit EOF).
+
+    Frequencies start at 1 (Laplace smoothing) and increment on use; when
+    the total exceeds ``_MAX_TOTAL`` all counts are halved, which also
+    gives the model mild recency weighting.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.freq = [1] * size
+        self.total = size
+
+    def cumulative(self, symbol: int) -> "tuple[int, int, int]":
+        """Return (low, high, total) cumulative counts for ``symbol``."""
+        low = sum(self.freq[:symbol])
+        return low, low + self.freq[symbol], self.total
+
+    def find(self, scaled: int) -> int:
+        """Return the symbol whose cumulative range contains ``scaled``."""
+        acc = 0
+        for sym, f in enumerate(self.freq):
+            acc += f
+            if scaled < acc:
+                return sym
+        raise ValueError("scaled value outside model total")
+
+    def update(self, symbol: int) -> None:
+        """Record one occurrence of ``symbol``."""
+        self.freq[symbol] += 32
+        self.total += 32
+        if self.total >= _MAX_TOTAL:
+            self.total = 0
+            for i, f in enumerate(self.freq):
+                self.freq[i] = (f + 1) // 2
+                self.total += self.freq[i]
+
+
+class ArithmeticEncoder:
+    """Streaming arithmetic encoder writing to a :class:`BitWriter`."""
+
+    def __init__(self, writer: BitWriter) -> None:
+        self.writer = writer
+        self.low = 0
+        self.high = _TOP
+        self.pending = 0
+
+    def _emit(self, bit: int) -> None:
+        self.writer.write_bit(bit)
+        while self.pending:
+            self.writer.write_bit(1 - bit)
+            self.pending -= 1
+
+    def encode(self, model: AdaptiveModel, symbol: int) -> None:
+        """Encode ``symbol`` under ``model`` and update the model."""
+        low_c, high_c, total = model.cumulative(symbol)
+        span = self.high - self.low + 1
+        self.high = self.low + span * high_c // total - 1
+        self.low = self.low + span * low_c // total
+        while True:
+            if self.high < _HALF:
+                self._emit(0)
+            elif self.low >= _HALF:
+                self._emit(1)
+                self.low -= _HALF
+                self.high -= _HALF
+            elif self.low >= _QUARTER and self.high < _THREE_QUARTERS:
+                self.pending += 1
+                self.low -= _QUARTER
+                self.high -= _QUARTER
+            else:
+                break
+            self.low <<= 1
+            self.high = (self.high << 1) | 1
+        model.update(symbol)
+
+    def finish(self) -> None:
+        """Flush the final interval disambiguation bits."""
+        self.pending += 1
+        if self.low < _QUARTER:
+            self._emit(0)
+        else:
+            self._emit(1)
+
+
+class ArithmeticDecoder:
+    """Streaming arithmetic decoder reading from a :class:`BitReader`."""
+
+    def __init__(self, reader: BitReader) -> None:
+        self.reader = reader
+        self.low = 0
+        self.high = _TOP
+        self.code = 0
+        for _ in range(_CODE_BITS):
+            self.code = (self.code << 1) | self._read_bit()
+
+    def _read_bit(self) -> int:
+        try:
+            return self.reader.read_bit()
+        except EOFError:
+            return 0  # trailing zeros are implicit after the final flush
+
+    def decode(self, model: AdaptiveModel) -> int:
+        """Decode one symbol under ``model`` and update the model."""
+        span = self.high - self.low + 1
+        scaled = ((self.code - self.low + 1) * model.total - 1) // span
+        symbol = model.find(scaled)
+        low_c, high_c, total = model.cumulative(symbol)
+        self.high = self.low + span * high_c // total - 1
+        self.low = self.low + span * low_c // total
+        while True:
+            if self.high < _HALF:
+                pass
+            elif self.low >= _HALF:
+                self.low -= _HALF
+                self.high -= _HALF
+                self.code -= _HALF
+            elif self.low >= _QUARTER and self.high < _THREE_QUARTERS:
+                self.low -= _QUARTER
+                self.high -= _QUARTER
+                self.code -= _QUARTER
+            else:
+                break
+            self.low <<= 1
+            self.high = (self.high << 1) | 1
+            self.code = (self.code << 1) | self._read_bit()
+        model.update(symbol)
+        return symbol
+
+
+def compress(data: bytes, order: int = 0) -> bytes:
+    """Arithmetic-code ``data`` with an adaptive byte model.
+
+    ``order=0`` uses a single model; ``order=1`` conditions each byte's
+    model on the previous byte (256 models), the analogue of the paper's
+    order-1 Markov opcode contexts.
+    """
+    if order not in (0, 1):
+        raise ValueError("only order 0 and 1 models are provided")
+    w = BitWriter()
+    w.write_bits(len(data), 32)
+    enc = ArithmeticEncoder(w)
+    if order == 0:
+        model = AdaptiveModel(256)
+        for b in data:
+            enc.encode(model, b)
+    else:
+        models: List[Optional[AdaptiveModel]] = [None] * 256
+        prev = 0
+        for b in data:
+            m = models[prev]
+            if m is None:
+                m = models[prev] = AdaptiveModel(256)
+            enc.encode(m, b)
+            prev = b
+    enc.finish()
+    return w.getvalue()
+
+
+def decompress(blob: bytes, order: int = 0) -> bytes:
+    """Invert :func:`compress` (the ``order`` must match)."""
+    if order not in (0, 1):
+        raise ValueError("only order 0 and 1 models are provided")
+    r = BitReader(blob)
+    n = r.read_bits(32)
+    dec = ArithmeticDecoder(r)
+    out = bytearray()
+    if order == 0:
+        model = AdaptiveModel(256)
+        for _ in range(n):
+            out.append(dec.decode(model))
+    else:
+        models: List[Optional[AdaptiveModel]] = [None] * 256
+        prev = 0
+        for _ in range(n):
+            m = models[prev]
+            if m is None:
+                m = models[prev] = AdaptiveModel(256)
+            b = dec.decode(m)
+            out.append(b)
+            prev = b
+    return bytes(out)

@@ -1,0 +1,199 @@
+"""Bit-level I/O primitives used by every entropy coder in this package.
+
+The paper's pipelines (Huffman-coded MTF indices, the deflate-like final
+stage, and the arithmetic-coding design point) all need to read and write
+individual bits.  Bits are packed MSB-first within each byte, which makes
+canonical Huffman codes decode by simple left-to-right accumulation.
+
+The module also provides the small variable-length integer encodings the
+stream containers use for lengths and counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "write_uvarint",
+    "read_uvarint",
+    "uvarint",
+]
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and renders them as ``bytes``.
+
+    >>> w = BitWriter()
+    >>> w.write_bits(0b101, 3)
+    >>> w.write_bit(1)
+    >>> w.getvalue()[0] == 0b1011_0000
+    True
+    """
+
+    def __init__(self) -> None:
+        self._chunks: List[int] = []
+        self._acc = 0  # bit accumulator, MSB side filled first
+        self._nbits = 0  # number of valid bits in _acc
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._chunks.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value``, most significant first."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if nbits == 0:
+            return
+        if value < 0 or value >> nbits:
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        # Fast path: merge into accumulator in chunks of whole bytes.
+        acc = (self._acc << nbits) | value
+        total = self._nbits + nbits
+        while total >= 8:
+            total -= 8
+            self._chunks.append((acc >> total) & 0xFF)
+        self._acc = acc & ((1 << total) - 1)
+        self._nbits = total
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes (bit-aligned only when the writer is aligned)."""
+        if self._nbits == 0:
+            self._chunks.extend(data)
+        else:
+            for b in data:
+                self.write_bits(b, 8)
+
+    def align(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        if self._nbits:
+            self._chunks.append(self._acc << (8 - self._nbits) & 0xFF)
+            self._acc = 0
+            self._nbits = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._chunks) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Return everything written, zero-padding the final partial byte."""
+        out = bytearray(self._chunks)
+        if self._nbits:
+            out.append((self._acc << (8 - self._nbits)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bits MSB-first from a ``bytes`` buffer.
+
+    Reading past the end raises :class:`EOFError`; entropy decoders treat
+    that as a corrupt-stream condition rather than silently yielding zeros.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # byte position
+        self._acc = 0
+        self._nbits = 0
+
+    def read_bit(self) -> int:
+        """Read and return a single bit."""
+        if self._nbits == 0:
+            if self._pos >= len(self._data):
+                raise EOFError("bit stream exhausted")
+            self._acc = self._data[self._pos]
+            self._pos += 1
+            self._nbits = 8
+        self._nbits -= 1
+        return (self._acc >> self._nbits) & 1
+
+    def read_bits(self, nbits: int) -> int:
+        """Read ``nbits`` bits, returning them as an unsigned integer."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        value = 0
+        remaining = nbits
+        while remaining:
+            if self._nbits == 0:
+                if self._pos >= len(self._data):
+                    raise EOFError("bit stream exhausted")
+                self._acc = self._data[self._pos]
+                self._pos += 1
+                self._nbits = 8
+            take = min(remaining, self._nbits)
+            self._nbits -= take
+            value = (value << take) | ((self._acc >> self._nbits) & ((1 << take) - 1))
+            remaining -= take
+        return value
+
+    def align(self) -> None:
+        """Discard bits up to the next byte boundary."""
+        self._nbits = 0
+
+    def read_bytes(self, n: int) -> bytes:
+        """Read ``n`` whole bytes (fast when byte-aligned)."""
+        if self._nbits == 0:
+            if self._pos + n > len(self._data):
+                raise EOFError("bit stream exhausted")
+            out = self._data[self._pos : self._pos + n]
+            self._pos += n
+            return out
+        return bytes(self.read_bits(8) for _ in range(n))
+
+    @property
+    def bits_consumed(self) -> int:
+        """Number of bits consumed so far."""
+        return self._pos * 8 - self._nbits
+
+    def at_eof(self) -> bool:
+        """True when no unread bits remain."""
+        return self._nbits == 0 and self._pos >= len(self._data)
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` to ``out`` in LEB128 (7 bits per byte, little-endian)."""
+    if value < 0:
+        raise ValueError("uvarint requires a non-negative value")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, pos: int) -> "tuple[int, int]":
+    """Decode a LEB128 integer from ``data`` at ``pos``.
+
+    Returns ``(value, new_pos)``.
+    """
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise EOFError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("uvarint too long")
+
+
+def uvarint(value: int) -> bytes:
+    """Return the LEB128 encoding of ``value`` as ``bytes``."""
+    out = bytearray()
+    write_uvarint(out, value)
+    return bytes(out)

@@ -1,0 +1,159 @@
+"""A deflate-like compressed container: LZ77 tokens + canonical Huffman.
+
+This is the reproduction's stand-in for gzip (the paper's final pipeline
+stage and its "packaged LZ compression" baseline).  The format mirrors
+DEFLATE's structure — a literal/length alphabet and a distance alphabet,
+each with extra bits, both Huffman-coded — but uses a simpler header (raw
+4-bit code lengths) and a single block.
+
+Public API::
+
+    compress(data)   -> bytes
+    decompress(blob) -> bytes
+
+Tests cross-check against :mod:`zlib` for ratio sanity, but nothing in the
+library depends on zlib.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .bitio import BitReader, BitWriter
+from .huffman import (
+    HuffmanDecoder,
+    HuffmanEncoder,
+    code_lengths_from_frequencies,
+    read_code_lengths,
+    write_code_lengths,
+)
+from .lz77 import Literal, Match, Token, detokenize, tokenize
+
+__all__ = ["compress", "decompress", "compressed_size"]
+
+_END_OF_BLOCK = 256
+
+# DEFLATE length codes: (symbol, extra_bits, base_length).
+_LENGTH_CODES: List[Tuple[int, int, int]] = []
+
+
+def _build_length_codes() -> None:
+    bases = [
+        (257, 0, 3), (258, 0, 4), (259, 0, 5), (260, 0, 6), (261, 0, 7),
+        (262, 0, 8), (263, 0, 9), (264, 0, 10), (265, 1, 11), (266, 1, 13),
+        (267, 1, 15), (268, 1, 17), (269, 2, 19), (270, 2, 23), (271, 2, 27),
+        (272, 2, 31), (273, 3, 35), (274, 3, 43), (275, 3, 51), (276, 3, 59),
+        (277, 4, 67), (278, 4, 83), (279, 4, 99), (280, 4, 115), (281, 5, 131),
+        (282, 5, 163), (283, 5, 195), (284, 5, 227), (285, 0, 258),
+    ]
+    _LENGTH_CODES.extend(bases)
+
+
+_build_length_codes()
+
+_DIST_CODES: List[Tuple[int, int, int]] = [
+    (0, 0, 1), (1, 0, 2), (2, 0, 3), (3, 0, 4), (4, 1, 5), (5, 1, 7),
+    (6, 2, 9), (7, 2, 13), (8, 3, 17), (9, 3, 25), (10, 4, 33), (11, 4, 49),
+    (12, 5, 65), (13, 5, 97), (14, 6, 129), (15, 6, 193), (16, 7, 257),
+    (17, 7, 385), (18, 8, 513), (19, 8, 769), (20, 9, 1025), (21, 9, 1537),
+    (22, 10, 2049), (23, 10, 3073), (24, 11, 4097), (25, 11, 6145),
+    (26, 12, 8193), (27, 12, 12289), (28, 13, 16385), (29, 13, 24577),
+]
+
+_LITLEN_ALPHABET = 286
+_DIST_ALPHABET = 30
+
+
+def _length_to_code(length: int) -> Tuple[int, int, int]:
+    """Map a match length to (symbol, extra_bits, extra_value)."""
+    for sym, extra, base in reversed(_LENGTH_CODES):
+        if length >= base:
+            return sym, extra, length - base
+    raise ValueError(f"unencodable match length {length}")
+
+
+def _dist_to_code(distance: int) -> Tuple[int, int, int]:
+    """Map a match distance to (symbol, extra_bits, extra_value)."""
+    for sym, extra, base in reversed(_DIST_CODES):
+        if distance >= base:
+            return sym, extra, distance - base
+    raise ValueError(f"unencodable match distance {distance}")
+
+
+_LENGTH_BY_SYMBOL = {sym: (extra, base) for sym, extra, base in _LENGTH_CODES}
+_DIST_BY_SYMBOL = {sym: (extra, base) for sym, extra, base in _DIST_CODES}
+
+
+def compress(data: bytes) -> bytes:
+    """Compress ``data`` into a single self-describing block."""
+    tokens = tokenize(data)
+    litlen_freq = [0] * _LITLEN_ALPHABET
+    dist_freq = [0] * _DIST_ALPHABET
+    for tok in tokens:
+        if isinstance(tok, Literal):
+            litlen_freq[tok.byte] += 1
+        else:
+            sym, _, _ = _length_to_code(tok.length)
+            litlen_freq[sym] += 1
+            dsym, _, _ = _dist_to_code(tok.distance)
+            dist_freq[dsym] += 1
+    litlen_freq[_END_OF_BLOCK] += 1
+
+    litlen_enc = HuffmanEncoder(code_lengths_from_frequencies(litlen_freq))
+    dist_used = any(dist_freq)
+    dist_enc = HuffmanEncoder(code_lengths_from_frequencies(dist_freq)) if dist_used else None
+
+    w = BitWriter()
+    w.write_bits(len(data), 32)
+    write_code_lengths(w, litlen_enc.lengths)
+    write_code_lengths(w, dist_enc.lengths if dist_enc else [0] * _DIST_ALPHABET)
+    for tok in tokens:
+        if isinstance(tok, Literal):
+            litlen_enc.encode_symbol(w, tok.byte)
+        else:
+            sym, extra, value = _length_to_code(tok.length)
+            litlen_enc.encode_symbol(w, sym)
+            if extra:
+                w.write_bits(value, extra)
+            dsym, dextra, dvalue = _dist_to_code(tok.distance)
+            assert dist_enc is not None
+            dist_enc.encode_symbol(w, dsym)
+            if dextra:
+                w.write_bits(dvalue, dextra)
+    litlen_enc.encode_symbol(w, _END_OF_BLOCK)
+    return w.getvalue()
+
+
+def decompress(blob: bytes) -> bytes:
+    """Invert :func:`compress`."""
+    r = BitReader(blob)
+    expected = r.read_bits(32)
+    litlen_dec = HuffmanDecoder(read_code_lengths(r))
+    dist_lengths = read_code_lengths(r)
+    dist_dec = HuffmanDecoder(dist_lengths) if any(dist_lengths) else None
+
+    tokens: List[Token] = []
+    while True:
+        sym = litlen_dec.decode_symbol(r)
+        if sym == _END_OF_BLOCK:
+            break
+        if sym < 256:
+            tokens.append(Literal(sym))
+            continue
+        extra, base = _LENGTH_BY_SYMBOL[sym]
+        length = base + (r.read_bits(extra) if extra else 0)
+        if dist_dec is None:
+            raise ValueError("match token but no distance table")
+        dsym = dist_dec.decode_symbol(r)
+        dextra, dbase = _DIST_BY_SYMBOL[dsym]
+        distance = dbase + (r.read_bits(dextra) if dextra else 0)
+        tokens.append(Match(length, distance))
+    out = detokenize(tokens)
+    if len(out) != expected:
+        raise ValueError(f"decompressed {len(out)} bytes, header said {expected}")
+    return out
+
+
+def compressed_size(data: bytes) -> int:
+    """Convenience: size in bytes of ``compress(data)``."""
+    return len(compress(data))

@@ -1,0 +1,248 @@
+"""Canonical Huffman coding.
+
+The wire format Huffman-codes every MTF index stream, and the deflate-like
+final stage Huffman-codes LZ77 tokens.  Codes are *canonical*: only the code
+length of each symbol needs to be transmitted, and both sides derive
+identical codewords by assigning consecutive values within each length,
+shorter lengths first, ties broken by symbol order.
+
+Code lengths are limited to :data:`MAX_CODE_LENGTH` bits (as in DEFLATE) by
+a standard depth-rebalancing pass, so decode tables stay small and the
+header encoding of lengths stays fixed-width.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .bitio import BitReader, BitWriter
+
+__all__ = [
+    "MAX_CODE_LENGTH",
+    "code_lengths_from_frequencies",
+    "canonical_codes",
+    "HuffmanEncoder",
+    "HuffmanDecoder",
+    "write_code_lengths",
+    "read_code_lengths",
+    "encode_symbols",
+    "decode_symbols",
+]
+
+MAX_CODE_LENGTH = 15
+
+
+def code_lengths_from_frequencies(
+    freqs: Sequence[int], max_length: int = MAX_CODE_LENGTH
+) -> List[int]:
+    """Compute Huffman code lengths (0 for unused symbols) from ``freqs``.
+
+    Builds a standard Huffman tree with a heap, then rebalances any chain
+    deeper than ``max_length`` by the usual "demote an interior leaf" fixup,
+    preserving the Kraft inequality so canonical code assignment succeeds.
+    """
+    n = len(freqs)
+    used = [i for i in range(n) if freqs[i] > 0]
+    lengths = [0] * n
+    if not used:
+        return lengths
+    if len(used) == 1:
+        # A single symbol still needs one bit so the decoder can count.
+        lengths[used[0]] = 1
+        return lengths
+
+    # Heap items: (frequency, tiebreak, node).  Leaves are ints, interior
+    # nodes are (left, right) tuples.
+    heap: List[Tuple[int, int, object]] = [(freqs[i], i, i) for i in used]
+    heapq.heapify(heap)
+    tiebreak = n
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, tiebreak, (n1, n2)))
+        tiebreak += 1
+
+    def assign(node: object, depth: int) -> None:
+        if isinstance(node, tuple):
+            assign(node[0], depth + 1)
+            assign(node[1], depth + 1)
+        else:
+            lengths[node] = max(depth, 1)
+
+    root = heap[0][2]
+    # Recursion depth equals tree depth, which can reach len(used); walk
+    # iteratively to be safe for large alphabets with skewed frequencies.
+    stack = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, tuple):
+            stack.append((node[0], depth + 1))
+            stack.append((node[1], depth + 1))
+        else:
+            lengths[node] = max(depth, 1)
+
+    return _limit_lengths(lengths, max_length)
+
+
+def _limit_lengths(lengths: List[int], max_length: int) -> List[int]:
+    """Clamp code lengths to ``max_length`` while keeping Kraft-sum == 1."""
+    if max(lengths) <= max_length:
+        return lengths
+    # Count codes per length, clamping the overlong ones.
+    counts = [0] * (max_length + 1)
+    for L in lengths:
+        if L:
+            counts[min(L, max_length)] += 1
+    # Repair Kraft sum: while oversubscribed, promote one code from the
+    # deepest level by demoting a shallower leaf (classic zlib fixup).
+    unit = 1 << max_length  # kraft contributions scaled by 2^max_length
+    total = sum(counts[L] << (max_length - L) for L in range(1, max_length + 1))
+    while total > unit:
+        # Find the deepest level with codes, move one code up from a
+        # shallower level: take a leaf at depth d < max and split it.
+        for d in range(max_length - 1, 0, -1):
+            if counts[d]:
+                counts[d] -= 1
+                counts[d + 1] += 2
+                counts[max_length] -= 1
+                total -= (1 << (max_length - d)) - (1 << (max_length - d - 1))
+                total -= 1  # removing a max-length code frees one unit... recompute instead
+                total = sum(counts[L] << (max_length - L) for L in range(1, max_length + 1))
+                break
+        else:  # pragma: no cover - cannot happen with a valid tree
+            raise AssertionError("unable to rebalance Huffman lengths")
+    # Reassign lengths to symbols: sort used symbols by original length then
+    # index, hand out the new length multiset shortest-first to the most
+    # frequent... original-length order is a fine proxy and deterministic.
+    used = sorted((L, i) for i, L in enumerate(lengths) if L)
+    new_lengths: List[int] = []
+    for L in range(1, max_length + 1):
+        new_lengths.extend([L] * counts[L])
+    out = [0] * len(lengths)
+    for (old_l, i), new_l in zip(used, sorted(new_lengths)):
+        out[i] = new_l
+    return out
+
+
+def canonical_codes(lengths: Sequence[int]) -> Dict[int, Tuple[int, int]]:
+    """Map symbol -> (codeword, length) under the canonical assignment.
+
+    Symbols with length 0 are absent from the result.
+    """
+    order = sorted((L, sym) for sym, L in enumerate(lengths) if L)
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for L, sym in order:
+        code <<= L - prev_len
+        codes[sym] = (code, L)
+        code += 1
+        prev_len = L
+    # Sanity: the code for the last symbol must fit in its length.
+    if order:
+        last_len = order[-1][0]
+        if code > (1 << last_len):
+            raise ValueError("code lengths violate the Kraft inequality")
+    return codes
+
+
+class HuffmanEncoder:
+    """Encode symbols against a fixed table of canonical code lengths."""
+
+    def __init__(self, lengths: Sequence[int]) -> None:
+        self.lengths = list(lengths)
+        self.codes = canonical_codes(self.lengths)
+
+    @classmethod
+    def from_frequencies(cls, freqs: Sequence[int]) -> "HuffmanEncoder":
+        """Build an encoder directly from symbol frequencies."""
+        return cls(code_lengths_from_frequencies(freqs))
+
+    def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
+        """Append the codeword for ``symbol`` to ``writer``."""
+        try:
+            code, length = self.codes[symbol]
+        except KeyError:
+            raise ValueError(f"symbol {symbol} has no Huffman code") from None
+        writer.write_bits(code, length)
+
+    def encoded_bit_length(self, symbols: Iterable[int]) -> int:
+        """Total bits the given symbols would occupy (costing utility)."""
+        return sum(self.codes[s][1] for s in symbols)
+
+
+class HuffmanDecoder:
+    """Decode canonical Huffman codes by length-bucketed range lookup.
+
+    Decoding accumulates bits one at a time and checks whether the value
+    falls inside the canonical range for the current length — O(length) per
+    symbol with tiny tables, which is plenty for this reproduction.
+    """
+
+    def __init__(self, lengths: Sequence[int]) -> None:
+        self.lengths = list(lengths)
+        codes = canonical_codes(self.lengths)
+        # first_code[L], first_index[L], and symbols sorted canonically.
+        by_length: Dict[int, List[int]] = {}
+        for sym, (code, L) in sorted(codes.items(), key=lambda kv: (kv[1][1], kv[1][0])):
+            by_length.setdefault(L, []).append(sym)
+        self._first_code: Dict[int, int] = {}
+        self._syms: Dict[int, List[int]] = by_length
+        for L, syms in by_length.items():
+            self._first_code[L] = codes[syms[0]][0]
+        self._max_len = max(by_length) if by_length else 0
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        """Read one codeword from ``reader`` and return its symbol."""
+        code = 0
+        for length in range(1, self._max_len + 1):
+            code = (code << 1) | reader.read_bit()
+            syms = self._syms.get(length)
+            if syms is not None:
+                offset = code - self._first_code[length]
+                if 0 <= offset < len(syms):
+                    return syms[offset]
+        raise ValueError("invalid Huffman code in stream")
+
+
+def write_code_lengths(writer: BitWriter, lengths: Sequence[int]) -> None:
+    """Serialize a code-length table: uvarint count then 4 bits per length."""
+    writer.write_bits(len(lengths), 32)
+    for L in lengths:
+        if not 0 <= L <= MAX_CODE_LENGTH:
+            raise ValueError(f"code length {L} out of range")
+        writer.write_bits(L, 4)
+
+
+def read_code_lengths(reader: BitReader) -> List[int]:
+    """Inverse of :func:`write_code_lengths`."""
+    n = reader.read_bits(32)
+    return [reader.read_bits(4) for _ in range(n)]
+
+
+def encode_symbols(symbols: Sequence[int], alphabet_size: int) -> bytes:
+    """One-shot: Huffman-code ``symbols``, embedding the length table.
+
+    The symbol count is stored so trailing pad bits are unambiguous.
+    """
+    freqs = [0] * alphabet_size
+    for s in symbols:
+        freqs[s] += 1
+    enc = HuffmanEncoder.from_frequencies(freqs)
+    w = BitWriter()
+    w.write_bits(len(symbols), 32)
+    write_code_lengths(w, enc.lengths)
+    for s in symbols:
+        enc.encode_symbol(w, s)
+    return w.getvalue()
+
+
+def decode_symbols(data: bytes) -> List[int]:
+    """Inverse of :func:`encode_symbols`."""
+    r = BitReader(data)
+    count = r.read_bits(32)
+    lengths = read_code_lengths(r)
+    dec = HuffmanDecoder(lengths)
+    return [dec.decode_symbol(r) for _ in range(count)]

@@ -1,0 +1,160 @@
+"""LZ77 string matching with hash chains.
+
+The paper's final wire-format stage gzips each stream; gzip's engine is
+LZ77 over a 32 KiB window followed by Huffman coding.  This module supplies
+the matching half: it turns a byte string into a token sequence of literals
+and ``(length, distance)`` back-references, with a greedy-plus-lazy matching
+heuristic like zlib's.
+
+Tokens are consumed by :mod:`repro.compress.deflate`, which entropy-codes
+them, and by the design-space benchmarks, which measure how stream
+separation changes match statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+__all__ = [
+    "Literal",
+    "Match",
+    "Token",
+    "WINDOW_SIZE",
+    "MIN_MATCH",
+    "MAX_MATCH",
+    "tokenize",
+    "detokenize",
+]
+
+WINDOW_SIZE = 32 * 1024
+MIN_MATCH = 3
+MAX_MATCH = 258
+_HASH_LEN = 3
+_MAX_CHAIN = 128  # how many previous positions to probe per match attempt
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A single uncompressed byte."""
+
+    byte: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.byte <= 255:
+            raise ValueError("literal byte out of range")
+
+
+@dataclass(frozen=True)
+class Match:
+    """A back-reference: copy ``length`` bytes from ``distance`` back."""
+
+    length: int
+    distance: int
+
+    def __post_init__(self) -> None:
+        if not MIN_MATCH <= self.length <= MAX_MATCH:
+            raise ValueError(f"match length {self.length} out of range")
+        if not 1 <= self.distance <= WINDOW_SIZE:
+            raise ValueError(f"match distance {self.distance} out of range")
+
+
+Token = Union[Literal, Match]
+
+
+def _hash3(data: bytes, i: int) -> int:
+    return (data[i] << 16) ^ (data[i + 1] << 8) ^ data[i + 2]
+
+
+def _longest_match(
+    data: bytes, pos: int, candidates: List[int], max_len: int
+) -> "tuple[int, int]":
+    """Return (best_length, best_distance) among candidate start positions."""
+    best_len = 0
+    best_dist = 0
+    window_floor = pos - WINDOW_SIZE
+    probes = 0
+    # Most recent candidates first: shortest distances, most likely cached.
+    for cand in reversed(candidates):
+        if cand < window_floor:
+            break
+        probes += 1
+        if probes > _MAX_CHAIN:
+            break
+        # Quick reject: match must beat best_len, so check that byte first.
+        if best_len and data[cand + best_len] != data[pos + best_len]:
+            continue
+        length = 0
+        while length < max_len and data[cand + length] == data[pos + length]:
+            length += 1
+        if length > best_len:
+            best_len = length
+            best_dist = pos - cand
+            if length >= max_len:
+                break
+    return best_len, best_dist
+
+
+def tokenize(data: bytes, lazy: bool = True) -> List[Token]:
+    """Convert ``data`` into LZ77 tokens.
+
+    With ``lazy`` matching (the default, mirroring zlib), a match at
+    position *i* is deferred when position *i+1* offers a strictly longer
+    match, emitting a literal instead — a meaningful win on code bytes.
+    """
+    n = len(data)
+    tokens: List[Token] = []
+    if n == 0:
+        return tokens
+    chains: dict = {}
+    i = 0
+
+    def insert(pos: int) -> None:
+        if pos + _HASH_LEN <= n:
+            chains.setdefault(_hash3(data, pos), []).append(pos)
+
+    while i < n:
+        max_len = min(MAX_MATCH, n - i)
+        best_len = 0
+        best_dist = 0
+        if max_len >= MIN_MATCH:
+            cands = chains.get(_hash3(data, i))
+            if cands:
+                best_len, best_dist = _longest_match(data, i, cands, max_len)
+        if best_len >= MIN_MATCH:
+            if lazy and i + 1 < n and best_len < MAX_MATCH:
+                next_max = min(MAX_MATCH, n - i - 1)
+                if next_max >= MIN_MATCH:
+                    nc = chains.get(_hash3(data, i + 1)) if i + 1 + _HASH_LEN <= n else None
+                    if nc:
+                        nlen, _ = _longest_match(data, i + 1, nc, next_max)
+                        if nlen > best_len:
+                            tokens.append(Literal(data[i]))
+                            insert(i)
+                            i += 1
+                            continue
+            tokens.append(Match(best_len, best_dist))
+            end = i + best_len
+            while i < end:
+                insert(i)
+                i += 1
+        else:
+            tokens.append(Literal(data[i]))
+            insert(i)
+            i += 1
+    return tokens
+
+
+def detokenize(tokens: List[Token]) -> bytes:
+    """Reconstruct the original bytes from a token sequence."""
+    out = bytearray()
+    for tok in tokens:
+        if isinstance(tok, Literal):
+            out.append(tok.byte)
+        else:
+            start = len(out) - tok.distance
+            if start < 0:
+                raise ValueError("match distance reaches before stream start")
+            for k in range(tok.length):
+                out.append(out[start + k])  # may overlap, byte-at-a-time copy
+    return bytes(out)

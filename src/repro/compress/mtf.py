@@ -1,0 +1,117 @@
+"""Move-to-front coding, in the exact style used by the paper's wire format.
+
+The paper transforms each literal-operand stream with MTF before Huffman
+coding: "Zero denotes a symbol not seen previously", so indices are 1-based
+over the dynamic table and index 0 escapes to a *novel* symbol, whose value
+is carried in a separate side stream.  A stream with spatial locality (frame
+offsets, nearby labels) becomes a stream of small integers that entropy-code
+well.
+
+Two variants are provided:
+
+* :func:`mtf_encode` / :func:`mtf_decode` — the paper's escape-based scheme
+  over an open symbol universe (any hashable symbols).
+* :class:`MoveToFront` — the classic fixed-alphabet 0-based transform used
+  by BWT-style compressors, exposed for the design-space benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple
+
+__all__ = ["mtf_encode", "mtf_decode", "MoveToFront"]
+
+
+def mtf_encode(symbols: Sequence[Hashable]) -> Tuple[List[int], List[Hashable]]:
+    """Move-to-front code ``symbols`` with a dynamically grown table.
+
+    Returns ``(indices, novel)`` where ``indices[i]`` is 0 when
+    ``symbols[i]`` had not been seen before (its value is appended to
+    ``novel``) and otherwise the 1-based position of the symbol in the MTF
+    table.  After every access the symbol moves to the table front.
+
+    >>> mtf_encode([72, 72, 68, 72, 68, 68, 68, 68])
+    ([0, 1, 0, 2, 2, 1, 1, 1], [72, 68])
+    """
+    table: List[Hashable] = []
+    position = {}  # symbol -> current index in table (kept lazily accurate)
+    indices: List[int] = []
+    novel: List[Hashable] = []
+    for sym in symbols:
+        idx = position.get(sym)
+        if idx is None:
+            indices.append(0)
+            novel.append(sym)
+            table.insert(0, sym)
+        else:
+            indices.append(idx + 1)
+            del table[idx]
+            table.insert(0, sym)
+        # Rebuild the affected prefix of the position map.  Moves touch only
+        # indices <= idx, so a full rebuild is avoided for long tables.
+        limit = len(table) if idx is None else idx + 1
+        for i in range(limit):
+            position[table[i]] = i
+    return indices, novel
+
+
+def mtf_decode(indices: Sequence[int], novel: Sequence[Hashable]) -> List[Hashable]:
+    """Invert :func:`mtf_encode`.
+
+    ``indices`` uses 0 for "next novel symbol" and 1-based table positions
+    otherwise; ``novel`` supplies the novel symbols in first-appearance
+    order.
+    """
+    table: List[Hashable] = []
+    out: List[Hashable] = []
+    novel_iter = iter(novel)
+    for idx in indices:
+        if idx == 0:
+            try:
+                sym = next(novel_iter)
+            except StopIteration:
+                raise ValueError("MTF stream references more novel symbols than provided")
+        else:
+            if idx > len(table):
+                raise ValueError(f"MTF index {idx} exceeds table size {len(table)}")
+            sym = table.pop(idx - 1)
+        table.insert(0, sym)
+        out.append(sym)
+    return out
+
+
+class MoveToFront:
+    """Classic move-to-front transform over a fixed alphabet ``0..n-1``.
+
+    Used by the design-space benchmarks to compare the paper's escape-based
+    scheme against the textbook transform.
+    """
+
+    def __init__(self, alphabet_size: int = 256) -> None:
+        if alphabet_size <= 0:
+            raise ValueError("alphabet_size must be positive")
+        self.alphabet_size = alphabet_size
+
+    def encode(self, data: Sequence[int]) -> List[int]:
+        """Replace each symbol with its current table index."""
+        table = list(range(self.alphabet_size))
+        out: List[int] = []
+        for sym in data:
+            idx = table.index(sym)
+            out.append(idx)
+            if idx:
+                del table[idx]
+                table.insert(0, sym)
+        return out
+
+    def decode(self, indices: Sequence[int]) -> List[int]:
+        """Invert :meth:`encode`."""
+        table = list(range(self.alphabet_size))
+        out: List[int] = []
+        for idx in indices:
+            sym = table[idx]
+            out.append(sym)
+            if idx:
+                del table[idx]
+                table.insert(0, sym)
+        return out

@@ -1,0 +1,82 @@
+"""Multi-stream container used by the wire format.
+
+The paper's central trick is to "divide the stream of code into several
+smaller streams, one holding the operators and one holding the literal
+operands for each operator", compressing each in isolation so the LZ stage
+sees homogeneous data.  This container frames a set of named byte streams
+and optionally runs each through the deflate-like compressor.
+
+Layout (all integers LEB128):
+
+    count
+    repeat count times:
+        name_len, name (utf-8), flags (1 = deflate-compressed), payload_len, payload
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from . import deflate
+from .bitio import read_uvarint, write_uvarint
+
+__all__ = ["pack_streams", "unpack_streams", "stream_sizes"]
+
+_FLAG_DEFLATE = 1
+
+
+def pack_streams(streams: Mapping[str, bytes], compress: bool = True) -> bytes:
+    """Serialize named byte streams, compressing each in isolation.
+
+    When ``compress`` is true each stream is deflate-compressed unless the
+    compressed form would be larger (tiny streams), in which case it is
+    stored raw — the flag byte records which happened.
+    """
+    out = bytearray()
+    write_uvarint(out, len(streams))
+    for name in sorted(streams):
+        payload = streams[name]
+        flags = 0
+        if compress:
+            packed = deflate.compress(payload)
+            if len(packed) < len(payload):
+                payload = packed
+                flags = _FLAG_DEFLATE
+        raw_name = name.encode("utf-8")
+        write_uvarint(out, len(raw_name))
+        out.extend(raw_name)
+        out.append(flags)
+        write_uvarint(out, len(payload))
+        out.extend(payload)
+    return bytes(out)
+
+
+def unpack_streams(blob: bytes) -> Dict[str, bytes]:
+    """Invert :func:`pack_streams`."""
+    streams: Dict[str, bytes] = {}
+    count, pos = read_uvarint(blob, 0)
+    for _ in range(count):
+        name_len, pos = read_uvarint(blob, pos)
+        name = blob[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        if pos >= len(blob):
+            raise EOFError("truncated stream container")
+        flags = blob[pos]
+        pos += 1
+        payload_len, pos = read_uvarint(blob, pos)
+        payload = blob[pos : pos + payload_len]
+        if len(payload) != payload_len:
+            raise EOFError("truncated stream payload")
+        pos += payload_len
+        if flags & _FLAG_DEFLATE:
+            payload = deflate.decompress(payload)
+        streams[name] = payload
+    return streams
+
+
+def stream_sizes(streams: Mapping[str, bytes]) -> Dict[str, Tuple[int, int]]:
+    """Per-stream (raw, deflate-compressed) sizes, for size breakdowns."""
+    return {
+        name: (len(data), len(deflate.compress(data)))
+        for name, data in streams.items()
+    }

@@ -1,0 +1,803 @@
+"""Hand-written corpus programs in the supported C subset.
+
+Each sample is a complete program with a deterministic ``main`` so the
+equivalence tests can compare plain-VM, decompressed, in-place-interpreted,
+and JIT-modelled executions output-for-output.  The programs are chosen to
+exercise the idioms the paper's benchmarks (lcc, gcc, wc, word processors)
+are made of: token scanning, table-driven dispatch, pointer chasing,
+recursion, arithmetic kernels, string processing, and struct manipulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["SAMPLES", "sample_names", "get_sample"]
+
+
+_WC = r"""
+/* wc: count lines, words, bytes of a fixed input - the paper's small
+   benchmark analogue. */
+char input[] =
+    "the quick brown fox jumps over the lazy dog\n"
+    "pack my box with five dozen liquor jugs\n"
+    "how vexingly quick daft zebras jump\n"
+    "sphinx of black quartz judge my vow\n";
+
+int is_space(int c) { return c == ' ' || c == '\n' || c == '\t'; }
+
+int main(void) {
+    int lines = 0, words = 0, bytes = 0;
+    int in_word = 0;
+    char *p = input;
+    while (*p) {
+        bytes++;
+        if (*p == '\n') lines++;
+        if (is_space(*p)) {
+            in_word = 0;
+        } else if (!in_word) {
+            in_word = 1;
+            words++;
+        }
+        p++;
+    }
+    print_int(lines); putchar(' ');
+    print_int(words); putchar(' ');
+    print_int(bytes); putchar('\n');
+    return 0;
+}
+"""
+
+
+_SORT = r"""
+/* sort: three sorting algorithms cross-checked on the same data. */
+int data1[32], data2[32], data3[32];
+
+unsigned seed = 12345u;
+int next_rand(void) {
+    seed = seed * 1103515245u + 12345u;
+    return (int)((seed >> 16) & 0x7fff);
+}
+
+void fill(int *a, int n) {
+    seed = 12345u;
+    for (int i = 0; i < n; i++) a[i] = next_rand() % 1000;
+}
+
+void insertion_sort(int *a, int n) {
+    for (int i = 1; i < n; i++) {
+        int key = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > key) { a[j + 1] = a[j]; j--; }
+        a[j + 1] = key;
+    }
+}
+
+void sift_down(int *a, int start, int end) {
+    int root = start;
+    while (2 * root + 1 <= end) {
+        int child = 2 * root + 1;
+        int swap = root;
+        if (a[swap] < a[child]) swap = child;
+        if (child + 1 <= end && a[swap] < a[child + 1]) swap = child + 1;
+        if (swap == root) return;
+        int t = a[root]; a[root] = a[swap]; a[swap] = t;
+        root = swap;
+    }
+}
+
+void heap_sort(int *a, int n) {
+    for (int start = (n - 2) / 2; start >= 0; start--) sift_down(a, start, n - 1);
+    for (int end = n - 1; end > 0; end--) {
+        int t = a[end]; a[end] = a[0]; a[0] = t;
+        sift_down(a, 0, end - 1);
+    }
+}
+
+void quick_sort(int *a, int lo, int hi) {
+    if (lo >= hi) return;
+    int pivot = a[(lo + hi) / 2];
+    int i = lo, j = hi;
+    while (i <= j) {
+        while (a[i] < pivot) i++;
+        while (a[j] > pivot) j--;
+        if (i <= j) {
+            int t = a[i]; a[i] = a[j]; a[j] = t;
+            i++; j--;
+        }
+    }
+    quick_sort(a, lo, j);
+    quick_sort(a, i, hi);
+}
+
+int checksum(int *a, int n) {
+    int h = 0;
+    for (int i = 0; i < n; i++) h = h * 31 + a[i];
+    return h;
+}
+
+int main(void) {
+    fill(data1, 32); fill(data2, 32); fill(data3, 32);
+    insertion_sort(data1, 32);
+    heap_sort(data2, 32);
+    quick_sort(data3, 0, 31);
+    for (int i = 0; i < 32; i++) {
+        if (data1[i] != data2[i] || data2[i] != data3[i]) {
+            print_str("MISMATCH\n");
+            return 1;
+        }
+    }
+    print_int(checksum(data1, 32));
+    putchar('\n');
+    return 0;
+}
+"""
+
+
+_CALC = r"""
+/* calc: a recursive-descent expression evaluator - a miniature of the
+   lcc-style front ends the paper compresses. */
+char *src;
+
+int peek(void) { return *src; }
+int advance(void) { int c = *src; if (c) src++; return c; }
+void skip_ws(void) { while (peek() == ' ') advance(); }
+
+int parse_expr(void);
+
+int parse_number(void) {
+    int v = 0;
+    while (peek() >= '0' && peek() <= '9') v = v * 10 + (advance() - '0');
+    return v;
+}
+
+int parse_primary(void) {
+    skip_ws();
+    if (peek() == '(') {
+        advance();
+        int v = parse_expr();
+        skip_ws();
+        if (peek() == ')') advance();
+        return v;
+    }
+    if (peek() == '-') { advance(); return -parse_primary(); }
+    return parse_number();
+}
+
+int parse_term(void) {
+    int v = parse_primary();
+    for (;;) {
+        skip_ws();
+        int c = peek();
+        if (c == '*') { advance(); v = v * parse_primary(); }
+        else if (c == '/') { advance(); v = v / parse_primary(); }
+        else if (c == '%') { advance(); v = v % parse_primary(); }
+        else return v;
+    }
+}
+
+int parse_expr(void) {
+    int v = parse_term();
+    for (;;) {
+        skip_ws();
+        int c = peek();
+        if (c == '+') { advance(); v = v + parse_term(); }
+        else if (c == '-') { advance(); v = v - parse_term(); }
+        else return v;
+    }
+}
+
+int eval(char *text) { src = text; return parse_expr(); }
+
+int main(void) {
+    print_int(eval("1 + 2 * 3"));               putchar('\n');
+    print_int(eval("(1 + 2) * (3 + 4)"));       putchar('\n');
+    print_int(eval("100 / 7 + 100 % 7"));       putchar('\n');
+    print_int(eval("-5 * -5 - 5"));             putchar('\n');
+    print_int(eval("((2*3)+(4*5))*(6-(7-8))")); putchar('\n');
+    return 0;
+}
+"""
+
+
+_LZSS = r"""
+/* lzss: a toy LZ compressor + decompressor round-trip - the gzip-like
+   workload in the paper's own pipeline. */
+char text[] =
+    "abracadabra abracadabra alakazam abracadabra alakazam abra "
+    "the rain in spain stays mainly in the plain the rain in spain";
+
+char out_buf[512];
+char back_buf[512];
+int out_len = 0;
+
+void emit(int c) { out_buf[out_len++] = (char)c; }
+
+int compress_lz(char *input, int n) {
+    int pos = 0;
+    out_len = 0;
+    while (pos < n) {
+        int best_len = 0, best_dist = 0;
+        int start = pos - 63;
+        if (start < 0) start = 0;
+        for (int cand = start; cand < pos; cand++) {
+            int len = 0;
+            while (len < 15 && pos + len < n && input[cand + len] == input[pos + len])
+                len++;
+            if (len > best_len) { best_len = len; best_dist = pos - cand; }
+        }
+        if (best_len >= 3) {
+            emit(1);
+            emit(best_dist);
+            emit(best_len);
+            pos += best_len;
+        } else {
+            emit(0);
+            emit(input[pos]);
+            pos++;
+        }
+    }
+    return out_len;
+}
+
+int decompress_lz(char *dst) {
+    int di = 0;
+    for (int i = 0; i < out_len; ) {
+        if (out_buf[i] == 1) {
+            int dist = out_buf[i + 1];
+            int len = out_buf[i + 2];
+            for (int k = 0; k < len; k++) { dst[di] = dst[di - dist]; di++; }
+            i += 3;
+        } else {
+            dst[di++] = out_buf[i + 1];
+            i += 2;
+        }
+    }
+    return di;
+}
+
+int main(void) {
+    int n = 0;
+    while (text[n]) n++;
+    int packed = compress_lz(text, n);
+    int restored = decompress_lz(back_buf);
+    if (restored != n) { print_str("LENGTH MISMATCH\n"); return 1; }
+    for (int i = 0; i < n; i++) {
+        if (back_buf[i] != text[i]) { print_str("BYTE MISMATCH\n"); return 1; }
+    }
+    print_int(n); putchar(' ');
+    print_int(packed); putchar('\n');
+    return 0;
+}
+"""
+
+
+_HASHTAB = r"""
+/* hashtab: chained hash table with malloc - pointer-heavy workload. */
+struct Entry {
+    char *key;
+    int value;
+    struct Entry *next;
+};
+
+struct Entry *buckets[64];
+
+unsigned hash_str(char *s) {
+    unsigned h = 5381u;
+    while (*s) { h = h * 33u + (unsigned)*s; s++; }
+    return h;
+}
+
+int str_eq(char *a, char *b) {
+    while (*a && *a == *b) { a++; b++; }
+    return *a == *b;
+}
+
+void put(char *key, int value) {
+    unsigned b = hash_str(key) % 64u;
+    struct Entry *e = buckets[b];
+    while (e) {
+        if (str_eq(e->key, key)) { e->value = value; return; }
+        e = e->next;
+    }
+    e = (struct Entry *)malloc(sizeof(struct Entry));
+    e->key = key;
+    e->value = value;
+    e->next = buckets[b];
+    buckets[b] = e;
+}
+
+int get(char *key) {
+    unsigned b = hash_str(key) % 64u;
+    struct Entry *e = buckets[b];
+    while (e) {
+        if (str_eq(e->key, key)) return e->value;
+        e = e->next;
+    }
+    return -1;
+}
+
+char *names[8];
+
+int main(void) {
+    names[0] = "alpha"; names[1] = "beta"; names[2] = "gamma";
+    names[3] = "delta"; names[4] = "epsilon"; names[5] = "zeta";
+    names[6] = "eta"; names[7] = "theta";
+    for (int i = 0; i < 8; i++) put(names[i], i * i);
+    put("gamma", 99);
+    int total = 0;
+    for (int i = 0; i < 8; i++) total += get(names[i]);
+    print_int(total); putchar(' ');
+    print_int(get("missing")); putchar('\n');
+    return 0;
+}
+"""
+
+
+_MATRIX = r"""
+/* matrix: double-precision kernels (the VM's floating path). */
+double a[16], b[16], c[16];
+
+void mat_mul(double *x, double *y, double *z, int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            double sum = 0.0;
+            for (int k = 0; k < n; k++) sum = sum + x[i * n + k] * y[k * n + j];
+            z[i * n + j] = sum;
+        }
+    }
+}
+
+double trace(double *m, int n) {
+    double t = 0.0;
+    for (int i = 0; i < n; i++) t = t + m[i * n + i];
+    return t;
+}
+
+double power_iter(double *m, int n, int steps) {
+    double v[4];
+    for (int i = 0; i < n; i++) v[i] = 1.0;
+    double norm = 0.0;
+    for (int s = 0; s < steps; s++) {
+        double w[4];
+        for (int i = 0; i < n; i++) {
+            double sum = 0.0;
+            for (int j = 0; j < n; j++) sum = sum + m[i * n + j] * v[j];
+            w[i] = sum;
+        }
+        norm = 0.0;
+        for (int i = 0; i < n; i++) norm = norm + w[i] * w[i];
+        double scale = 1.0;
+        /* crude normalization without sqrt: divide by the trace instead */
+        if (norm > 1.0) scale = 1.0 / norm;
+        for (int i = 0; i < n; i++) v[i] = w[i] * scale;
+    }
+    return norm;
+}
+
+int main(void) {
+    for (int i = 0; i < 16; i++) {
+        a[i] = (double)(i % 5) * 0.5;
+        b[i] = (double)((i * 3) % 7) * 0.25;
+    }
+    mat_mul(a, b, c, 4);
+    print_double(trace(c, 4)); putchar('\n');
+    print_double(power_iter(c, 4, 10)); putchar('\n');
+    return 0;
+}
+"""
+
+
+_LIFE = r"""
+/* life: Conway's game of life on a small fixed board. */
+int board[16][16];
+int scratch[16][16];
+
+int neighbours(int r, int c) {
+    int count = 0;
+    for (int dr = -1; dr <= 1; dr++) {
+        for (int dc = -1; dc <= 1; dc++) {
+            if (dr == 0 && dc == 0) continue;
+            int nr = (r + dr + 16) % 16;
+            int nc = (c + dc + 16) % 16;
+            count += board[nr][nc];
+        }
+    }
+    return count;
+}
+
+void step(void) {
+    for (int r = 0; r < 16; r++) {
+        for (int c = 0; c < 16; c++) {
+            int n = neighbours(r, c);
+            if (board[r][c]) scratch[r][c] = (n == 2 || n == 3);
+            else scratch[r][c] = (n == 3);
+        }
+    }
+    for (int r = 0; r < 16; r++)
+        for (int c = 0; c < 16; c++)
+            board[r][c] = scratch[r][c];
+}
+
+int population(void) {
+    int total = 0;
+    for (int r = 0; r < 16; r++)
+        for (int c = 0; c < 16; c++)
+            total += board[r][c];
+    return total;
+}
+
+int main(void) {
+    /* a glider plus a blinker */
+    board[1][2] = 1; board[2][3] = 1;
+    board[3][1] = 1; board[3][2] = 1; board[3][3] = 1;
+    board[8][8] = 1; board[8][9] = 1; board[8][10] = 1;
+    for (int gen = 0; gen < 12; gen++) step();
+    print_int(population());
+    putchar('\n');
+    return 0;
+}
+"""
+
+
+_BF = r"""
+/* bf: a brainfuck interpreter running a small program - an interpreter
+   interpreting, the shape of the paper's OmniVM workload. */
+char cells[256];
+char prog[] = "++++++++[>++++[>++>+++>+++>+<<<<-]>+>+>->>+[<]<-]"
+              ">>.>---.+++++++..+++.>>.<-.<.+++.------.--------.>>+.>++.";
+
+int main(void) {
+    int pc = 0, ptr = 0;
+    int steps = 0;
+    while (prog[pc] && steps < 100000) {
+        int op = prog[pc];
+        steps++;
+        switch (op) {
+        case '>': ptr++; break;
+        case '<': ptr--; break;
+        case '+': cells[ptr]++; break;
+        case '-': cells[ptr]--; break;
+        case '.': putchar(cells[ptr]); break;
+        case '[':
+            if (!cells[ptr]) {
+                int depth = 1;
+                while (depth) {
+                    pc++;
+                    if (prog[pc] == '[') depth++;
+                    if (prog[pc] == ']') depth--;
+                }
+            }
+            break;
+        case ']':
+            if (cells[ptr]) {
+                int depth = 1;
+                while (depth) {
+                    pc--;
+                    if (prog[pc] == ']') depth++;
+                    if (prog[pc] == '[') depth--;
+                }
+            }
+            break;
+        default: break;
+        }
+        pc++;
+    }
+    putchar('\n');
+    return 0;
+}
+"""
+
+
+_QUEENS = r"""
+/* queens: N-queens backtracking (recursion + bit fiddling). */
+int count = 0;
+
+void solve(int row, int n, unsigned cols, unsigned diag1, unsigned diag2) {
+    if (row == n) { count++; return; }
+    for (int c = 0; c < n; c++) {
+        unsigned bit = 1u << c;
+        unsigned d1 = 1u << (row + c);
+        unsigned d2 = 1u << (row - c + n - 1);
+        if ((cols & bit) || (diag1 & d1) || (diag2 & d2)) continue;
+        solve(row + 1, n, cols | bit, diag1 | d1, diag2 | d2);
+    }
+}
+
+int main(void) {
+    for (int n = 4; n <= 8; n++) {
+        count = 0;
+        solve(0, n, 0u, 0u, 0u);
+        print_int(count);
+        putchar(n < 8 ? ' ' : '\n');
+    }
+    return 0;
+}
+"""
+
+
+_STRINGS = r"""
+/* strings: a small string library plus a word-frequency report. */
+int str_len(char *s) { int n = 0; while (s[n]) n++; return n; }
+
+void str_copy(char *dst, char *src) {
+    while ((*dst++ = *src++) != 0) ;
+}
+
+int str_cmp(char *a, char *b) {
+    while (*a && *a == *b) { a++; b++; }
+    return *a - *b;
+}
+
+void str_rev(char *s) {
+    int i = 0, j = str_len(s) - 1;
+    while (i < j) {
+        char t = s[i]; s[i] = s[j]; s[j] = t;
+        i++; j--;
+    }
+}
+
+int find(char *haystack, char *needle) {
+    int n = str_len(haystack), m = str_len(needle);
+    for (int i = 0; i + m <= n; i++) {
+        int k = 0;
+        while (k < m && haystack[i + k] == needle[k]) k++;
+        if (k == m) return i;
+    }
+    return -1;
+}
+
+char buffer[64];
+
+int main(void) {
+    str_copy(buffer, "code compression");
+    str_rev(buffer);
+    print_str(buffer); putchar('\n');
+    print_int(find("the quick brown fox", "brown")); putchar('\n');
+    print_int(str_cmp("alpha", "alpine")); putchar('\n');
+    print_int(str_len(buffer)); putchar('\n');
+    return 0;
+}
+"""
+
+
+
+_CRC32 = r"""
+/* crc32: table-driven checksum - table generation plus a scan loop. */
+unsigned table[256];
+
+void build_table(void) {
+    for (int n = 0; n < 256; n++) {
+        unsigned c = (unsigned)n;
+        for (int k = 0; k < 8; k++) {
+            if (c & 1u) c = 0xedb88320u ^ (c >> 1);
+            else c = c >> 1;
+        }
+        table[n] = c;
+    }
+}
+
+unsigned crc32(char *buf, int len) {
+    unsigned c = 0xffffffffu;
+    for (int i = 0; i < len; i++) {
+        c = table[(c ^ (unsigned char)buf[i]) & 0xffu] ^ (c >> 8);
+    }
+    return c ^ 0xffffffffu;
+}
+
+char message[] = "The quick brown fox jumps over the lazy dog";
+
+int main(void) {
+    build_table();
+    int len = 0;
+    while (message[len]) len++;
+    unsigned crc = crc32(message, len);
+    print_int((int)(crc % 1000000u));
+    putchar('\n');
+    return 0;
+}
+"""
+
+
+_BST = r"""
+/* bst: binary search tree with insert/search/in-order traversal. */
+struct Node {
+    int key;
+    struct Node *left;
+    struct Node *right;
+};
+
+struct Node *insert(struct Node *root, int key) {
+    if (!root) {
+        struct Node *n = (struct Node *)malloc(sizeof(struct Node));
+        n->key = key;
+        n->left = 0;
+        n->right = 0;
+        return n;
+    }
+    if (key < root->key) root->left = insert(root->left, key);
+    else if (key > root->key) root->right = insert(root->right, key);
+    return root;
+}
+
+int contains(struct Node *root, int key) {
+    while (root) {
+        if (key == root->key) return 1;
+        root = key < root->key ? root->left : root->right;
+    }
+    return 0;
+}
+
+int depth(struct Node *root) {
+    if (!root) return 0;
+    int l = depth(root->left);
+    int r = depth(root->right);
+    return 1 + (l > r ? l : r);
+}
+
+int sum_inorder(struct Node *root) {
+    if (!root) return 0;
+    return sum_inorder(root->left) + root->key + sum_inorder(root->right);
+}
+
+int main(void) {
+    struct Node *root = 0;
+    unsigned seed = 99u;
+    for (int i = 0; i < 40; i++) {
+        seed = seed * 1103515245u + 12345u;
+        root = insert(root, (int)((seed >> 16) % 100u));
+    }
+    print_int(sum_inorder(root)); putchar(' ');
+    print_int(depth(root)); putchar(' ');
+    print_int(contains(root, 50)); putchar('\n');
+    return 0;
+}
+"""
+
+
+_RLE = r"""
+/* rle: run-length encoding round trip. */
+char rle_input[] = "aaaabbbcccccccccccdddddddeeeeeeeeeeeeeeeeeeeffg";
+char packed[128];
+char restored[128];
+
+int encode(char *src, char *dst) {
+    int di = 0;
+    int i = 0;
+    while (src[i]) {
+        int run = 1;
+        while (src[i + run] == src[i] && run < 255) run++;
+        dst[di++] = (char)run;
+        dst[di++] = src[i];
+        i += run;
+    }
+    dst[di] = 0;
+    return di;
+}
+
+int decode(char *src, int n, char *dst) {
+    int di = 0;
+    for (int i = 0; i < n; i += 2) {
+        int run = src[i];
+        for (int k = 0; k < run; k++) dst[di++] = src[i + 1];
+    }
+    dst[di] = 0;
+    return di;
+}
+
+int main(void) {
+    int packed_len = encode(rle_input, packed);
+    int restored_len = decode(packed, packed_len, restored);
+    int ok = 1;
+    for (int i = 0; i <= restored_len; i++) {
+        if (restored[i] != rle_input[i]) ok = 0;
+    }
+    print_int(restored_len); putchar(' ');
+    print_int(packed_len); putchar(' ');
+    print_int(ok); putchar('\n');
+    return 0;
+}
+"""
+
+
+_STACKVM = r"""
+/* stackvm: a tiny stack-machine interpreter interpreting bytecode -
+   the most self-referential workload for a paper about compressed VMs. */
+enum { OP_HALT, OP_PUSH, OP_ADD, OP_SUB, OP_MUL, OP_DUP, OP_SWAP,
+       OP_JNZ, OP_PRINT };
+
+int stack[64];
+int sp_;
+
+int run_vm(char *code) {
+    int pc = 0;
+    sp_ = 0;
+    for (;;) {
+        int op = code[pc++];
+        switch (op) {
+        case OP_HALT:
+            return sp_ ? stack[sp_ - 1] : 0;
+        case OP_PUSH:
+            stack[sp_++] = code[pc++];
+            break;
+        case OP_ADD:
+            sp_--; stack[sp_ - 1] += stack[sp_];
+            break;
+        case OP_SUB:
+            sp_--; stack[sp_ - 1] -= stack[sp_];
+            break;
+        case OP_MUL:
+            sp_--; stack[sp_ - 1] *= stack[sp_];
+            break;
+        case OP_DUP:
+            stack[sp_] = stack[sp_ - 1]; sp_++;
+            break;
+        case OP_SWAP: {
+            int t = stack[sp_ - 1];
+            stack[sp_ - 1] = stack[sp_ - 2];
+            stack[sp_ - 2] = t;
+            break;
+        }
+        case OP_JNZ:
+            if (stack[sp_ - 1]) pc = code[pc];
+            else pc++;
+            break;
+        case OP_PRINT:
+            print_int(stack[sp_ - 1]);
+            putchar(' ');
+            break;
+        default:
+            return -1;
+        }
+    }
+}
+
+char program_bytes[32];
+
+int main(void) {
+    /* compute 5! as ((((1*5)*4)*3)*2), then print twice */
+    int i = 0;
+    program_bytes[i++] = OP_PUSH; program_bytes[i++] = 1;
+    program_bytes[i++] = OP_PUSH; program_bytes[i++] = 5;
+    program_bytes[i++] = OP_MUL;
+    program_bytes[i++] = OP_PUSH; program_bytes[i++] = 4;
+    program_bytes[i++] = OP_MUL;
+    program_bytes[i++] = OP_PUSH; program_bytes[i++] = 3;
+    program_bytes[i++] = OP_MUL;
+    program_bytes[i++] = OP_PUSH; program_bytes[i++] = 2;
+    program_bytes[i++] = OP_MUL;
+    program_bytes[i++] = OP_PRINT;
+    program_bytes[i++] = OP_HALT;
+    int result = run_vm(program_bytes);
+    print_int(result);
+    putchar('\n');
+    return 0;
+}
+"""
+
+SAMPLES: Dict[str, str] = {
+    "wc": _WC,
+    "sort": _SORT,
+    "calc": _CALC,
+    "lzss": _LZSS,
+    "hashtab": _HASHTAB,
+    "matrix": _MATRIX,
+    "life": _LIFE,
+    "bf": _BF,
+    "queens": _QUEENS,
+    "strings": _STRINGS,
+    "crc32": _CRC32,
+    "bst": _BST,
+    "rle": _RLE,
+    "stackvm": _STACKVM,
+}
+
+
+def sample_names():
+    """Names of all corpus samples."""
+    return sorted(SAMPLES)
+
+
+def get_sample(name: str) -> str:
+    """Source text of one sample program."""
+    return SAMPLES[name]

@@ -1,0 +1,14 @@
+"""lcc-style tree IR: operators, trees, AST lowering, and dumps."""
+
+from .dump import dump_function, dump_module, format_tree
+from .lower import lower_unit, suffix_of
+from .ops import OPS, Op, op
+from .tree import (
+    GlobalData, IRFunction, IRModule, PtrInit, ScalarInit, T, Tree,
+)
+
+__all__ = [
+    "GlobalData", "IRFunction", "IRModule", "OPS", "Op", "PtrInit",
+    "ScalarInit", "T", "Tree", "dump_function", "dump_module", "format_tree",
+    "lower_unit", "op", "suffix_of",
+]

@@ -1,0 +1,56 @@
+"""Textual dump of IR forests in the paper's notation.
+
+The paper writes trees as ``ASGNI(ADDRLP8[72], SUBI(INDIRI(ADDRLP8[72]),
+CNSTC[1]))`` — operator names with literal operands in square brackets.
+:func:`dump_function` reproduces that style (including the 8/16 literal
+width suffixes) for documentation, tests, and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .tree import IRFunction, IRModule, Tree
+
+__all__ = ["format_tree", "dump_function", "dump_module"]
+
+
+def _width_suffix(value: int) -> str:
+    """The paper's 8/16 flag for integer literals that fit."""
+    if -128 <= value < 256:
+        return "8"
+    if -32768 <= value < 65536:
+        return "16"
+    return ""
+
+
+def format_tree(tree: Tree, width_flags: bool = True) -> str:
+    """Render a tree in the paper's notation."""
+    name = tree.op.name
+    lit = ""
+    if tree.op.literal != "none":
+        if width_flags and tree.op.literal == "int" and isinstance(tree.value, int):
+            name = f"{name}{_width_suffix(tree.value)}"
+        lit = f"[{tree.value}]"
+    if tree.kids:
+        inner = ", ".join(format_tree(k, width_flags) for k in tree.kids)
+        return f"{name}{lit}({inner})"
+    return f"{name}{lit}"
+
+
+def dump_function(fn: IRFunction, width_flags: bool = True) -> str:
+    """Render a whole function, one tree per line."""
+    lines: List[str] = [f"; {fn.name} frame={fn.frame_size} params={fn.param_sizes}"]
+    for tree in fn.forest:
+        lines.append(format_tree(tree, width_flags))
+    return "\n".join(lines)
+
+
+def dump_module(module: IRModule) -> str:
+    """Render every function in the module."""
+    parts = []
+    for g in module.globals:
+        parts.append(f"; global {g.name} size={g.size} align={g.align}")
+    for fn in module.functions:
+        parts.append(dump_function(fn))
+    return "\n".join(parts)

@@ -1,0 +1,5 @@
+"""Template-splicing JIT from BRISC images to synthetic native code."""
+
+from .compiler import BriscJIT, JITResult, jit_compile
+
+__all__ = ["BriscJIT", "JITResult", "jit_compile"]

@@ -1,0 +1,6 @@
+"""Synthetic native targets: Pentium-like, PPC-like, SPARC-like."""
+
+from .base import NativeTarget
+from .targets import PPCLike, PentiumLike, SparcLike
+
+__all__ = ["NativeTarget", "PPCLike", "PentiumLike", "SparcLike"]

@@ -1,0 +1,58 @@
+"""Native-target abstraction.
+
+The paper needs native code in three roles:
+
+* a **conventional code size baseline** (its table compares against SPARC
+  code segments);
+* the **decompressor working-set cost** ``W`` — "averaging the size in
+  bytes of decompression table instruction sequences for the Pentium and
+  PowerPC 601 chips";
+* the **JIT output**: BRISC is compiled by splicing per-pattern native
+  templates at 2.5 MB/s.
+
+A :class:`NativeTarget` maps each VM instruction to a synthetic native
+encoding: deterministic bytes with the right *size* characteristics
+(variable-length CISC for the Pentium-like target, fixed 4-byte words with
+multi-instruction expansions for the RISC-like targets).  The bytes are not
+executable — the substitution preserves every size and throughput
+measurement the paper makes, which is all its evaluation uses them for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..vm.instr import Instr, VMFunction, VMProgram
+
+__all__ = ["NativeTarget"]
+
+
+class NativeTarget:
+    """Base class: per-instruction native encodings for one chip."""
+
+    name = "abstract"
+
+    def encode_instr(self, instr: Instr) -> bytes:
+        """Synthetic native bytes for one VM instruction."""
+        raise NotImplementedError
+
+    def instr_size(self, instr: Instr) -> int:
+        """Native byte size of one VM instruction."""
+        return len(self.encode_instr(instr))
+
+    def function_size(self, fn: VMFunction) -> int:
+        """Native byte size of a compiled function."""
+        return sum(self.instr_size(i) for i in fn.code)
+
+    def program_size(self, program: VMProgram) -> int:
+        """Native byte size of a whole program's code segment."""
+        return sum(self.function_size(fn) for fn in program.functions)
+
+    def encode_function(self, fn: VMFunction) -> bytes:
+        """Concatenated native bytes for a function."""
+        return b"".join(self.encode_instr(i) for i in fn.code)
+
+    def instr_cycles(self, instr: Instr) -> int:
+        """Rough cycle cost for the analytic runtime model (1 per native
+        instruction; memory macros cost proportionally more)."""
+        return max(1, self.instr_size(instr) // 4)

@@ -1,0 +1,97 @@
+"""Mobile-code delivery model: the paper's transmission-bottleneck scenario.
+
+"Over a modem, the tree compression algorithm will do better at minimizing
+the latency between when a program is requested and when the program begins
+performing useful work ... in a local area network, BRISC is a good mobile
+program representation choice", and "the delivery time from the network or
+disk can mask some or even all of the recompilation time".
+
+This module does that arithmetic explicitly: given a representation's size
+and its preparation pipeline (decompress and/or JIT at measured rates), it
+computes time-to-first-useful-work over links from 28.8 kbaud modems to
+LANs, with optional overlap of download and preparation (streamed
+recompilation, which is what masks JIT time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Link", "Representation", "DeliveryResult", "delivery_time",
+           "MODEM_28_8", "ISDN_128K", "DSL_1M", "LAN_10M"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A transmission medium."""
+
+    name: str
+    bytes_per_second: float
+    latency_seconds: float = 0.0
+
+
+MODEM_28_8 = Link("28.8k modem", 28_800 / 8, 0.1)
+ISDN_128K = Link("128k ISDN", 128_000 / 8, 0.05)
+DSL_1M = Link("1M DSL", 1_000_000 / 8, 0.03)
+LAN_10M = Link("10M LAN", 10_000_000 / 8, 0.001)
+
+
+@dataclass(frozen=True)
+class Representation:
+    """A shippable program form and what the client must do with it.
+
+    * ``size_bytes`` — bytes on the wire.
+    * ``decompress_rate`` — bytes/sec the client expands (None: no pass).
+    * ``jit_rate`` — bytes/sec of *produced* native code (None: no JIT;
+      the produced size is ``native_bytes``).
+    * ``native_bytes`` — native code size the JIT must produce.
+    """
+
+    name: str
+    size_bytes: int
+    decompress_rate: Optional[float] = None
+    jit_rate: Optional[float] = None
+    native_bytes: int = 0
+
+
+@dataclass
+class DeliveryResult:
+    """Latency breakdown for one (representation, link) pair."""
+
+    representation: str
+    link: str
+    transfer_seconds: float
+    prepare_seconds: float
+    total_seconds: float
+    overlapped: bool
+
+
+def delivery_time(
+    rep: Representation, link: Link, overlap: bool = True
+) -> DeliveryResult:
+    """Time from request until the program can start running.
+
+    With ``overlap`` the client pipelines preparation with the download
+    (function-at-a-time decompression / streamed recompilation), so total
+    time is ``latency + max(transfer, prepare) + epsilon``; without it the
+    phases serialize.
+    """
+    transfer = rep.size_bytes / link.bytes_per_second
+    prepare = 0.0
+    if rep.decompress_rate:
+        prepare += rep.size_bytes / rep.decompress_rate
+    if rep.jit_rate:
+        prepare += rep.native_bytes / rep.jit_rate
+    if overlap:
+        total = link.latency_seconds + max(transfer, prepare)
+    else:
+        total = link.latency_seconds + transfer + prepare
+    return DeliveryResult(
+        representation=rep.name,
+        link=link.name,
+        transfer_seconds=transfer,
+        prepare_seconds=prepare,
+        total_seconds=total,
+        overlapped=overlap,
+    )

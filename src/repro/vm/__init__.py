@@ -1,0 +1,17 @@
+"""The RISC virtual machine: ISA, encoding, assembler, interpreter."""
+
+from .asm import format_function, format_instr, parse_function
+from .encode import (
+    decode_function, decode_instr, encode_function, encode_instr,
+    program_size,
+)
+from .instr import Instr, VMFunction, VMProgram
+from .interp import ExecutionResult, Interpreter, VMError, run_program
+from .isa import ISA, SPEC, SYSCALLS
+
+__all__ = [
+    "ISA", "SPEC", "SYSCALLS", "Instr", "VMFunction", "VMProgram",
+    "ExecutionResult", "Interpreter", "VMError", "run_program",
+    "decode_function", "decode_instr", "encode_function", "encode_instr",
+    "format_function", "format_instr", "parse_function", "program_size",
+]

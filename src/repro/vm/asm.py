@@ -1,0 +1,136 @@
+"""Textual assembly for the VM: formatter and parser.
+
+Syntax mirrors the paper's examples::
+
+    enter sp,sp,24
+    spill.i n4,16(sp)
+    ld.iw n0,4(sp)
+    ble.i n4,0,$L56
+    call pepper
+    rjr ra
+
+Labels are written ``$name:`` on their own line; branch targets reference
+them as ``$name``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .instr import Instr, VMFunction
+from .isa import FREG_NAMES, Operand, REG_NAMES, SPEC
+
+__all__ = ["format_instr", "format_function", "parse_function"]
+
+_REG_BY_NAME = {name: i for i, name in enumerate(REG_NAMES)}
+_FREG_BY_NAME = {name: i for i, name in enumerate(FREG_NAMES)}
+
+# Mnemonics displayed in the rd, imm(rb) addressing style.
+_MEM_STYLE = re.compile(r"^(ld|st|spill|reload)\.")
+
+
+def format_instr(instr: Instr) -> str:
+    """Render one instruction as assembly text."""
+    spec = instr.spec
+    parts: List[str] = []
+    for kind, value in zip(spec.signature, instr.operands):
+        if kind is Operand.REG:
+            parts.append(REG_NAMES[int(value)])
+        elif kind is Operand.FREG:
+            parts.append(FREG_NAMES[int(value)])
+        elif kind is Operand.IMM:
+            parts.append(str(value))
+        elif kind is Operand.DIMM:
+            parts.append(repr(float(value)))
+        elif kind is Operand.LABEL:
+            parts.append(f"${value}")
+        else:  # SYM
+            parts.append(str(value))
+    if _MEM_STYLE.match(instr.name) and len(parts) == 3:
+        # rd, imm(rb) addressing style.
+        return f"{instr.name} {parts[0]},{parts[1]}({parts[2]})"
+    if not parts:
+        return instr.name
+    return f"{instr.name} {','.join(parts)}"
+
+
+def format_function(fn: VMFunction) -> str:
+    """Render a whole function with interleaved labels."""
+    by_index: Dict[int, List[str]] = {}
+    for label, index in fn.labels.items():
+        by_index.setdefault(index, []).append(label)
+    lines = [f"; {fn.name} frame={fn.frame_size} params={fn.param_bytes}"]
+    for i, instr in enumerate(fn.code):
+        for label in by_index.get(i, ()):
+            lines.append(f"${label}:")
+        lines.append(f"    {format_instr(instr)}")
+    for label in by_index.get(len(fn.code), ()):
+        lines.append(f"${label}:")
+    return "\n".join(lines)
+
+
+_MEM_RE = re.compile(r"^(-?\d+)\((\w+)\)$")
+
+
+def _parse_operand(kind: Operand, text: str) -> object:
+    text = text.strip()
+    if kind is Operand.REG:
+        if text not in _REG_BY_NAME:
+            raise ValueError(f"unknown register {text!r}")
+        return _REG_BY_NAME[text]
+    if kind is Operand.FREG:
+        if text not in _FREG_BY_NAME:
+            raise ValueError(f"unknown float register {text!r}")
+        return _FREG_BY_NAME[text]
+    if kind is Operand.IMM:
+        return int(text, 0)
+    if kind is Operand.DIMM:
+        return float(text)
+    if kind is Operand.LABEL:
+        if not text.startswith("$"):
+            raise ValueError(f"label operand must start with $: {text!r}")
+        return text[1:]
+    return text  # SYM
+
+
+def parse_function(text: str, name: str = "fn") -> VMFunction:
+    """Parse assembly text (as produced by :func:`format_function`)."""
+    fn = VMFunction(name)
+    for raw in text.splitlines():
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("$") and line.endswith(":"):
+            fn.define_label(line[1:-1])
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        spec = SPEC.get(mnemonic)
+        if spec is None:
+            raise ValueError(f"unknown mnemonic {mnemonic!r}")
+        rest = rest.strip()
+        operand_texts: List[str] = []
+        if rest:
+            # Normalize the imm(rb) form into two operands.
+            m = None
+            parts = [p.strip() for p in rest.split(",")]
+            expanded: List[str] = []
+            for part in parts:
+                m = _MEM_RE.match(part)
+                if m:
+                    expanded.append(m.group(1))
+                    expanded.append(m.group(2))
+                else:
+                    expanded.append(part)
+            operand_texts = expanded
+        if len(operand_texts) != len(spec.signature):
+            raise ValueError(
+                f"{mnemonic}: expected {len(spec.signature)} operands, "
+                f"got {len(operand_texts)} in {line!r}"
+            )
+        operands = tuple(
+            _parse_operand(kind, text)
+            for kind, text in zip(spec.signature, operand_texts)
+        )
+        fn.emit(Instr(mnemonic, operands))  # type: ignore[arg-type]
+    return fn

@@ -1,0 +1,602 @@
+"""The VM interpreter: loads a :class:`VMProgram` and executes it.
+
+Memory model: a flat little-endian byte array.  Globals are laid out from
+``GLOBAL_BASE`` up, the heap (a bump allocator behind ``malloc``) follows,
+and the stack grows down from the top.  Function and return addresses live
+in distinguishable high ranges so function pointers and ``ra`` values can
+be stored to memory and reloaded like any other 32-bit word.
+
+The interpreter counts executed instructions; ``clock`` (syscall 8) returns
+that count, which gives corpus programs a deterministic timing source.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir.tree import PtrInit, ScalarInit
+from .instr import Instr, VMFunction, VMProgram
+from .isa import NUM_FREGS, NUM_IREGS, Operand, REG_RA, REG_SP, SYSCALLS
+
+__all__ = ["VMError", "ExecutionResult", "Interpreter", "run_program",
+           "GLOBAL_BASE", "FUNC_ADDR_BASE"]
+
+GLOBAL_BASE = 0x1000
+FUNC_ADDR_BASE = 0x4000_0000
+RET_ADDR_BASE = 0x5000_0000
+HALT_ADDR = 0x5FFF_FFFF
+
+_U32 = 0xFFFF_FFFF
+
+
+def _s32(value: int) -> int:
+    """Wrap to canonical signed 32-bit."""
+    value &= _U32
+    return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+
+def _u32(value: int) -> int:
+    return value & _U32
+
+
+class VMError(Exception):
+    """Any runtime fault: bad memory access, bad opcode, step overrun."""
+
+
+@dataclass
+class ExecutionResult:
+    """What a program run produced."""
+
+    exit_code: int
+    output: str
+    steps: int
+    opcode_counts: Dict[str, int] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Executes a linked VM program."""
+
+    def __init__(
+        self,
+        program: VMProgram,
+        memory_size: int = 1 << 20,
+        max_steps: int = 50_000_000,
+        stdin: str = "",
+        count_opcodes: bool = False,
+    ) -> None:
+        self.program = program
+        self.memory = bytearray(memory_size)
+        self.max_steps = max_steps
+        self.iregs = [0] * NUM_IREGS
+        self.fregs = [0.0] * NUM_FREGS
+        self.steps = 0
+        self.output: List[str] = []
+        self._stdin = stdin
+        self._stdin_pos = 0
+        self.exit_code: Optional[int] = None
+        self.count_opcodes = count_opcodes
+        self.opcode_counts: Dict[str, int] = {}
+        self._func_index = {fn.name: i for i, fn in enumerate(program.functions)}
+        self.symbols: Dict[str, int] = {}
+        self._load_globals()
+        self._resolved = [self._resolve_function(fn) for fn in program.functions]
+
+    # -- loading -----------------------------------------------------------
+
+    def _load_globals(self) -> None:
+        address = GLOBAL_BASE
+        for g in self.program.globals:
+            address = (address + g.align - 1) // g.align * g.align
+            self.symbols[g.name] = address
+            address += max(1, g.size)
+        self.heap_base = (address + 7) // 8 * 8
+        self.heap_ptr = self.heap_base
+        # Function "addresses" for function pointers.
+        for i, fn in enumerate(self.program.functions):
+            self.symbols[fn.name] = FUNC_ADDR_BASE + i
+        # Apply initializers (after all symbols exist, for PtrInit).
+        for g in self.program.globals:
+            base = self.symbols[g.name]
+            for item in g.items:
+                if isinstance(item, ScalarInit):
+                    if isinstance(item.value, float) or item.size == 8:
+                        self.memory[base + item.offset : base + item.offset + 8] = (
+                            struct.pack("<d", float(item.value))
+                        )
+                    else:
+                        raw = int(item.value) & ((1 << (item.size * 8)) - 1)
+                        self.memory[base + item.offset : base + item.offset + item.size] = (
+                            raw.to_bytes(item.size, "little")
+                        )
+                else:
+                    assert isinstance(item, PtrInit)
+                    target = self.symbols.get(item.symbol)
+                    if target is None:
+                        raise VMError(f"undefined symbol {item.symbol!r} in "
+                                      f"initializer of {g.name}")
+                    self.memory[base + item.offset : base + item.offset + 4] = (
+                        target.to_bytes(4, "little")
+                    )
+
+    def _resolve_function(self, fn: VMFunction):
+        """Pre-resolve labels and symbols to numbers for fast dispatch."""
+        resolved = []
+        for instr in fn.code:
+            ops: List[object] = []
+            for kind, value in zip(instr.spec.signature, instr.operands):
+                if kind is Operand.LABEL:
+                    assert isinstance(value, str)
+                    if value not in fn.labels:
+                        raise VMError(f"undefined label {value!r} in {fn.name}")
+                    ops.append(fn.labels[value])
+                elif kind is Operand.SYM:
+                    assert isinstance(value, str)
+                    if value in self._func_index:
+                        ops.append(("func", self._func_index[value]))
+                    elif value in self.symbols:
+                        ops.append(("data", self.symbols[value]))
+                    else:
+                        raise VMError(f"undefined symbol {value!r} in {fn.name}")
+                else:
+                    ops.append(value)
+            resolved.append((instr.name, tuple(ops)))
+        return resolved
+
+    # -- memory helpers ------------------------------------------------------
+
+    def _check(self, address: int, size: int) -> None:
+        if address < GLOBAL_BASE or address + size > len(self.memory):
+            raise VMError(f"memory access out of range: {address:#x}+{size}")
+
+    def load(self, address: int, size: int, signed: bool) -> int:
+        self._check(address, size)
+        return int.from_bytes(self.memory[address : address + size], "little",
+                              signed=signed)
+
+    def store(self, address: int, size: int, value: int) -> None:
+        self._check(address, size)
+        raw = value & ((1 << (size * 8)) - 1)
+        self.memory[address : address + size] = raw.to_bytes(size, "little")
+
+    def load_double(self, address: int) -> float:
+        self._check(address, 8)
+        return struct.unpack("<d", self.memory[address : address + 8])[0]
+
+    def store_double(self, address: int, value: float) -> None:
+        self._check(address, 8)
+        self.memory[address : address + 8] = struct.pack("<d", value)
+
+    def read_cstring(self, address: int) -> str:
+        out = []
+        while True:
+            byte = self.load(address, 1, signed=False)
+            if byte == 0:
+                return "".join(out)
+            out.append(chr(byte))
+            address += 1
+            if len(out) > 1 << 20:
+                raise VMError("unterminated string")
+
+    # -- syscalls ----------------------------------------------------------
+
+    def _syscall(self, number: int) -> None:
+        try:
+            name, argsig, ret = SYSCALLS[number]
+        except KeyError:
+            raise VMError(f"unknown syscall {number}") from None
+        sp = _u32(self.iregs[REG_SP])
+        total = sum(8 if c == "d" else 4 for c in argsig)
+        args: List[object] = []
+        offset = sp - total
+        for c in argsig:
+            if c == "d":
+                args.append(self.load_double(offset))
+                offset += 8
+            else:
+                signed = c == "i"
+                args.append(self.load(offset, 4, signed=signed))
+                offset += 4
+        result: object = 0
+        if name == "exit":
+            self.exit_code = int(args[0])  # type: ignore[arg-type]
+        elif name == "abort":
+            raise VMError("abort() called")
+        elif name == "putchar":
+            self.output.append(chr(int(args[0]) & 0xFF))  # type: ignore[arg-type]
+            result = args[0]
+        elif name == "getchar":
+            if self._stdin_pos < len(self._stdin):
+                result = ord(self._stdin[self._stdin_pos])
+                self._stdin_pos += 1
+            else:
+                result = -1
+        elif name == "malloc":
+            size = max(1, int(args[0]))  # type: ignore[arg-type]
+            aligned = (size + 7) // 8 * 8
+            address = self.heap_ptr
+            if address + aligned > len(self.memory) - (1 << 16):
+                raise VMError("out of heap memory")
+            self.heap_ptr += aligned
+            result = address
+        elif name == "free":
+            result = 0
+        elif name == "print_int":
+            self.output.append(str(_s32(int(args[0]))))  # type: ignore[arg-type]
+        elif name == "print_str":
+            self.output.append(self.read_cstring(int(args[0])))  # type: ignore[arg-type]
+        elif name == "print_double":
+            self.output.append(f"{args[0]:.6g}")
+        elif name == "clock":
+            result = self.steps & 0x7FFF_FFFF
+        if ret == "d":
+            self.fregs[0] = float(result)  # pragma: no cover - no d syscalls yet
+        elif ret != "v":
+            self.iregs[0] = _s32(int(result))  # type: ignore[arg-type]
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, entry: Optional[str] = None, args: Tuple[int, ...] = ()) -> ExecutionResult:
+        """Execute from ``entry`` (default the program's entry) to halt."""
+        entry = entry or self.program.entry
+        if entry not in self._func_index:
+            raise VMError(f"no entry function {entry!r}")
+        func = self._func_index[entry]
+        sp = len(self.memory) - 16
+        # Push integer arguments for the entry function, mirroring the
+        # caller convention (args stored immediately below sp).
+        total = 4 * len(args)
+        for i, arg in enumerate(args):
+            self.store(sp - total + 4 * i, 4, arg)
+        self.iregs[REG_SP] = sp
+        self.iregs[REG_RA] = _s32(HALT_ADDR)
+        pc = 0
+        exit_code = self._loop(func, pc)
+        return ExecutionResult(
+            exit_code=exit_code,
+            output="".join(self.output),
+            steps=self.steps,
+            opcode_counts=dict(self.opcode_counts),
+        )
+
+    def _loop(self, func: int, pc: int) -> int:
+        code = self._resolved[func]
+        while True:
+            if self.exit_code is not None:
+                return self.exit_code
+            if pc >= len(code):
+                raise VMError(
+                    f"fell off the end of {self.program.functions[func].name}")
+            name, ops = code[pc]
+            pc += 1
+            new_func, pc, halt = self._exec(name, ops, func, pc)
+            if halt is not None:
+                return halt
+            if new_func != func:
+                func = new_func
+                code = self._resolved[func]
+
+    def _exec(self, name: str, ops, func: int, pc: int):
+        """Execute one instruction; returns (func, pc, halt_value_or_None).
+
+        ``pc`` is the fall-through continuation (already advanced); control
+        transfers overwrite it.  Shared by the plain interpreter and the
+        BRISC in-place interpreter.
+        """
+        regs = self.iregs
+        fregs = self.fregs
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise VMError(f"exceeded {self.max_steps} steps")
+        if self.count_opcodes:
+            counts = self.opcode_counts
+            counts[name] = counts.get(name, 0) + 1
+        if True:
+            # --- memory ---
+            if name == "ld.iw":
+                regs[ops[0]] = _s32(self.load(_u32(regs[ops[2]]) + ops[1], 4, True))
+            elif name == "st.iw":
+                self.store(_u32(regs[ops[2]]) + ops[1], 4, regs[ops[0]])
+            elif name == "ld.ib":
+                regs[ops[0]] = self.load(_u32(regs[ops[2]]) + ops[1], 1, True)
+            elif name == "ld.iub":
+                regs[ops[0]] = self.load(_u32(regs[ops[2]]) + ops[1], 1, False)
+            elif name == "ld.ih":
+                regs[ops[0]] = self.load(_u32(regs[ops[2]]) + ops[1], 2, True)
+            elif name == "ld.iuh":
+                regs[ops[0]] = self.load(_u32(regs[ops[2]]) + ops[1], 2, False)
+            elif name == "st.ib":
+                self.store(_u32(regs[ops[2]]) + ops[1], 1, regs[ops[0]])
+            elif name == "st.ih":
+                self.store(_u32(regs[ops[2]]) + ops[1], 2, regs[ops[0]])
+            elif name == "ld.d":
+                fregs[ops[0]] = self.load_double(_u32(regs[ops[2]]) + ops[1])
+            elif name == "st.d":
+                self.store_double(_u32(regs[ops[2]]) + ops[1], fregs[ops[0]])
+            elif name == "spill.i":
+                self.store(_u32(regs[ops[2]]) + ops[1], 4, regs[ops[0]])
+            elif name == "reload.i":
+                regs[ops[0]] = _s32(self.load(_u32(regs[ops[2]]) + ops[1], 4, True))
+            elif name == "ldx.iw":
+                regs[ops[0]] = _s32(self.load(_u32(regs[ops[1]]), 4, True))
+            elif name == "stx.iw":
+                self.store(_u32(regs[ops[1]]), 4, regs[ops[0]])
+            elif name == "ldx.ib":
+                regs[ops[0]] = self.load(_u32(regs[ops[1]]), 1, True)
+            elif name == "ldx.iub":
+                regs[ops[0]] = self.load(_u32(regs[ops[1]]), 1, False)
+            elif name == "ldx.ih":
+                regs[ops[0]] = self.load(_u32(regs[ops[1]]), 2, True)
+            elif name == "ldx.iuh":
+                regs[ops[0]] = self.load(_u32(regs[ops[1]]), 2, False)
+            elif name == "stx.ib":
+                self.store(_u32(regs[ops[1]]), 1, regs[ops[0]])
+            elif name == "stx.ih":
+                self.store(_u32(regs[ops[1]]), 2, regs[ops[0]])
+            elif name == "ldx.d":
+                fregs[ops[0]] = self.load_double(_u32(regs[ops[1]]))
+            elif name == "stx.d":
+                self.store_double(_u32(regs[ops[1]]), fregs[ops[0]])
+
+            # --- moves ---
+            elif name == "mov.i":
+                regs[ops[0]] = regs[ops[1]]
+            elif name == "li":
+                regs[ops[0]] = _s32(ops[1])
+            elif name == "la":
+                kind, value = ops[1]
+                regs[ops[0]] = _s32(FUNC_ADDR_BASE + value if kind == "func"
+                                    else value)
+            elif name == "mov.d":
+                fregs[ops[0]] = fregs[ops[1]]
+            elif name == "li.d":
+                fregs[ops[0]] = float(ops[1])
+
+            # --- integer alu ---
+            elif name == "add.i":
+                regs[ops[0]] = _s32(regs[ops[1]] + regs[ops[2]])
+            elif name == "sub.i":
+                regs[ops[0]] = _s32(regs[ops[1]] - regs[ops[2]])
+            elif name == "mul.i":
+                regs[ops[0]] = _s32(regs[ops[1]] * regs[ops[2]])
+            elif name == "div.i":
+                regs[ops[0]] = _s32(_divtrunc(regs[ops[1]], regs[ops[2]]))
+            elif name == "divu.i":
+                b = _u32(regs[ops[2]])
+                if b == 0:
+                    raise VMError("division by zero")
+                regs[ops[0]] = _s32(_u32(regs[ops[1]]) // b)
+            elif name == "rem.i":
+                regs[ops[0]] = _s32(_remtrunc(regs[ops[1]], regs[ops[2]]))
+            elif name == "remu.i":
+                b = _u32(regs[ops[2]])
+                if b == 0:
+                    raise VMError("division by zero")
+                regs[ops[0]] = _s32(_u32(regs[ops[1]]) % b)
+            elif name == "and.i":
+                regs[ops[0]] = _s32(regs[ops[1]] & regs[ops[2]])
+            elif name == "or.i":
+                regs[ops[0]] = _s32(regs[ops[1]] | regs[ops[2]])
+            elif name == "xor.i":
+                regs[ops[0]] = _s32(regs[ops[1]] ^ regs[ops[2]])
+            elif name == "shl.i":
+                regs[ops[0]] = _s32(_u32(regs[ops[1]]) << (regs[ops[2]] & 31))
+            elif name == "shr.i":
+                regs[ops[0]] = _s32(_u32(regs[ops[1]]) >> (regs[ops[2]] & 31))
+            elif name == "sra.i":
+                regs[ops[0]] = _s32(regs[ops[1]] >> (regs[ops[2]] & 31))
+            elif name == "neg.i":
+                regs[ops[0]] = _s32(-regs[ops[1]])
+            elif name == "not.i":
+                regs[ops[0]] = _s32(~regs[ops[1]])
+
+            # --- immediate alu ---
+            elif name == "addi.i":
+                regs[ops[0]] = _s32(regs[ops[1]] + ops[2])
+            elif name == "subi.i":
+                regs[ops[0]] = _s32(regs[ops[1]] - ops[2])
+            elif name == "muli.i":
+                regs[ops[0]] = _s32(regs[ops[1]] * ops[2])
+            elif name == "andi.i":
+                regs[ops[0]] = _s32(regs[ops[1]] & ops[2])
+            elif name == "ori.i":
+                regs[ops[0]] = _s32(regs[ops[1]] | ops[2])
+            elif name == "xori.i":
+                regs[ops[0]] = _s32(regs[ops[1]] ^ ops[2])
+            elif name == "shli.i":
+                regs[ops[0]] = _s32(_u32(regs[ops[1]]) << (ops[2] & 31))
+            elif name == "shri.i":
+                regs[ops[0]] = _s32(_u32(regs[ops[1]]) >> (ops[2] & 31))
+            elif name == "srai.i":
+                regs[ops[0]] = _s32(regs[ops[1]] >> (ops[2] & 31))
+
+            # --- extensions ---
+            elif name == "sext.b":
+                regs[ops[0]] = _s32((regs[ops[1]] & 0xFF) - 0x100
+                                    if regs[ops[1]] & 0x80 else regs[ops[1]] & 0xFF)
+            elif name == "zext.b":
+                regs[ops[0]] = regs[ops[1]] & 0xFF
+            elif name == "sext.h":
+                regs[ops[0]] = _s32((regs[ops[1]] & 0xFFFF) - 0x1_0000
+                                    if regs[ops[1]] & 0x8000 else regs[ops[1]] & 0xFFFF)
+            elif name == "zext.h":
+                regs[ops[0]] = regs[ops[1]] & 0xFFFF
+
+            # --- double alu / conversions ---
+            elif name == "add.d":
+                fregs[ops[0]] = fregs[ops[1]] + fregs[ops[2]]
+            elif name == "sub.d":
+                fregs[ops[0]] = fregs[ops[1]] - fregs[ops[2]]
+            elif name == "mul.d":
+                fregs[ops[0]] = fregs[ops[1]] * fregs[ops[2]]
+            elif name == "div.d":
+                if fregs[ops[2]] == 0.0:
+                    raise VMError("floating division by zero")
+                fregs[ops[0]] = fregs[ops[1]] / fregs[ops[2]]
+            elif name == "neg.d":
+                fregs[ops[0]] = -fregs[ops[1]]
+            elif name == "cvt.id":
+                fregs[ops[0]] = float(regs[ops[1]])
+            elif name == "cvt.ud":
+                fregs[ops[0]] = float(_u32(regs[ops[1]]))
+            elif name == "cvt.di":
+                fregs_val = fregs[ops[1]]
+                regs[ops[0]] = _s32(int(fregs_val))
+            elif name == "cvt.du":
+                regs[ops[0]] = _s32(int(fregs[ops[1]]) & _U32)
+
+            # --- branches ---
+            elif name == "beq.i":
+                if regs[ops[0]] == regs[ops[1]]:
+                    pc = ops[2]
+            elif name == "bne.i":
+                if regs[ops[0]] != regs[ops[1]]:
+                    pc = ops[2]
+            elif name == "blt.i":
+                if regs[ops[0]] < regs[ops[1]]:
+                    pc = ops[2]
+            elif name == "ble.i":
+                if regs[ops[0]] <= regs[ops[1]]:
+                    pc = ops[2]
+            elif name == "bgt.i":
+                if regs[ops[0]] > regs[ops[1]]:
+                    pc = ops[2]
+            elif name == "bge.i":
+                if regs[ops[0]] >= regs[ops[1]]:
+                    pc = ops[2]
+            elif name == "bltu.i":
+                if _u32(regs[ops[0]]) < _u32(regs[ops[1]]):
+                    pc = ops[2]
+            elif name == "bleu.i":
+                if _u32(regs[ops[0]]) <= _u32(regs[ops[1]]):
+                    pc = ops[2]
+            elif name == "bgtu.i":
+                if _u32(regs[ops[0]]) > _u32(regs[ops[1]]):
+                    pc = ops[2]
+            elif name == "bgeu.i":
+                if _u32(regs[ops[0]]) >= _u32(regs[ops[1]]):
+                    pc = ops[2]
+            elif name == "beqi.i":
+                if regs[ops[0]] == ops[1]:
+                    pc = ops[2]
+            elif name == "bnei.i":
+                if regs[ops[0]] != ops[1]:
+                    pc = ops[2]
+            elif name == "blti.i":
+                if regs[ops[0]] < ops[1]:
+                    pc = ops[2]
+            elif name == "blei.i":
+                if regs[ops[0]] <= ops[1]:
+                    pc = ops[2]
+            elif name == "bgti.i":
+                if regs[ops[0]] > ops[1]:
+                    pc = ops[2]
+            elif name == "bgei.i":
+                if regs[ops[0]] >= ops[1]:
+                    pc = ops[2]
+            elif name == "bltui.i":
+                if _u32(regs[ops[0]]) < _u32(ops[1]):
+                    pc = ops[2]
+            elif name == "bleui.i":
+                if _u32(regs[ops[0]]) <= _u32(ops[1]):
+                    pc = ops[2]
+            elif name == "bgtui.i":
+                if _u32(regs[ops[0]]) > _u32(ops[1]):
+                    pc = ops[2]
+            elif name == "bgeui.i":
+                if _u32(regs[ops[0]]) >= _u32(ops[1]):
+                    pc = ops[2]
+            elif name == "beq.d":
+                if fregs[ops[0]] == fregs[ops[1]]:
+                    pc = ops[2]
+            elif name == "bne.d":
+                if fregs[ops[0]] != fregs[ops[1]]:
+                    pc = ops[2]
+            elif name == "blt.d":
+                if fregs[ops[0]] < fregs[ops[1]]:
+                    pc = ops[2]
+            elif name == "ble.d":
+                if fregs[ops[0]] <= fregs[ops[1]]:
+                    pc = ops[2]
+            elif name == "bgt.d":
+                if fregs[ops[0]] > fregs[ops[1]]:
+                    pc = ops[2]
+            elif name == "bge.d":
+                if fregs[ops[0]] >= fregs[ops[1]]:
+                    pc = ops[2]
+
+            # --- control flow ---
+            elif name == "jmp":
+                pc = ops[0]
+            elif name == "call":
+                kind, index = ops[0]
+                if kind != "func":
+                    raise VMError("call target is not a function")
+                regs[REG_RA] = _s32(RET_ADDR_BASE | (func << 16) | pc)
+                func = index
+                pc = 0
+            elif name == "calli":
+                target = _u32(regs[ops[0]])
+                if not FUNC_ADDR_BASE <= target < FUNC_ADDR_BASE + len(self.program.functions):
+                    raise VMError(f"indirect call to non-function {target:#x}")
+                regs[REG_RA] = _s32(RET_ADDR_BASE | (func << 16) | pc)
+                func = target - FUNC_ADDR_BASE
+                pc = 0
+            elif name == "rjr":
+                target = _u32(regs[ops[0]])
+                if target == HALT_ADDR:
+                    return func, pc, _s32(regs[0])
+                if not RET_ADDR_BASE <= target < RET_ADDR_BASE + 0x0FFF_0000:
+                    raise VMError(f"return to non-return address {target:#x}")
+                func = (target - RET_ADDR_BASE) >> 16
+                pc = target & 0xFFFF
+
+            # --- frame ---
+            elif name == "enter":
+                regs[ops[0]] = _s32(regs[ops[1]] - ops[2])
+            elif name == "exit":
+                regs[ops[0]] = _s32(regs[ops[1]] + ops[2])
+
+            # --- macros ---
+            elif name == "blkcpy":
+                dst = _u32(regs[ops[0]])
+                src = _u32(regs[ops[1]])
+                n = ops[2]
+                self._check(dst, n)
+                self._check(src, n)
+                self.memory[dst : dst + n] = bytes(self.memory[src : src + n])
+            elif name == "sys":
+                self._syscall(ops[0])
+                if self.exit_code is not None:
+                    return func, pc, self.exit_code
+            elif name == "hlt":
+                return func, pc, _s32(regs[0])
+            else:
+                raise VMError(f"unimplemented instruction {name}")
+        return func, pc, None
+
+
+def _divtrunc(a: int, b: int) -> int:
+    if b == 0:
+        raise VMError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _remtrunc(a: int, b: int) -> int:
+    return a - _divtrunc(a, b) * b
+
+
+def run_program(
+    program: VMProgram,
+    entry: Optional[str] = None,
+    args: Tuple[int, ...] = (),
+    max_steps: int = 50_000_000,
+    stdin: str = "",
+    count_opcodes: bool = False,
+) -> ExecutionResult:
+    """Convenience wrapper: build an interpreter and run to completion."""
+    interp = Interpreter(program, max_steps=max_steps, stdin=stdin,
+                         count_opcodes=count_opcodes)
+    return interp.run(entry, args)

@@ -1,0 +1,9 @@
+"""The wire format: patternized, MTF+Huffman+LZ split-stream compression."""
+
+from .format import decode_module, encode_module, stream_breakdown, wire_size
+from .patternize import normalize_labels, patternize_tree, width_class
+
+__all__ = [
+    "decode_module", "encode_module", "normalize_labels", "patternize_tree",
+    "stream_breakdown", "width_class", "wire_size",
+]

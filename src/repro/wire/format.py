@@ -1,0 +1,418 @@
+"""The wire format: encoder and decoder.
+
+The paper's recipe, step for step:
+
+1. compile to trees (done upstream in :mod:`repro.ir`);
+2. patternize; one stream of operator patterns, one literal stream per
+   opcode+width class;
+3. move-to-front code every stream in isolation (0 = novel symbol);
+4. Huffman-code the MTF indices (but not the MTF tables / novel values);
+5. encode the novel values in 1/2/4-byte (or string) form and deflate every
+   stream in isolation (the paper's per-stream gzip).
+
+The container is self-describing; :func:`decode_module` reconstructs the
+IR module exactly (labels are normalized to dense indices first, which is
+the only — purely internal — renaming).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple, Union
+
+from ..compress import huffman
+from ..compress.bitio import read_uvarint, write_uvarint
+from ..compress.mtf import mtf_decode, mtf_encode
+from ..compress.streams import pack_streams, unpack_streams
+from ..ir.ops import op
+from ..ir.tree import GlobalData, IRFunction, IRModule, PtrInit, ScalarInit
+from .patternize import (
+    Pattern, _LiteralSource, normalize_labels, patternize_tree, rebuild_tree,
+    unzigzag, zigzag,
+)
+
+__all__ = ["encode_module", "decode_module", "wire_size", "stream_breakdown"]
+
+_MAGIC = b"WIR1"
+
+
+# ---------------------------------------------------------------------------
+# Novel-value serialization (the "MTF tables", kept out of the Huffman pass)
+# ---------------------------------------------------------------------------
+
+
+def _pack_int_novels(values: List[int]) -> bytes:
+    out = bytearray()
+    for v in values:
+        write_uvarint(out, zigzag(v))
+    return bytes(out)
+
+
+def _unpack_int_novels(data: bytes, count: int) -> List[int]:
+    values: List[int] = []
+    pos = 0
+    for _ in range(count):
+        z, pos = read_uvarint(data, pos)
+        values.append(unzigzag(z))
+    return values
+
+
+def _pack_str_novels(values: List[str]) -> bytes:
+    out = bytearray()
+    for v in values:
+        raw = v.encode("utf-8")
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+    return bytes(out)
+
+
+def _unpack_str_novels(data: bytes, count: int) -> List[str]:
+    values: List[str] = []
+    pos = 0
+    for _ in range(count):
+        n, pos = read_uvarint(data, pos)
+        values.append(data[pos : pos + n].decode("utf-8"))
+        pos += n
+    return values
+
+
+def _pack_float_novels(values: List[float]) -> bytes:
+    return b"".join(struct.pack("<d", v) for v in values)
+
+
+def _unpack_float_novels(data: bytes, count: int) -> List[float]:
+    return [struct.unpack_from("<d", data, i * 8)[0] for i in range(count)]
+
+
+def _pack_pattern_novels(patterns: List[Pattern]) -> bytes:
+    """Each pattern: uvarint length, then one byte per operator.
+
+    Opcodes fit in 7 bits; the common width class 0 (8-bit literals and
+    literal-free operators) uses the bare opcode byte, wider literals set
+    the high bit and append a width byte.
+    """
+    out = bytearray()
+    for pattern in patterns:
+        write_uvarint(out, len(pattern))
+        for name, width in pattern:
+            opcode = op(name).opcode
+            if width == 0:
+                out.append(opcode)
+            else:
+                out.append(0x80 | opcode)
+                out.append(width)
+    return bytes(out)
+
+
+def _unpack_pattern_novels(data: bytes, count: int) -> List[Pattern]:
+    from ..ir.ops import OPS
+
+    by_opcode = {o.opcode: o.name for o in OPS.values()}
+    patterns: List[Pattern] = []
+    pos = 0
+    for _ in range(count):
+        n, pos = read_uvarint(data, pos)
+        syms = []
+        for _ in range(n):
+            byte = data[pos]
+            pos += 1
+            if byte & 0x80:
+                syms.append((by_opcode[byte & 0x7F], data[pos]))
+                pos += 1
+            else:
+                syms.append((by_opcode[byte], 0))
+        patterns.append(tuple(syms))
+    return patterns
+
+
+# ---------------------------------------------------------------------------
+# MTF + Huffman per stream
+# ---------------------------------------------------------------------------
+
+
+def _encode_mtf_stream(values: List) -> Tuple[bytes, List]:
+    """MTF+Huffman a stream; returns (index_bytes, novel_values)."""
+    indices, novels = mtf_encode(values)
+    alphabet = (max(indices) + 1) if indices else 1
+    packed = huffman.encode_symbols(indices, alphabet)
+    return packed, novels
+
+
+def _decode_mtf_stream(index_bytes: bytes, novels: List) -> List:
+    indices = huffman.decode_symbols(index_bytes)
+    return mtf_decode(indices, novels)
+
+
+# ---------------------------------------------------------------------------
+# Meta stream (globals + function headers; "code segments" stay elsewhere)
+# ---------------------------------------------------------------------------
+
+
+def _pack_meta(module: IRModule, tree_counts: List[int]) -> bytes:
+    out = bytearray()
+    name_raw = module.name.encode("utf-8")
+    write_uvarint(out, len(name_raw))
+    out.extend(name_raw)
+    write_uvarint(out, len(module.globals))
+    for g in module.globals:
+        raw = g.name.encode("utf-8")
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+        write_uvarint(out, g.size)
+        write_uvarint(out, g.align)
+        out.append(1 if g.is_string else 0)
+        write_uvarint(out, len(g.items))
+        for item in g.items:
+            if isinstance(item, ScalarInit):
+                if isinstance(item.value, float) or item.size == 8:
+                    out.append(1)
+                    write_uvarint(out, item.offset)
+                    out.extend(struct.pack("<d", float(item.value)))
+                else:
+                    out.append(0)
+                    write_uvarint(out, item.offset)
+                    write_uvarint(out, item.size)
+                    write_uvarint(out, zigzag(int(item.value)))
+            else:
+                out.append(2)
+                write_uvarint(out, item.offset)
+                raw = item.symbol.encode("utf-8")
+                write_uvarint(out, len(raw))
+                out.extend(raw)
+    write_uvarint(out, len(module.functions))
+    for fn, count in zip(module.functions, tree_counts):
+        raw = fn.name.encode("utf-8")
+        write_uvarint(out, len(raw))
+        out.extend(raw)
+        write_uvarint(out, fn.frame_size)
+        out.append(ord(fn.ret_suffix))
+        write_uvarint(out, len(fn.param_sizes))
+        for size in fn.param_sizes:
+            write_uvarint(out, size)
+        write_uvarint(out, count)
+    return bytes(out)
+
+
+def _unpack_meta(data: bytes) -> Tuple[IRModule, List[int]]:
+    pos = 0
+    n, pos = read_uvarint(data, pos)
+    module = IRModule(data[pos : pos + n].decode("utf-8"))
+    pos += n
+    nglobals, pos = read_uvarint(data, pos)
+    for _ in range(nglobals):
+        n, pos = read_uvarint(data, pos)
+        name = data[pos : pos + n].decode("utf-8")
+        pos += n
+        size, pos = read_uvarint(data, pos)
+        align, pos = read_uvarint(data, pos)
+        is_string = bool(data[pos])
+        pos += 1
+        nitems, pos = read_uvarint(data, pos)
+        g = GlobalData(name, size, align, is_string=is_string)
+        for _ in range(nitems):
+            tag = data[pos]
+            pos += 1
+            offset, pos = read_uvarint(data, pos)
+            if tag == 0:
+                isize, pos = read_uvarint(data, pos)
+                z, pos = read_uvarint(data, pos)
+                g.items.append(ScalarInit(offset, isize, unzigzag(z)))
+            elif tag == 1:
+                value = struct.unpack_from("<d", data, pos)[0]
+                pos += 8
+                g.items.append(ScalarInit(offset, 8, value))
+            else:
+                n, pos = read_uvarint(data, pos)
+                g.items.append(PtrInit(offset, data[pos : pos + n].decode("utf-8")))
+                pos += n
+        module.globals.append(g)
+    nfuncs, pos = read_uvarint(data, pos)
+    tree_counts: List[int] = []
+    for _ in range(nfuncs):
+        n, pos = read_uvarint(data, pos)
+        name = data[pos : pos + n].decode("utf-8")
+        pos += n
+        frame_size, pos = read_uvarint(data, pos)
+        ret_suffix = chr(data[pos])
+        pos += 1
+        nparams, pos = read_uvarint(data, pos)
+        params = []
+        for _ in range(nparams):
+            size, pos = read_uvarint(data, pos)
+            params.append(size)
+        count, pos = read_uvarint(data, pos)
+        module.functions.append(
+            IRFunction(name, [], frame_size, params, ret_suffix)
+        )
+        tree_counts.append(count)
+    return module, tree_counts
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def _collect_streams(module: IRModule) -> Tuple[
+    List[Pattern], Dict[str, List], List[int], IRModule
+]:
+    """Patternize the whole module.
+
+    Returns (pattern stream, literal streams, per-function tree counts,
+    label-normalized module).
+    """
+    normalized = IRModule(module.name, list(module.globals), [])
+    pattern_stream: List[Pattern] = []
+    literal_streams: Dict[str, List] = {}
+    tree_counts: List[int] = []
+    for fn in module.functions:
+        fn = normalize_labels(fn)
+        normalized.functions.append(fn)
+        tree_counts.append(len(fn.forest))
+        for tree in fn.forest:
+            pattern, literals = patternize_tree(tree)
+            pattern_stream.append(pattern)
+            for key, value in literals:
+                literal_streams.setdefault(key, []).append(value)
+    return pattern_stream, literal_streams, tree_counts, normalized
+
+
+def _stream_kind(key: str) -> str:
+    """Literal kind of a stream key: int, label, sym, or float."""
+    base = key.rstrip("0123456789")
+    kind = op(base).literal if base in _op_names() else "int"
+    return kind
+
+
+def _op_names():
+    from ..ir.ops import OPS
+
+    return OPS
+
+
+def encode_module(module: IRModule, compress: bool = True) -> bytes:
+    """Encode ``module`` into the wire format."""
+    pattern_stream, literal_streams, tree_counts, normalized = (
+        _collect_streams(module)
+    )
+    streams: Dict[str, bytes] = {}
+    streams["meta"] = _pack_meta(normalized, tree_counts)
+
+    idx_bytes, novel_patterns = _encode_mtf_stream(pattern_stream)
+    streams["patterns.idx"] = idx_bytes
+    novel_blob = bytearray()
+    write_uvarint(novel_blob, len(novel_patterns))
+    novel_blob.extend(_pack_pattern_novels(novel_patterns))
+    streams["patterns.new"] = bytes(novel_blob)
+
+    # Symbol names referenced by ADDRGP streams go into a shared symbol
+    # table (like the baseline's external symbol table); the code streams
+    # carry small indices.
+    symtab: List[str] = []
+    sym_index: Dict[str, int] = {}
+    for key, values in literal_streams.items():
+        kind = _stream_kind(key)
+        if kind == "label":
+            values = [int(v) for v in values]
+            kind = "int"
+        elif kind == "sym":
+            indexed = []
+            for name in values:
+                idx = sym_index.get(name)
+                if idx is None:
+                    idx = sym_index[name] = len(symtab)
+                    symtab.append(name)
+                indexed.append(idx)
+            values = indexed
+            kind = "int"
+        idx_bytes, novels = _encode_mtf_stream(values)
+        streams[f"lit.{key}.idx"] = idx_bytes
+        blob = bytearray()
+        write_uvarint(blob, len(novels))
+        if kind == "int":
+            blob.extend(_pack_int_novels(novels))
+        else:  # float
+            blob.extend(_pack_float_novels(novels))
+        streams[f"lit.{key}.new"] = bytes(blob)
+
+    blob = bytearray()
+    write_uvarint(blob, len(symtab))
+    blob.extend(_pack_str_novels(symtab))
+    streams["symtab"] = bytes(blob)
+
+    return _MAGIC + pack_streams(streams, compress=compress)
+
+
+def decode_module(blob: bytes) -> IRModule:
+    """Decode a wire blob back into an IR module."""
+    if blob[:4] != _MAGIC:
+        raise ValueError("not a wire-format blob")
+    streams = unpack_streams(blob[4:])
+    module, tree_counts = _unpack_meta(streams["meta"])
+
+    novel_data = streams["patterns.new"]
+    count, pos = read_uvarint(novel_data, 0)
+    novel_patterns = _unpack_pattern_novels(novel_data[pos:], count)
+    pattern_stream = _decode_mtf_stream(streams["patterns.idx"], novel_patterns)
+
+    symtab_blob = streams["symtab"]
+    count, pos = read_uvarint(symtab_blob, 0)
+    symtab = _unpack_str_novels(symtab_blob[pos:], count)
+
+    literal_streams: Dict[str, List] = {}
+    for name in streams:
+        if not name.startswith("lit.") or not name.endswith(".idx"):
+            continue
+        key = name[4:-4]
+        kind = _stream_kind(key)
+        novel_blob = streams[f"lit.{key}.new"]
+        count, pos = read_uvarint(novel_blob, 0)
+        if kind in ("label", "int", "sym"):
+            novels: List = _unpack_int_novels(novel_blob[pos:], count)
+        else:
+            novels = _unpack_float_novels(novel_blob[pos:], count)
+        values = _decode_mtf_stream(streams[name], novels)
+        if kind == "label":
+            values = [str(v) for v in values]
+        elif kind == "sym":
+            values = [symtab[v] for v in values]
+        literal_streams[key] = values
+
+    source = _LiteralSource(literal_streams)
+    cursor = 0
+    for fn, count in zip(module.functions, tree_counts):
+        for _ in range(count):
+            fn.forest.append(rebuild_tree(pattern_stream[cursor], source))
+            cursor += 1
+    if cursor != len(pattern_stream):
+        raise ValueError("pattern stream has trailing patterns")
+    return module
+
+
+def wire_size(module: IRModule, code_only: bool = False) -> int:
+    """Size in bytes of the wire encoding of ``module``.
+
+    With ``code_only`` the meta stream (global data images, symbol names,
+    function headers) is excluded — the paper "compresses only code
+    segments", and its conventional-code baseline carries no symbol table
+    either, so Table-1 comparisons use this metric.
+    """
+    blob = encode_module(module)
+    if not code_only:
+        return len(blob)
+    streams = unpack_streams(blob[4:])
+    without_meta = pack_streams(
+        {k: v for k, v in streams.items() if k not in ("meta", "symtab")})
+    return 4 + len(without_meta)
+
+
+def stream_breakdown(module: IRModule) -> Dict[str, int]:
+    """Per-stream compressed sizes (for size-analysis reports)."""
+    pattern_stream, literal_streams, tree_counts, normalized = (
+        _collect_streams(module)
+    )
+    blob = encode_module(module)
+    streams = unpack_streams(blob[4:])
+    from ..compress import deflate
+
+    return {name: len(deflate.compress(data)) for name, data in streams.items()}

@@ -1,0 +1,82 @@
+"""Arithmetic coder tests (the design-space extreme)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress import arith
+from repro.compress.arith import AdaptiveModel
+
+
+class TestModel:
+    def test_initial_uniform(self):
+        m = AdaptiveModel(4)
+        assert m.total == 4
+        assert m.cumulative(0) == (0, 1, 4)
+        assert m.cumulative(3) == (3, 4, 4)
+
+    def test_update_shifts_mass(self):
+        m = AdaptiveModel(4)
+        for _ in range(10):
+            m.update(2)
+        low, high, total = m.cumulative(2)
+        assert (high - low) / total > 0.5
+
+    def test_find_inverts_cumulative(self):
+        m = AdaptiveModel(8)
+        for s in (1, 1, 5, 5, 5):
+            m.update(s)
+        for sym in range(8):
+            low, high, _ = m.cumulative(sym)
+            assert m.find(low) == sym
+            assert m.find(high - 1) == sym
+
+    def test_rescaling_keeps_total_consistent(self):
+        m = AdaptiveModel(4)
+        for _ in range(5000):
+            m.update(1)
+        assert m.total == sum(m.freq)
+        assert all(f >= 1 for f in m.freq)
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        assert arith.decompress(arith.compress(b"")) == b""
+
+    def test_text_order0(self):
+        data = b"compression by arithmetic coding " * 30
+        assert arith.decompress(arith.compress(data)) == data
+
+    def test_text_order1(self):
+        data = b"compression by arithmetic coding " * 30
+        blob = arith.compress(data, order=1)
+        assert arith.decompress(blob, order=1) == data
+
+    @given(st.binary(max_size=1500))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_order0(self, data):
+        assert arith.decompress(arith.compress(data)) == data
+
+    @given(st.binary(max_size=800))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_order1(self, data):
+        assert arith.decompress(arith.compress(data, order=1), order=1) == data
+
+
+class TestBehaviour:
+    def test_order1_beats_order0_on_contextual_data(self):
+        # 'qu' pairs: order-1 context makes 'u' after 'q' nearly free.
+        data = b"qu" * 4000
+        o0 = len(arith.compress(data, order=0))
+        o1 = len(arith.compress(data, order=1))
+        assert o1 < o0
+
+    def test_skewed_data_below_one_bit_per_symbol(self):
+        data = b"a" * 8000 + b"b"
+        blob = arith.compress(data)
+        assert len(blob) * 8 < len(data)  # < 1 bit per input byte
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            arith.compress(b"x", order=2)
+        with pytest.raises(ValueError):
+            arith.decompress(b"\0\0\0\0", order=3)

@@ -1,0 +1,154 @@
+"""Bit I/O unit and property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compress.bitio import (
+    BitReader, BitWriter, read_uvarint, uvarint, write_uvarint,
+)
+
+
+class TestBitWriter:
+    def test_single_bits_pack_msb_first(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 1):
+            w.write_bit(bit)
+        assert w.getvalue() == bytes([0b1011_0000])
+
+    def test_write_bits_value(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_bits(0b11111, 5)
+        assert w.getvalue() == bytes([0b1011_1111])
+
+    def test_write_zero_width(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.getvalue() == b""
+
+    def test_value_too_large_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(4, 2)
+
+    def test_negative_value_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(-1, 4)
+
+    def test_negative_width_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(0, -1)
+
+    def test_align_pads_with_zeros(self):
+        w = BitWriter()
+        w.write_bits(0b1, 1)
+        w.align()
+        w.write_bits(0xFF, 8)
+        assert w.getvalue() == bytes([0b1000_0000, 0xFF])
+
+    def test_write_bytes_aligned_fast_path(self):
+        w = BitWriter()
+        w.write_bytes(b"\x01\x02")
+        assert w.getvalue() == b"\x01\x02"
+
+    def test_write_bytes_unaligned(self):
+        w = BitWriter()
+        w.write_bit(1)
+        w.write_bytes(b"\x80")
+        # 1 then 1000_0000 -> 1100_0000 0...
+        assert w.getvalue() == bytes([0b1100_0000, 0])
+
+    def test_bit_length_tracks(self):
+        w = BitWriter()
+        w.write_bits(0b1010, 4)
+        assert w.bit_length == 4
+        w.write_bits(0xFFFF, 16)
+        assert w.bit_length == 20
+
+
+class TestBitReader:
+    def test_read_bits_roundtrip_simple(self):
+        w = BitWriter()
+        w.write_bits(0x2A, 7)
+        w.write_bits(0x1234, 16)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(7) == 0x2A
+        assert r.read_bits(16) == 0x1234
+
+    def test_eof_raises(self):
+        r = BitReader(b"\xff")
+        r.read_bits(8)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_read_bytes_aligned(self):
+        r = BitReader(b"\x01\x02\x03")
+        assert r.read_bytes(2) == b"\x01\x02"
+        assert r.read_bits(8) == 3
+
+    def test_read_bytes_unaligned(self):
+        w = BitWriter()
+        w.write_bit(0)
+        w.write_bits(0xAB, 8)
+        r = BitReader(w.getvalue())
+        r.read_bit()
+        assert r.read_bytes(1) == b"\xab"
+
+    def test_align_discards_partial_byte(self):
+        r = BitReader(b"\xff\x01")
+        r.read_bits(3)
+        r.align()
+        assert r.read_bits(8) == 1
+
+    def test_at_eof(self):
+        r = BitReader(b"\x00")
+        assert not r.at_eof()
+        r.read_bits(8)
+        assert r.at_eof()
+
+    def test_bits_consumed(self):
+        r = BitReader(b"\x00\x00")
+        r.read_bits(5)
+        assert r.bits_consumed == 5
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0), st.integers(1, 32))))
+def test_bits_roundtrip_property(fields):
+    """Arbitrary (value, width) sequences survive a write/read cycle."""
+    fields = [(v & ((1 << w) - 1), w) for v, w in fields]
+    w = BitWriter()
+    for value, width in fields:
+        w.write_bits(value, width)
+    r = BitReader(w.getvalue())
+    for value, width in fields:
+        assert r.read_bits(width) == value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**63)))
+def test_uvarint_roundtrip_property(values):
+    blob = bytearray()
+    for v in values:
+        write_uvarint(blob, v)
+    pos = 0
+    for v in values:
+        got, pos = read_uvarint(bytes(blob), pos)
+        assert got == v
+    assert pos == len(blob)
+
+
+def test_uvarint_single_byte_for_small_values():
+    assert len(uvarint(0)) == 1
+    assert len(uvarint(127)) == 1
+    assert len(uvarint(128)) == 2
+
+
+def test_uvarint_rejects_negative():
+    with pytest.raises(ValueError):
+        uvarint(-1)
+
+
+def test_uvarint_truncated_raises():
+    with pytest.raises(EOFError):
+        read_uvarint(b"\x80", 0)

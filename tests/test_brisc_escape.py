@@ -1,0 +1,83 @@
+"""Escape-coding tests: contexts whose tables overflow one byte.
+
+Pattern contexts are split (see test_brisc_markov), but the special
+basic-block contexts cannot be split — when more than 255 distinct
+patterns begin blocks, the encoder falls back to an explicit 2-byte
+pattern id behind the 0xFF escape byte.  These tests build such an image
+synthetically and prove it decodes and executes.
+"""
+
+import pytest
+
+from repro.brisc.encode import decode_image, encode_image, parse_image
+from repro.brisc.markov import ESCAPE
+from repro.brisc.pattern import DictPattern, pattern_of_instr
+from repro.brisc.slots import Slot, SlotFunction, SlotProgram
+from repro.vm.instr import Instr
+from repro.vm.interp import run_program
+
+
+def _specialized(instr):
+    """A fully-burned pattern for the instruction (distinct per operands)."""
+    p = pattern_of_instr(instr)
+    for _ in range(len(p.fields)):
+        p = p.specializations(instr)[0]
+    return DictPattern((p,))
+
+
+def _build_overflow_program(n_blocks=300):
+    """A function of n_blocks single-slot blocks, each a distinct pattern.
+
+    Every slot is a block start (labelled), so the CTX_BB table holds
+    n_blocks distinct patterns — beyond the 255-entry stored table.
+    """
+    slots = []
+    for i in range(n_blocks):
+        instr = Instr("li", (0, 1000 + i))
+        slots.append(Slot(insns=(instr,), pattern=_specialized(instr),
+                          is_block_start=True, labels=(f"B{i}",)))
+    hlt = Instr("hlt", ())
+    slots.append(Slot(insns=(hlt,),
+                      pattern=DictPattern((pattern_of_instr(hlt),)),
+                      is_block_start=True, labels=("end",)))
+    fn = SlotFunction("main", slots=slots)
+    return SlotProgram("overflow", functions=[fn])
+
+
+def test_escape_bytes_present():
+    image, model = encode_image(_build_overflow_program(), [])
+    fn_code = parse_image(image.blob).functions[0].code
+    assert ESCAPE in fn_code  # at least one escaped opcode
+
+
+def test_escaped_image_decodes():
+    image, _ = encode_image(_build_overflow_program(), [])
+    program = decode_image(image.blob)
+    assert len(program.functions[0].code) == 301
+    names = {i.name for i in program.functions[0].code}
+    assert names == {"li", "hlt"}
+
+
+def test_escaped_image_executes():
+    image, _ = encode_image(_build_overflow_program(), [])
+    program = decode_image(image.blob)
+    result = run_program(program)
+    # The last li before hlt loaded 1000 + 299.
+    assert result.exit_code == 1299
+
+
+def test_escaped_image_interprets_in_place():
+    from repro.brisc.interp import BriscInterpreter
+
+    image, _ = encode_image(_build_overflow_program(), [])
+    interp = BriscInterpreter(image.blob, cache_decoded=False)
+    assert interp.run().exit_code == 1299
+
+
+def test_no_escape_below_limit():
+    image, _ = encode_image(_build_overflow_program(100), [])
+    parsed = parse_image(image.blob)
+    # With 101 block patterns the stored bb table holds them all; the only
+    # 0xFF bytes possible are operand payload, so decode must still work.
+    program = decode_image(image.blob)
+    assert run_program(program).exit_code == 1099

@@ -1,0 +1,182 @@
+"""BRISC pattern machinery tests."""
+
+import pytest
+
+from repro.brisc.pattern import (
+    Burned, DictPattern, InsnPattern, Wildcard, deserialize_pattern,
+    imm_class, pattern_of_instr, serialize_pattern,
+)
+from repro.vm.instr import Instr
+from repro.vm.isa import REG_SP
+
+
+def base(instr):
+    return DictPattern((pattern_of_instr(instr),))
+
+
+LD = Instr("ld.iw", (0, 4, REG_SP))       # the paper's favourite instruction
+MOV = Instr("mov.i", (2, 0))
+ENTER = Instr("enter", (REG_SP, REG_SP, 24))
+
+
+class TestImmClasses:
+    def test_nibble_x4(self):
+        """The paper's -x4 suffix: multiples of four fit a scaled nibble."""
+        assert imm_class(0) == "n4"
+        assert imm_class(4) == "n4"
+        assert imm_class(60) == "n4"
+
+    def test_byte(self):
+        assert imm_class(1) == "b"
+        assert imm_class(-4) == "b"
+        assert imm_class(127) == "b"
+
+    def test_half_and_word(self):
+        assert imm_class(1000) == "h"
+        assert imm_class(100000) == "w"
+
+
+class TestMatching:
+    def test_base_pattern_matches_same_shape(self):
+        p = pattern_of_instr(LD)
+        assert p.matches(Instr("ld.iw", (3, 8, REG_SP)))
+
+    def test_base_pattern_rejects_wider_imm(self):
+        p = pattern_of_instr(LD)  # offset 4 -> n4 class
+        assert not p.matches(Instr("ld.iw", (3, 1000, REG_SP)))
+
+    def test_different_mnemonic_rejected(self):
+        assert not pattern_of_instr(LD).matches(MOV)
+
+    def test_burned_field_must_equal(self):
+        p = pattern_of_instr(LD).specializations(LD)[0]  # burn rd=n0
+        assert p.matches(Instr("ld.iw", (0, 8, REG_SP)))
+        assert not p.matches(Instr("ld.iw", (1, 8, REG_SP)))
+
+
+class TestSpecialization:
+    def test_one_field_at_a_time(self):
+        """ld.iw n0,4(sp) patternizes into per-field specializations (the
+        paper enumerates exactly these candidates)."""
+        specs = pattern_of_instr(LD).specializations(LD)
+        assert len(specs) == 3  # rd, offset, base — one each
+        burned_counts = [
+            sum(isinstance(f, Burned) for f in s.fields) for s in specs
+        ]
+        assert burned_counts == [1, 1, 1]
+
+    def test_specializing_all_fields(self):
+        p = pattern_of_instr(LD)
+        for _ in range(3):
+            p = p.specializations(LD)[0]
+        assert all(isinstance(f, Burned) for f in p.fields)
+        assert p.matches(LD)
+
+    def test_fully_burned_pattern_has_no_operand_bytes(self):
+        p = pattern_of_instr(LD)
+        for _ in range(3):
+            p = p.specializations(LD)[0]
+        assert DictPattern((p,)).operand_bytes() == 0
+
+
+class TestOperandLayout:
+    def test_all_wildcard_ld_packs_nibbles(self):
+        # rd (nib) + n4 offset (nib) + rb (nib) -> 2 bytes.
+        assert base(LD).operand_bytes() == 2
+
+    def test_burning_one_nibble_saves_via_pairing(self):
+        p = pattern_of_instr(LD).specializations(LD)[0]
+        assert DictPattern((p,)).operand_bytes() == 1
+
+    def test_mov_is_one_byte(self):
+        assert base(MOV).operand_bytes() == 1
+
+    def test_combined_pattern_packs_across_parts(self):
+        combined = DictPattern(
+            (pattern_of_instr(MOV), pattern_of_instr(MOV))
+        )
+        # 4 nibbles across both parts -> 2 bytes.
+        assert combined.operand_bytes() == 2
+
+    def test_encoded_size_adds_opcode_byte(self):
+        assert base(MOV).encoded_size() == base(MOV).operand_bytes() + 1
+
+    def test_wide_imm_class_sizes(self):
+        li_w = Instr("li", (0, 100000))
+        assert base(li_w).operand_bytes() == 1 + 4  # reg nibble pads + imm32
+
+
+class TestControlPlacement:
+    def test_branch_in_final_part_ok(self):
+        p = DictPattern((
+            pattern_of_instr(MOV),
+            pattern_of_instr(Instr("blti.i", (0, 10, "L"))),
+        ))
+        assert p.is_control_ok()
+
+    def test_branch_in_first_part_rejected(self):
+        p = DictPattern((
+            pattern_of_instr(Instr("blti.i", (0, 10, "L"))),
+            pattern_of_instr(MOV),
+        ))
+        assert not p.is_control_ok()
+
+    def test_call_in_middle_rejected(self):
+        p = DictPattern((
+            pattern_of_instr(Instr("call", ("f",))),
+            pattern_of_instr(MOV),
+        ))
+        assert not p.is_control_ok()
+
+
+class TestSerialization:
+    def roundtrip(self, pattern):
+        blob = serialize_pattern(pattern)
+        back, pos = deserialize_pattern(blob, 0)
+        assert pos == len(blob)
+        assert back == pattern
+        return blob
+
+    def test_base_pattern(self):
+        self.roundtrip(base(LD))
+
+    def test_specialized_pattern(self):
+        p = pattern_of_instr(ENTER)
+        p = p.specializations(ENTER)[0]
+        self.roundtrip(DictPattern((p,)))
+
+    def test_combined_pattern(self):
+        self.roundtrip(DictPattern(
+            (pattern_of_instr(ENTER), pattern_of_instr(LD))))
+
+    def test_negative_burned_imm(self):
+        i = Instr("st.iw", (0, -4, REG_SP))
+        p = pattern_of_instr(i)
+        for _ in range(3):
+            p = p.specializations(i)[0]
+        self.roundtrip(DictPattern((p,)))
+
+    def test_burned_symbol(self):
+        i = Instr("call", ("pepper",))
+        p = pattern_of_instr(i).specializations(i)[0]
+        self.roundtrip(DictPattern((p,)))
+
+    def test_double_immediate(self):
+        i = Instr("li.d", (0, 2.5))
+        p = pattern_of_instr(i).specializations(i)[-1]
+        self.roundtrip(DictPattern((p,)))
+
+    def test_dictionary_size_small(self):
+        """The paper estimates ~2 bytes per specialized entry; ours must
+        stay the same order of magnitude."""
+        p = pattern_of_instr(ENTER).specializations(ENTER)[0]
+        assert DictPattern((p,)).dictionary_size() <= 10
+
+
+class TestPaperNotation:
+    def test_str_matches_paper_style(self):
+        p = pattern_of_instr(LD).specializations(LD)[0]
+        text = str(DictPattern((p,)))
+        assert text.startswith("[ld.iw")
+        combined = DictPattern((pattern_of_instr(MOV), pattern_of_instr(MOV)))
+        assert str(combined).startswith("<[mov.i")

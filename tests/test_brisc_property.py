@@ -1,0 +1,91 @@
+"""Property-based BRISC tests: random instruction streams survive the
+slot → Markov-encode → image → decode pipeline instruction-for-instruction.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.brisc.encode import decode_image, encode_image
+from repro.brisc.slots import build_slots
+from repro.vm.instr import Instr, VMFunction, VMProgram
+from repro.vm.isa import MNEMONIC, Operand, SPEC
+
+# Mnemonics safe for random streams: no control flow (labels handled
+# separately), no syscalls.
+_SAFE = [
+    name for name in MNEMONIC
+    if SPEC[name].group in ("mem", "alu", "alui", "move", "conv", "frame")
+    and Operand.SYM not in SPEC[name].signature
+]
+
+
+@st.composite
+def random_instr(draw):
+    name = draw(st.sampled_from(_SAFE))
+    operands = []
+    for kind in SPEC[name].signature:
+        if kind is Operand.REG:
+            operands.append(draw(st.integers(0, 15)))
+        elif kind is Operand.FREG:
+            operands.append(draw(st.integers(0, 7)))
+        elif kind is Operand.IMM:
+            operands.append(draw(st.integers(-2**31, 2**31 - 1)))
+        elif kind is Operand.DIMM:
+            operands.append(draw(st.floats(allow_nan=False,
+                                           allow_infinity=False, width=32)))
+    return Instr(name, tuple(operands))
+
+
+@st.composite
+def random_function(draw):
+    fn = VMFunction("f")
+    n = draw(st.integers(1, 40))
+    label_positions = sorted(draw(
+        st.sets(st.integers(0, n - 1), max_size=4)))
+    for i in range(n):
+        if i in label_positions:
+            fn.define_label(f"L{i}")
+        fn.emit(draw(random_instr()))
+        # Occasionally branch back to a defined label.
+        if label_positions and draw(st.booleans()) and i > label_positions[0]:
+            target = f"L{label_positions[0]}"
+            fn.emit(Instr("bnei.i", (draw(st.integers(0, 15)),
+                                     draw(st.integers(-100, 100)), target)))
+    fn.emit(Instr("hlt", ()))
+    return fn
+
+
+@given(random_function())
+@settings(max_examples=40, deadline=None)
+def test_image_roundtrip_preserves_instructions(fn):
+    program = VMProgram("prop", functions=[fn])
+    slots = build_slots(program)
+    image, model = encode_image(slots, [])
+    back = decode_image(image.blob)
+    got = back.functions[0].code
+    assert len(got) == len(fn.code)
+    for a, b in zip(fn.code, got):
+        assert a.name == b.name
+        for kind, av, bv in zip(a.spec.signature, a.operands, b.operands):
+            if kind is Operand.LABEL:
+                continue  # renamed to L<offset>; targets checked below
+            if kind is Operand.DIMM:
+                assert av == pytest.approx(bv)
+            else:
+                assert av == bv
+
+
+@given(random_function())
+@settings(max_examples=20, deadline=None)
+def test_image_roundtrip_preserves_branch_targets(fn):
+    program = VMProgram("prop", functions=[fn])
+    slots = build_slots(program)
+    image, _ = encode_image(slots, [])
+    back = decode_image(image.blob)
+    vmf = back.functions[0]
+    # Every decoded branch target resolves to the same instruction index
+    # as in the original function.
+    for (a, b) in zip(fn.code, vmf.code):
+        for kind, av, bv in zip(a.spec.signature, a.operands, b.operands):
+            if kind is Operand.LABEL:
+                assert fn.labels[str(av)] == vmf.labels[str(bv)]

@@ -1,0 +1,69 @@
+"""CLI (`python -m repro`) tests."""
+
+import pytest
+
+from repro.__main__ import main
+
+HELLO = """
+int sq(int x) { return x * x; }
+int main(void) { print_int(sq(7)); putchar('\\n'); return 0; }
+"""
+
+
+@pytest.fixture
+def hello_c(tmp_path):
+    path = tmp_path / "hello.c"
+    path.write_text(HELLO)
+    return str(path)
+
+
+def test_run(hello_c, capsys):
+    assert main(["run", hello_c]) == 0
+    assert capsys.readouterr().out == "49\n"
+
+
+def test_dump_ir(hello_c, capsys):
+    assert main(["dump-ir", hello_c]) == 0
+    out = capsys.readouterr().out
+    assert "MULI" in out and "RETI" in out
+
+
+def test_dump_asm(hello_c, capsys):
+    assert main(["dump-asm", hello_c]) == 0
+    out = capsys.readouterr().out
+    assert "enter sp,sp," in out and "rjr ra" in out
+
+
+def test_sizes(hello_c, capsys):
+    assert main(["sizes", hello_c]) == 0
+    out = capsys.readouterr().out
+    assert "BRISC code segment" in out
+    assert "wire format" in out
+
+
+def test_wire_output(hello_c, tmp_path, capsys):
+    out_path = str(tmp_path / "out.wire")
+    assert main(["wire", hello_c, "-o", out_path]) == 0
+    blob = open(out_path, "rb").read()
+    assert blob[:4] == b"WIR1"
+
+
+def test_brisc_roundtrip_via_cli(hello_c, tmp_path, capsys):
+    image = str(tmp_path / "out.brisc")
+    assert main(["brisc", hello_c, "-o", image]) == 0
+    capsys.readouterr()
+    assert main(["exec-brisc", image]) == 0
+    assert capsys.readouterr().out == "49\n"
+
+
+def test_compile_error_reported(tmp_path, capsys):
+    bad = tmp_path / "bad.c"
+    bad.write_text("int main(void) { return undeclared; }")
+    assert main(["run", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_exit_code_propagates(tmp_path):
+    src = tmp_path / "exit3.c"
+    src.write_text("int main(void) { return 3; }")
+    assert main(["run", str(src)]) == 3

@@ -1,0 +1,485 @@
+"""End-to-end code generation tests: compile C, run on the VM, check output.
+
+This is the main correctness suite for the whole pipeline (front end, IR,
+codegen, interpreter): each case is a miniature program with a known
+deterministic result.
+"""
+
+import pytest
+
+import repro
+from repro.vm import VMError
+
+
+def run_c(src, **kwargs):
+    return repro.run(repro.compile_c(src), **kwargs)
+
+
+def returns(src, **kwargs):
+    return run_c(f"int main(void) {{ {src} }}", **kwargs).exit_code
+
+
+def prints(src, **kwargs):
+    return run_c(src, **kwargs).output
+
+
+class TestArithmetic:
+    def test_literal_arithmetic(self):
+        assert returns("return 2 + 3 * 4;") == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert returns("int a = -7; return a / 2;") == -3
+
+    def test_modulo_negative(self):
+        assert returns("int a = -7; return a % 3;") == -1
+
+    def test_unsigned_compare(self):
+        assert returns("unsigned a = 0; return (a - 1u) > 100u;") == 1
+
+    def test_signed_overflow_wraps(self):
+        assert returns(
+            "int a = 2147483647; return a + 1 == -2147483647 - 1;") == 1
+
+    def test_shifts(self):
+        assert returns("int a = -16; return (a >> 2) + (1 << 4);") == 12
+
+    def test_unsigned_right_shift_logical(self):
+        assert returns("unsigned a = 0x80000000u; return (a >> 31) == 1u;") == 1
+
+    def test_bitwise_ops(self):
+        assert returns("return (12 & 10) | (5 ^ 3);") == 14
+
+    def test_complement(self):
+        assert returns("int a = 0; return ~a;") == -1
+
+    def test_unary_minus(self):
+        assert returns("int a = 5; return -a + 10;") == 5
+
+    def test_char_arithmetic_promotes(self):
+        assert returns("char c = 'z'; return c - 'a';") == 25
+
+    def test_char_wraps_on_store(self):
+        assert returns("char c = 300; return c;") == 300 - 256
+
+    def test_short_truncation(self):
+        assert returns("short s = 70000; return s;") == 70000 - 65536
+
+    def test_unsigned_char_zero_extends(self):
+        assert returns("unsigned char c = 200; return c;") == 200
+
+
+class TestDoubles:
+    def test_double_literal_printing(self):
+        assert prints("int main(void) { print_double(2.5); return 0; }") \
+            == "2.5"
+
+    def test_mixed_arithmetic(self):
+        assert prints(
+            "int main(void) { print_double(1 + 0.5); return 0; }") == "1.5"
+
+    def test_double_compare(self):
+        assert returns("double a = 0.1; double b = 0.2; return a < b;") == 1
+
+    def test_double_to_int_truncates(self):
+        assert returns("double d = 3.99; return (int)d;") == 3
+
+    def test_int_to_double_exact(self):
+        assert returns("int i = 7; double d = i; return d == 7.0;") == 1
+
+    def test_double_params_and_return(self):
+        assert prints("""
+            double scale(double x, double k) { return x * k; }
+            int main(void) { print_double(scale(2.0, 3.5)); return 0; }
+        """) == "7"
+
+    def test_double_locals_aligned(self):
+        assert returns(
+            "char c = 1; double d = 2.0; char e = 3; "
+            "return c + (int)d + e;") == 6
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        assert returns("""
+            int x = 7;
+            if (x < 5) return 1;
+            else if (x < 10) return 2;
+            else return 3;
+        """) == 2
+
+    def test_while_loop(self):
+        assert returns(
+            "int i = 0; int s = 0; while (i < 10) { s += i; i++; } return s;"
+        ) == 45
+
+    def test_do_while_runs_once(self):
+        assert returns("int n = 0; do n++; while (0); return n;") == 1
+
+    def test_for_with_break_continue(self):
+        assert returns("""
+            int s = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2) continue;
+                if (i > 10) break;
+                s += i;
+            }
+            return s;
+        """) == 30
+
+    def test_nested_loops(self):
+        assert returns("""
+            int c = 0;
+            for (int i = 0; i < 5; i++)
+                for (int j = 0; j < 5; j++)
+                    if (i == j) c++;
+            return c;
+        """) == 5
+
+    def test_switch_fallthrough(self):
+        assert returns("""
+            int x = 1, r = 0;
+            switch (x) {
+            case 0: r += 1;
+            case 1: r += 10;
+            case 2: r += 100; break;
+            case 3: r += 1000;
+            }
+            return r;
+        """) == 110
+
+    def test_switch_default(self):
+        assert returns("""
+            int r;
+            switch (99) { case 1: r = 1; break; default: r = 7; break; }
+            return r;
+        """) == 7
+
+    def test_switch_no_match_no_default(self):
+        assert returns(
+            "int r = 3; switch (9) { case 1: r = 0; break; } return r;") == 3
+
+    def test_short_circuit_evaluation(self):
+        assert prints("""
+            int hits = 0;
+            int touch(int v) { hits++; return v; }
+            int main(void) {
+                int r = touch(0) && touch(1);
+                print_int(hits);
+                print_int(r);
+                r = touch(1) || touch(0);
+                print_int(hits);
+                print_int(r);
+                return 0;
+            }
+        """) == "1021"
+
+    def test_conditional_expression(self):
+        assert returns("int x = 3; return x > 2 ? 10 : 20;") == 10
+
+    def test_conditional_side_effect_only_one_arm(self):
+        assert prints("""
+            int main(void) {
+                int x = 1;
+                x ? print_int(1) : print_int(2);
+                return 0;
+            }
+        """) == "1"
+
+    def test_empty_statement(self):
+        assert returns(";;; return 5;") == 5
+
+
+class TestFunctions:
+    def test_recursion_factorial(self):
+        assert prints("""
+            int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+            int main(void) { print_int(fact(7)); return 0; }
+        """) == "5040"
+
+    def test_mutual_recursion(self):
+        assert returns_helper_even_odd() == "10"
+
+    def test_many_arguments(self):
+        assert prints("""
+            int sum6(int a, int b, int c, int d, int e, int f) {
+                return a + b + c + d + e + f;
+            }
+            int main(void) { print_int(sum6(1, 2, 3, 4, 5, 6)); return 0; }
+        """) == "21"
+
+    def test_function_pointer_call(self):
+        assert prints("""
+            int add(int a, int b) { return a + b; }
+            int mul(int a, int b) { return a * b; }
+            int apply(int (*op)(int, int), int x, int y) { return op(x, y); }
+            int main(void) {
+                print_int(apply(add, 3, 4));
+                print_int(apply(mul, 3, 4));
+                return 0;
+            }
+        """) == "712"
+
+    def test_function_pointer_table(self):
+        assert prints("""
+            int inc(int x) { return x + 1; }
+            int dec(int x) { return x - 1; }
+            int (*ops[2])(int);
+            int main(void) {
+                ops[0] = inc; ops[1] = dec;
+                print_int(ops[0](10));
+                print_int(ops[1](10));
+                return 0;
+            }
+        """) == "119"
+
+    def test_void_function(self):
+        assert prints("""
+            int g;
+            void set(int v) { g = v; }
+            int main(void) { set(13); print_int(g); return 0; }
+        """) == "13"
+
+    def test_char_parameter(self):
+        assert prints("""
+            int code(char c) { return c + 1; }
+            int main(void) { print_int(code('a')); return 0; }
+        """) == "98"
+
+    def test_deep_call_chain(self):
+        assert prints("""
+            int f0(int x) { return x + 1; }
+            int f1(int x) { return f0(x) + 1; }
+            int f2(int x) { return f1(x) + 1; }
+            int f3(int x) { return f2(x) + 1; }
+            int main(void) { print_int(f3(0)); return 0; }
+        """) == "4"
+
+
+def returns_helper_even_odd():
+    return prints("""
+        int is_odd(int n);
+        int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+        int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+        int main(void) { print_int(is_even(10)); print_int(is_odd(10));
+                         return 0; }
+    """)
+
+
+class TestPointersAndArrays:
+    def test_array_sum(self):
+        assert returns(
+            "int a[5]; for (int i = 0; i < 5; i++) a[i] = i * i;"
+            " int s = 0; for (int i = 0; i < 5; i++) s += a[i]; return s;"
+        ) == 30
+
+    def test_pointer_walk(self):
+        assert returns("""
+            int a[4];
+            a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+            int *p = a;
+            int s = 0;
+            while (p < a + 4) s += *p++;
+            return s;
+        """) == 10
+
+    def test_pointer_arithmetic_scaling(self):
+        assert returns("int a[4]; int *p = a; return (int)(p + 1 - p);") == 1
+
+    def test_address_of_local(self):
+        assert returns("int x = 5; int *p = &x; *p = 9; return x;") == 9
+
+    def test_swap_through_pointers(self):
+        assert prints("""
+            void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+            int main(void) {
+                int x = 1, y = 2;
+                swap(&x, &y);
+                print_int(x); print_int(y);
+                return 0;
+            }
+        """) == "21"
+
+    def test_multidim_array(self):
+        assert returns("""
+            int m[3][4];
+            for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            return m[2][3];
+        """) == 23
+
+    def test_global_array_init(self):
+        assert prints("""
+            int t[4] = {2, 4, 8, 16};
+            int main(void) { print_int(t[0] + t[3]); return 0; }
+        """) == "18"
+
+    def test_string_walk(self):
+        assert prints("""
+            int main(void) {
+                char *s = "hello";
+                int n = 0;
+                while (s[n]) n++;
+                print_int(n);
+                return 0;
+            }
+        """) == "5"
+
+    def test_local_array_initializer(self):
+        assert returns("int a[3] = {5, 6}; return a[0] + a[1] + a[2];") == 11
+
+    def test_local_string_initializer(self):
+        assert returns('char s[] = "ab"; return s[0] + s[1] + s[2];') == \
+            ord("a") + ord("b")
+
+    def test_void_pointer_roundtrip(self):
+        assert returns("""
+            int x = 77;
+            void *v = &x;
+            int *p = (int *)v;
+            return *p;
+        """) == 77
+
+    def test_malloc_array(self):
+        assert returns("""
+            int *a = (int *)malloc(10 * sizeof(int));
+            for (int i = 0; i < 10; i++) a[i] = i;
+            return a[9];
+        """) == 9
+
+
+class TestStructs:
+    def test_member_access(self):
+        assert returns("""
+            struct P { int x; int y; };
+            struct P p;
+            p.x = 3; p.y = 4;
+            return p.x * p.y;
+        """) == 12
+
+    def test_struct_pointer(self):
+        assert prints("""
+            struct P { int x; int y; };
+            void init(struct P *p) { p->x = 10; p->y = 20; }
+            int main(void) {
+                struct P p;
+                init(&p);
+                print_int(p.x + p.y);
+                return 0;
+            }
+        """) == "30"
+
+    def test_struct_assignment_copies(self):
+        assert returns("""
+            struct P { int x; int y; };
+            struct P a, b;
+            a.x = 1; a.y = 2;
+            b = a;
+            a.x = 99;
+            return b.x + b.y;
+        """) == 3
+
+    def test_nested_struct(self):
+        assert returns("""
+            struct In { int v; };
+            struct Out { struct In in; int w; };
+            struct Out o;
+            o.in.v = 6; o.w = 7;
+            return o.in.v * o.w;
+        """) == 42
+
+    def test_array_of_structs(self):
+        assert returns("""
+            struct P { int x; int y; };
+            struct P ps[3];
+            for (int i = 0; i < 3; i++) { ps[i].x = i; ps[i].y = i * 2; }
+            return ps[2].x + ps[2].y;
+        """) == 6
+
+    def test_linked_list(self):
+        assert prints("""
+            struct Node { int v; struct Node *next; };
+            int main(void) {
+                struct Node *head = 0;
+                for (int i = 1; i <= 4; i++) {
+                    struct Node *n = (struct Node *)malloc(sizeof(struct Node));
+                    n->v = i;
+                    n->next = head;
+                    head = n;
+                }
+                int s = 0;
+                while (head) { s = s * 10 + head->v; head = head->next; }
+                print_int(s);
+                return 0;
+            }
+        """) == "4321"
+
+    def test_union_shares_storage(self):
+        assert returns("""
+            union U { int i; char c; };
+            union U u;
+            u.i = 0x41424344;
+            return u.c;
+        """) == 0x44  # little-endian low byte
+
+    def test_struct_with_double(self):
+        assert prints("""
+            struct M { int n; double v; };
+            int main(void) {
+                struct M m;
+                m.n = 2; m.v = 1.25;
+                print_double(m.v * m.n);
+                return 0;
+            }
+        """) == "2.5"
+
+
+class TestGlobalsAndStatics:
+    def test_global_counter(self):
+        assert prints("""
+            int counter;
+            void bump(void) { counter++; }
+            int main(void) {
+                bump(); bump(); bump();
+                print_int(counter);
+                return 0;
+            }
+        """) == "3"
+
+    def test_static_local_persists(self):
+        assert prints("""
+            int next_id(void) { static int id = 100; return id++; }
+            int main(void) {
+                print_int(next_id());
+                print_int(next_id());
+                print_int(next_id());
+                return 0;
+            }
+        """) == "100101102"
+
+    def test_global_double(self):
+        assert prints("""
+            double ratio = 0.5;
+            int main(void) { print_double(ratio * 8.0); return 0; }
+        """) == "4"
+
+    def test_global_struct_init(self):
+        assert prints("""
+            struct P { int x; int y; };
+            struct P origin = {3, 4};
+            int main(void) { print_int(origin.x + origin.y); return 0; }
+        """) == "7"
+
+
+class TestRuntimeFaults:
+    def test_division_by_zero_faults(self):
+        with pytest.raises(VMError):
+            returns("int z = 0; return 5 / z;")
+
+    def test_null_dereference_faults(self):
+        with pytest.raises(VMError):
+            returns("int *p = 0; return *p;")
+
+    def test_infinite_loop_hits_budget(self):
+        with pytest.raises(VMError):
+            returns("for (;;) ; return 0;", max_steps=10_000)

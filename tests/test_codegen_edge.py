@@ -1,0 +1,293 @@
+"""Edge-case code generation tests: compound assignment through memory,
+increment/decrement variants, register pressure, mixed-type corners."""
+
+import pytest
+
+import repro
+from repro.codegen import CodegenError
+from repro.vm import run_program
+
+
+def returns(src, **kwargs):
+    return repro.run(repro.compile_c(f"int main(void) {{ {src} }}"),
+                     **kwargs).exit_code
+
+
+def prints(src, **kwargs):
+    return repro.run(repro.compile_c(src), **kwargs).output
+
+
+class TestCompoundAssignment:
+    def test_through_pointer(self):
+        assert returns("int x = 10; int *p = &x; *p += 5; return x;") == 15
+
+    def test_through_array_element(self):
+        assert returns(
+            "int a[3]; a[1] = 4; a[1] *= 3; return a[1];") == 12
+
+    def test_through_struct_member(self):
+        assert returns("""
+            struct P { int x; int y; };
+            struct P p;
+            p.y = 7;
+            p.y -= 3;
+            return p.y;
+        """) == 4
+
+    def test_through_arrow(self):
+        assert returns("""
+            struct P { int x; };
+            struct P p;
+            struct P *q = &p;
+            q->x = 2;
+            q->x <<= 4;
+            return q->x;
+        """) == 32
+
+    def test_address_evaluated_once(self):
+        """The target address of a compound assignment is computed once —
+        a side-effecting index must not run twice."""
+        assert prints("""
+            int a[4];
+            int calls = 0;
+            int idx(void) { calls++; return 2; }
+            int main(void) {
+                a[2] = 5;
+                a[idx()] += 10;
+                print_int(a[2]);
+                print_int(calls);
+                return 0;
+            }
+        """) == "151"
+
+    def test_pointer_plus_equals(self):
+        assert returns("""
+            int a[4];
+            a[2] = 42;
+            int *p = a;
+            p += 2;
+            return *p;
+        """) == 42
+
+    def test_char_compound_wraps(self):
+        assert returns("char c = 120; c += 10; return c;") == 130 - 256
+
+    def test_unsigned_shift_compound(self):
+        assert returns(
+            "unsigned u = 0x80000000u; u >>= 4; return u == 0x08000000u;"
+        ) == 1
+
+    def test_double_compound(self):
+        assert prints("""
+            int main(void) {
+                double d = 1.0;
+                d += 0.5;
+                d *= 4.0;
+                print_double(d);
+                return 0;
+            }
+        """) == "6"
+
+
+class TestIncDec:
+    def test_pre_and_post_mix(self):
+        assert prints("""
+            int main(void) {
+                int i = 5;
+                print_int(i++);
+                print_int(i);
+                print_int(--i);
+                print_int(i--);
+                print_int(i);
+                return 0;
+            }
+        """) == "56554"
+
+    def test_pointer_increment_scales(self):
+        assert returns("""
+            int a[3];
+            a[0] = 1; a[1] = 2; a[2] = 3;
+            int *p = a;
+            p++;
+            ++p;
+            return *p;
+        """) == 3
+
+    def test_char_pointer_increment(self):
+        assert prints("""
+            int main(void) {
+                char *s = "xyz";
+                s++;
+                putchar(*s);
+                return 0;
+            }
+        """) == "y"
+
+    def test_double_increment(self):
+        assert prints("""
+            int main(void) {
+                double d = 1.5;
+                d++;
+                print_double(d);
+                return 0;
+            }
+        """) == "2.5"
+
+    def test_postfix_in_expression(self):
+        assert returns("int i = 3; int j = i++ * 2; return j * 10 + i;") == 64
+
+    def test_increment_through_deref(self):
+        assert returns("int x = 9; int *p = &x; (*p)++; return x;") == 10
+
+    def test_char_increment_wraps(self):
+        assert returns("char c = 127; c++; return c;") == -128
+
+
+class TestRegisterPressure:
+    def test_deep_expression_tree(self):
+        # A balanced tree of depth ~5 (needs ~6 registers with SU order).
+        expr = "((1+2)*(3+4)) + ((5+6)*(7+8)) + ((1+2)*(3+4)) * 2"
+        # Defeat constant folding with variables.
+        decls = "; ".join(f"int v{i} = {i}" for i in range(1, 9)) + ";"
+        deep = ("((v1+v2)*(v3+v4)) + ((v5+v6)*(v7+v8)) "
+                "+ ((v1+v2)*(v3+v4)) * v2")
+        expected = ((1 + 2) * (3 + 4) + (5 + 6) * (7 + 8)
+                    + ((1 + 2) * (3 + 4)) * 2)
+        assert returns(f"{decls} return {deep};") == expected
+
+    def test_very_deep_right_nested(self):
+        decls = "int a = 1;"
+        expr = "a"
+        value = 1
+        for i in range(2, 12):
+            expr = f"(a + {expr} * 2)"
+            value = 1 + value * 2
+        assert returns(f"{decls} return {expr};") == value
+
+    def test_many_live_locals(self):
+        body = "; ".join(f"int x{i} = {i}" for i in range(20)) + ";"
+        total = " + ".join(f"x{i}" for i in range(20))
+        assert returns(f"{body} return {total};") == sum(range(20))
+
+
+class TestMixedTypes:
+    def test_char_short_int_chain(self):
+        assert returns("""
+            char c = 100;
+            short s = c * 2;
+            int i = s * 300;
+            return i;
+        """) == 60000
+
+    def test_short_param_roundtrip(self):
+        assert prints("""
+            int twice(short s) { return s * 2; }
+            int main(void) { print_int(twice(-300)); return 0; }
+        """) == "-600"
+
+    def test_unsigned_to_double(self):
+        assert prints("""
+            int main(void) {
+                unsigned u = 0xC0000000u;  /* > INT_MAX */
+                double d = u;
+                print_double(d / 1073741824.0);
+                return 0;
+            }
+        """) == "3"
+
+    def test_double_to_unsigned(self):
+        assert returns(
+            "double d = 3000000000.0; unsigned u = d;"
+            " return u == 3000000000u;") == 1
+
+    def test_comparison_of_mixed_signedness(self):
+        # -1 converts to UINT_MAX in the unsigned comparison.
+        assert returns("unsigned u = 5u; int i = -1; return u < i;") == 1
+
+    def test_ternary_mixing_int_double(self):
+        assert prints("""
+            int main(void) {
+                int flag = 1;
+                print_double(flag ? 1 : 2.5);
+                return 0;
+            }
+        """) == "1"
+
+
+class TestCallsEdge:
+    def test_call_in_condition(self):
+        assert prints("""
+            int check(int v) { return v > 3; }
+            int main(void) {
+                if (check(5)) print_int(1);
+                else print_int(0);
+                return 0;
+            }
+        """) == "1"
+
+    def test_call_in_loop_condition(self):
+        assert prints("""
+            int limit(void) { return 4; }
+            int main(void) {
+                int n = 0;
+                for (int i = 0; i < limit(); i++) n++;
+                print_int(n);
+                return 0;
+            }
+        """) == "4"
+
+    def test_nested_calls_three_deep(self):
+        assert prints("""
+            int inc(int x) { return x + 1; }
+            int main(void) { print_int(inc(inc(inc(0)))); return 0; }
+        """) == "3"
+
+    def test_call_args_evaluated_left_to_right(self):
+        assert prints("""
+            int log_val(int tag) { print_int(tag); return tag; }
+            int sum2(int a, int b) { return a + b; }
+            int main(void) {
+                int r = sum2(log_val(1), log_val(2));
+                print_int(r);
+                return 0;
+            }
+        """) == "123"
+
+    def test_recursive_with_doubles(self):
+        assert prints("""
+            double power(double base, int n) {
+                return n == 0 ? 1.0 : base * power(base, n - 1);
+            }
+            int main(void) { print_double(power(2.0, 10)); return 0; }
+        """) == "1024"
+
+    def test_many_mixed_args(self):
+        assert prints("""
+            double mix(int a, double b, int c, double d) {
+                return a + b + c + d;
+            }
+            int main(void) { print_double(mix(1, 2.5, 3, 4.25)); return 0; }
+        """) == "10.75"
+
+
+class TestWideUnsignedConstants:
+    """Regression: unsigned constants above 2^31 (e.g. CRC polynomials)
+    must encode as two's-complement immediates, not overflow."""
+
+    def test_big_unsigned_literal(self):
+        assert returns(
+            "unsigned u = 0xedb88320u; return u == 0xedb88320u;") == 1
+
+    def test_big_unsigned_arithmetic(self):
+        assert returns("""
+            unsigned c = 0xffffffffu;
+            c = 0xedb88320u ^ (c >> 1);
+            return (int)(c % 1000u);
+        """) == (0xEDB88320 ^ (0xFFFFFFFF >> 1)) % 1000
+
+    def test_branch_immediate_with_big_unsigned(self):
+        assert returns("""
+            unsigned u = 0x80000000u;
+            if (u == 0x80000000u) return 7;
+            return 0;
+        """) == 7

@@ -1,0 +1,108 @@
+"""De-tuned abstract machine tests (the paper's ablation substrate).
+
+Every variant must produce semantically identical programs; the de-tuned
+machines just spell the same computation with fewer instruction forms.
+"""
+
+import pytest
+
+from repro.cfront import compile_to_ast
+from repro.codegen import ABLATION_VARIANTS, generate_program
+from repro.corpus.samples import SAMPLES
+from repro.ir import lower_unit
+from repro.vm import run_program
+from repro.vm.isa import ISA, SPEC
+
+
+def build(src, isa, name="m"):
+    return generate_program(lower_unit(compile_to_ast(src, name), name), isa)
+
+
+class TestVariantDefinitions:
+    def test_paper_rows_present(self):
+        names = [isa.name for isa in ABLATION_VARIANTS]
+        assert names == ["RISC", "minus immediates",
+                         "minus register-displacement", "minus both"]
+
+    def test_allows_respects_flags(self):
+        full, no_imm, no_disp, minimal = ABLATION_VARIANTS
+        addi = SPEC["addi.i"]
+        ld = SPEC["ld.iw"]
+        li = SPEC["li"]
+        assert full.allows(addi) and full.allows(ld)
+        assert not no_imm.allows(addi) and no_imm.allows(ld)
+        assert no_disp.allows(addi) and not no_disp.allows(ld)
+        assert not minimal.allows(addi) and not minimal.allows(ld)
+        # li is the one immediate primitive every variant keeps.
+        for isa in ABLATION_VARIANTS:
+            assert isa.allows(li)
+
+
+class TestEmittedForms:
+    SRC = "int f(int a) { return a + 3; } int main(void) { return f(1); }"
+
+    def instr_names(self, isa):
+        prog = build(self.SRC, isa)
+        return {i.name for fn in prog.functions for i in fn.code}
+
+    def test_full_machine_uses_immediates_and_disp(self):
+        names = self.instr_names(ABLATION_VARIANTS[0])
+        assert "addi.i" in names
+        assert any(n.startswith("ld.") or n.startswith("st.") for n in names)
+
+    def test_minus_immediates_avoids_alui_and_brimm(self):
+        names = self.instr_names(ABLATION_VARIANTS[1])
+        assert not any(SPEC[n].needs_immediates for n in names)
+        assert "li" in names
+
+    def test_minus_regdisp_uses_indirect_memory(self):
+        names = self.instr_names(ABLATION_VARIANTS[2])
+        assert not any(SPEC[n].needs_regdisp for n in names)
+        assert any(n.startswith("ldx.") or n.startswith("stx.")
+                   for n in names)
+
+    def test_minimal_machine_uses_neither(self):
+        names = self.instr_names(ABLATION_VARIANTS[3])
+        assert not any(
+            SPEC[n].needs_immediates or SPEC[n].needs_regdisp for n in names)
+
+
+class TestSemanticEquivalence:
+    @pytest.mark.parametrize("sample", ["wc", "calc", "strings"])
+    def test_all_variants_agree_on_samples(self, sample):
+        outputs = set()
+        for isa in ABLATION_VARIANTS:
+            prog = build(SAMPLES[sample], isa, sample)
+            res = run_program(prog, max_steps=20_000_000)
+            outputs.add((res.exit_code, res.output))
+        assert len(outputs) == 1
+
+    def test_detuned_code_is_larger(self):
+        """Removing addressing modes and immediates inflates the
+        *uncompressed* code — the ad hoc compression the paper describes."""
+        from repro.vm import program_size
+
+        full = program_size(build(SAMPLES["calc"], ABLATION_VARIANTS[0]))
+        minimal = program_size(build(SAMPLES["calc"], ABLATION_VARIANTS[3]))
+        assert minimal > full
+
+    def test_detuned_code_has_more_instructions(self):
+        full = build(SAMPLES["calc"], ABLATION_VARIANTS[0])
+        minimal = build(SAMPLES["calc"], ABLATION_VARIANTS[3])
+        assert minimal.instruction_count() > full.instruction_count()
+
+
+class TestBriscOnVariants:
+    """BRISC must stay semantics-preserving on every abstract machine —
+    the ablation's compressed programs are real, runnable images."""
+
+    @pytest.mark.parametrize("index", [0, 1, 2, 3])
+    def test_compressed_variant_runs_identically(self, index):
+        from repro.brisc import compress, run_image
+
+        isa = ABLATION_VARIANTS[index]
+        prog = build(SAMPLES["wc"], isa, "wc")
+        base = run_program(prog, max_steps=20_000_000)
+        cp = compress(prog, k=8)
+        r = run_image(cp.image.blob, max_steps=20_000_000)
+        assert (r.exit_code, r.output) == (base.exit_code, base.output)

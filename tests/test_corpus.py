@@ -1,0 +1,118 @@
+"""Corpus tests: sample goldens, generator determinism, suite structure."""
+
+import pytest
+
+import repro
+from repro.corpus import (
+    SAMPLES, SUITE_SIZES, build_input, generate_program_source, link_sources,
+    sample_names,
+)
+from repro.vm import run_program
+
+# Golden outputs for every hand-written sample (deterministic programs).
+GOLDEN = {
+    "wc": "4 30 156\n",
+    "sort": "-1601061320\n",
+    "calc": "7\n21\n16\n20\n182\n",
+    "lzss": "120 113\n",
+    "hashtab": "235 -1\n",
+    "matrix": "12.25\n4.29326\n",
+    "life": "8\n",
+    "bf": "Hello World!\n\n",
+    "queens": "2 10 4 40 92\n",
+    "strings": "noisserpmoc edoc\n10\n-1\n16\n",
+    "crc32": "738169\n",
+    "bst": "1537 11 0\n",
+    "rle": "47 14 1\n",
+    "stackvm": "120 120\n",
+}
+
+
+class TestSamples:
+    def test_every_sample_has_a_golden(self):
+        assert set(GOLDEN) == set(SAMPLES)
+
+    @pytest.mark.parametrize("name", sorted(SAMPLES))
+    def test_sample_runs_to_golden_output(self, name):
+        res = run_program(repro.compile_c(SAMPLES[name], name),
+                          max_steps=5_000_000)
+        assert res.exit_code == 0
+        assert res.output == GOLDEN[name]
+
+    def test_sample_names_sorted(self):
+        assert sample_names() == sorted(SAMPLES)
+
+    def test_lzss_actually_compresses(self):
+        """The lzss sample's output is 'original packed': packed < original."""
+        n, packed = GOLDEN["lzss"].split()
+        assert int(packed) < int(n)
+
+    def test_queens_counts_are_the_known_ones(self):
+        # N-queens solutions for n=4..8.
+        assert GOLDEN["queens"].split() == ["2", "10", "4", "40", "92"]
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_program_source(functions=10, seed=3)
+        b = generate_program_source(functions=10, seed=3)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generate_program_source(functions=10, seed=3)
+        b = generate_program_source(functions=10, seed=4)
+        assert a != b
+
+    def test_size_scales_with_functions(self):
+        small = generate_program_source(functions=5, seed=1)
+        large = generate_program_source(functions=50, seed=1)
+        assert len(large) > len(small) * 3
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_generated_programs_compile_and_terminate(self, seed):
+        src = generate_program_source(functions=12, seed=seed)
+        res = run_program(repro.compile_c(src), max_steps=10_000_000)
+        assert res.exit_code == 0
+        assert res.output.endswith("\n")
+
+    def test_generated_output_deterministic_across_runs(self):
+        src = generate_program_source(functions=8, seed=9)
+        prog = repro.compile_c(src)
+        assert run_program(prog).output == run_program(prog).output
+
+
+class TestLinking:
+    def test_link_renames_mains(self):
+        linked = link_sources([SAMPLES["wc"], SAMPLES["strings"]])
+        assert linked.count("int main(void)") == 1
+        assert "sample_main_0" in linked and "sample_main_1" in linked
+
+    def test_linked_program_runs_all_samples(self):
+        linked = link_sources([SAMPLES["wc"], SAMPLES["strings"]])
+        res = run_program(repro.compile_c(linked))
+        assert GOLDEN["wc"] in res.output
+        assert "noisserpmoc edoc" in res.output
+
+
+class TestSuite:
+    def test_suite_names(self):
+        assert list(SUITE_SIZES) == ["wc", "lcc", "gcc"]
+
+    def test_wc_input_is_small(self):
+        inp = build_input("wc")
+        assert inp.program.instruction_count() < 200
+
+    def test_inputs_cached(self):
+        assert build_input("wc") is build_input("wc")
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(KeyError):
+            build_input("word97")
+
+    def test_lcc_larger_than_wc(self):
+        # lcc includes every sample; just check relative structure quickly
+        # using the cached build (heavy inputs are exercised in benchmarks).
+        wc = build_input("wc")
+        lcc = build_input("lcc")
+        assert lcc.program.instruction_count() > \
+            50 * wc.program.instruction_count()

@@ -1,0 +1,138 @@
+"""Type-system tests: layout, promotions, compatibility."""
+
+import pytest
+
+from repro.cfront import ctypes as ct
+from repro.cfront.ctypes import (
+    ArrayType, FunctionType, PointerType, StructMember, StructType,
+    composite_compatible, integer_promote, usual_arithmetic,
+)
+
+
+class TestLayout:
+    def test_primitive_sizes_match_lcc_32bit(self):
+        assert ct.CHAR.size == 1
+        assert ct.SHORT.size == 2
+        assert ct.INT.size == 4
+        assert ct.LONG.size == 4
+        assert ct.DOUBLE.size == 8
+        assert PointerType(ct.INT).size == 4
+
+    def test_array_size(self):
+        assert ArrayType(ct.INT, 10).size == 40
+        assert ArrayType(ArrayType(ct.CHAR, 3), 2).size == 6
+
+    def test_struct_padding(self):
+        s = StructType("p")
+        s.define([StructMember("c", ct.CHAR), StructMember("i", ct.INT)])
+        assert s.members[0].offset == 0
+        assert s.members[1].offset == 4
+        assert s.size == 8
+        assert s.align == 4
+
+    def test_struct_tail_padding(self):
+        s = StructType("p")
+        s.define([StructMember("i", ct.INT), StructMember("c", ct.CHAR)])
+        assert s.size == 8  # padded to int alignment
+
+    def test_struct_with_double_aligns_to_8(self):
+        s = StructType("d")
+        s.define([StructMember("c", ct.CHAR), StructMember("d", ct.DOUBLE)])
+        assert s.members[1].offset == 8
+        assert s.size == 16
+
+    def test_union_layout(self):
+        u = StructType("u", is_union=True)
+        u.define([StructMember("i", ct.INT), StructMember("d", ct.DOUBLE)])
+        assert all(m.offset == 0 for m in u.members)
+        assert u.size == 8
+
+    def test_incomplete_struct(self):
+        s = StructType("fwd")
+        assert not s.complete
+        assert s.member("x") is None
+
+    def test_member_lookup(self):
+        s = StructType("p")
+        s.define([StructMember("x", ct.INT), StructMember("y", ct.INT)])
+        assert s.member("y").offset == 4
+        assert s.member("z") is None
+
+
+class TestIdentity:
+    def test_structural_equality_for_derived_types(self):
+        assert PointerType(ct.INT) == PointerType(ct.INT)
+        assert ArrayType(ct.INT, 3) == ArrayType(ct.INT, 3)
+        assert ArrayType(ct.INT, 3) != ArrayType(ct.INT, 4)
+
+    def test_nominal_identity_for_structs(self):
+        a = StructType("p")
+        b = StructType("p")
+        assert a != b  # distinct declarations are distinct types
+        assert a == a
+
+    def test_int_signedness_distinct(self):
+        assert ct.INT != ct.UINT
+        assert ct.CHAR != ct.UCHAR
+
+    def test_hashable(self):
+        assert len({PointerType(ct.INT), PointerType(ct.INT)}) == 1
+
+
+class TestIntRange:
+    def test_wrap_signed(self):
+        assert ct.INT.wrap(2**31) == -(2**31)
+        assert ct.CHAR.wrap(200) == 200 - 256
+        assert ct.SHORT.wrap(-40000) == -40000 + 65536
+
+    def test_wrap_unsigned(self):
+        assert ct.UINT.wrap(-1) == 2**32 - 1
+        assert ct.UCHAR.wrap(-1) == 255
+
+    def test_min_max(self):
+        assert ct.CHAR.min_value == -128 and ct.CHAR.max_value == 127
+        assert ct.UCHAR.min_value == 0 and ct.UCHAR.max_value == 255
+
+
+class TestConversions:
+    def test_integer_promotion_widens_small_ints(self):
+        assert integer_promote(ct.CHAR) == ct.INT
+        assert integer_promote(ct.USHORT) == ct.INT
+        assert integer_promote(ct.UINT) == ct.UINT
+
+    def test_usual_arithmetic_prefers_double(self):
+        assert usual_arithmetic(ct.INT, ct.DOUBLE) == ct.DOUBLE
+        assert usual_arithmetic(ct.DOUBLE, ct.CHAR) == ct.DOUBLE
+
+    def test_usual_arithmetic_unsigned_wins(self):
+        assert usual_arithmetic(ct.INT, ct.UINT) == ct.UINT
+
+    def test_usual_arithmetic_small_ints_promote(self):
+        assert usual_arithmetic(ct.CHAR, ct.SHORT) == ct.INT
+
+    def test_compatibility_void_pointer(self):
+        assert composite_compatible(PointerType(ct.VOID), PointerType(ct.INT))
+        assert composite_compatible(PointerType(ct.INT), PointerType(ct.VOID))
+
+    def test_incompatible_pointers(self):
+        assert not composite_compatible(PointerType(ct.INT),
+                                        PointerType(ct.DOUBLE))
+
+    def test_arithmetic_always_convertible(self):
+        assert composite_compatible(ct.CHAR, ct.DOUBLE)
+
+    def test_pointer_vs_int_incompatible(self):
+        assert not composite_compatible(PointerType(ct.INT), ct.INT)
+
+
+class TestPredicates:
+    def test_is_scalar(self):
+        assert ct.is_scalar(ct.INT)
+        assert ct.is_scalar(PointerType(ct.VOID))
+        assert not ct.is_scalar(ct.VOID)
+        s = StructType("s")
+        assert not ct.is_scalar(s)
+
+    def test_function_type_str(self):
+        f = FunctionType(ct.INT, (ct.INT, PointerType(ct.CHAR)), True)
+        assert "..." in str(f)

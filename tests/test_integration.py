@@ -1,0 +1,77 @@
+"""Whole-pipeline integration tests.
+
+For each corpus sample: C source -> tree IR -> wire round-trip -> VM code
+-> BRISC round-trip -> execution equivalence across every representation.
+"""
+
+import pytest
+
+import repro
+from repro.brisc import compress, decompress, run_image
+from repro.cfront import compile_to_ast
+from repro.codegen import generate_program
+from repro.corpus.samples import SAMPLES
+from repro.ir import lower_unit
+from repro.jit import jit_compile
+from repro.vm import run_program
+from repro.wire import decode_module, encode_module
+
+FAST_SAMPLES = ["wc", "calc", "hashtab", "strings", "sort", "matrix"]
+
+
+@pytest.mark.parametrize("name", FAST_SAMPLES)
+def test_full_pipeline(name):
+    src = SAMPLES[name]
+    module = lower_unit(compile_to_ast(src, name), name)
+
+    # Reference execution.
+    program = generate_program(module)
+    base = run_program(program, max_steps=20_000_000)
+    assert base.exit_code == 0
+
+    # Wire: encode, decode, regenerate, re-run.
+    wired = decode_module(encode_module(module))
+    rewired = run_program(generate_program(wired), max_steps=20_000_000)
+    assert (rewired.exit_code, rewired.output) == \
+        (base.exit_code, base.output)
+
+    # BRISC: compress, interpret in place, decompress and re-run.
+    cp = compress(program)
+    inplace = run_image(cp.image.blob, max_steps=20_000_000)
+    assert (inplace.exit_code, inplace.output) == \
+        (base.exit_code, base.output)
+    redecoded = run_program(decompress(cp.image.blob), max_steps=20_000_000)
+    assert (redecoded.exit_code, redecoded.output) == \
+        (base.exit_code, base.output)
+
+    # JIT: compiles without error and emits code for every function.
+    jit = jit_compile(cp.image.blob)
+    assert jit.output_bytes > 0
+
+
+def test_sizes_are_ordered_sensibly():
+    """Across the pipeline on a mid-size program: wire < BRISC code segment
+    < uncompressed VM encoding < SPARC-like native."""
+    from repro.native import SparcLike
+    from repro.vm import program_size
+    from repro.wire import wire_size
+
+    src = "\n".join(
+        SAMPLES[n].replace("int main(void)", f"int m_{n}(void)")
+        for n in FAST_SAMPLES
+    ) + "\nint main(void) { return m_wc(); }"
+    module = lower_unit(compile_to_ast(src, "linked"), "linked")
+    program = generate_program(module)
+
+    wire = wire_size(module)
+    vm = program_size(program)
+    native = SparcLike().program_size(program)
+    brisc = compress(program).image.code_segment_size
+
+    assert wire < vm < native
+    assert brisc < native
+
+
+def test_pipeline_through_public_api():
+    program = repro.compile_c(SAMPLES["wc"], "wc")
+    assert repro.run(program).output == "4 30 156\n"

@@ -1,0 +1,98 @@
+"""IR tree structure and dump tests."""
+
+import pytest
+
+from repro.ir import OPS, T, dump_function, format_tree, op
+from repro.ir.tree import IRFunction, IRModule, Tree
+
+
+class TestOps:
+    def test_registry_has_paper_operators(self):
+        for name in ("ASGNI", "INDIRI", "ADDRLP", "ADDRGP", "ADDRFP",
+                     "CNSTC", "LEI", "ARGI", "CALLI", "RETI", "LABELV",
+                     "JUMPV", "SUBI", "CVCI"):
+            assert name in OPS
+
+    def test_opcodes_dense_and_stable(self):
+        codes = [o.opcode for o in OPS.values()]
+        assert sorted(codes) == list(range(len(OPS)))
+
+    def test_branch_predicate(self):
+        assert op("LEI").is_branch
+        assert op("GEU").is_branch
+        assert not op("ADDI").is_branch
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            op("FROB")
+
+
+class TestTree:
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            T("ADDI", T("CNSTI", value=1))  # ADDI needs 2 kids
+
+    def test_literal_required(self):
+        with pytest.raises(ValueError):
+            Tree(op("CNSTI"))  # missing literal
+
+    def test_literal_forbidden(self):
+        with pytest.raises(ValueError):
+            Tree(op("ADDI"), (T("CNSTI", value=1), T("CNSTI", value=2)),
+                 value=9)
+
+    def test_walk_prefix_order(self):
+        tree = T("ADDI", T("CNSTI", value=1),
+                 T("MULI", T("CNSTI", value=2), T("CNSTI", value=3)))
+        names = [n.op.name for n in tree.walk()]
+        assert names == ["ADDI", "CNSTI", "MULI", "CNSTI", "CNSTI"]
+
+    def test_size(self):
+        tree = T("ADDI", T("CNSTI", value=1), T("CNSTI", value=2))
+        assert tree.size == 3
+
+    def test_equality_structural(self):
+        a = T("ADDI", T("CNSTI", value=1), T("CNSTI", value=2))
+        b = T("ADDI", T("CNSTI", value=1), T("CNSTI", value=2))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDump:
+    def test_width_suffix_8(self):
+        assert format_tree(T("CNSTI", value=1)) == "CNSTI8[1]"
+
+    def test_width_suffix_16(self):
+        assert format_tree(T("CNSTI", value=1000)) == "CNSTI16[1000]"
+
+    def test_no_suffix_for_wide(self):
+        assert format_tree(T("CNSTI", value=100000)) == "CNSTI[100000]"
+
+    def test_width_flags_disabled(self):
+        assert format_tree(T("CNSTI", value=1), width_flags=False) == \
+            "CNSTI[1]"
+
+    def test_nested(self):
+        tree = T("ASGNI", T("ADDRLP", value=72),
+                 T("SUBI", T("INDIRI", T("ADDRLP", value=72)),
+                   T("CNSTC", value=1)))
+        assert format_tree(tree) == \
+            "ASGNI(ADDRLP8[72], SUBI(INDIRI(ADDRLP8[72]), CNSTC8[1]))"
+
+    def test_dump_function_header(self):
+        fn = IRFunction("f", [T("RETV")], frame_size=8, param_sizes=[4])
+        text = dump_function(fn)
+        assert text.splitlines()[0] == "; f frame=8 params=[4]"
+
+
+class TestModule:
+    def test_function_lookup(self):
+        m = IRModule("m", functions=[IRFunction("a"), IRFunction("b")])
+        assert m.function("b").name == "b"
+        with pytest.raises(KeyError):
+            m.function("c")
+
+    def test_node_count(self):
+        fn = IRFunction("f", [T("RETI", T("CNSTI", value=1))])
+        m = IRModule("m", functions=[fn])
+        assert m.node_count() == 2

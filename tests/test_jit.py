@@ -1,0 +1,74 @@
+"""BRISC JIT tests: template splicing, determinism, throughput."""
+
+import pytest
+
+import repro
+from repro.brisc import compress
+from repro.corpus.samples import SAMPLES
+from repro.jit import BriscJIT, jit_compile
+from repro.native import PPCLike, PentiumLike
+
+
+def image_for(name):
+    return compress(repro.compile_c(SAMPLES[name], name)).image.blob
+
+
+class TestCompilation:
+    def test_produces_output(self):
+        result = jit_compile(image_for("wc"))
+        assert result.output_bytes > 0
+        assert result.slots_compiled > 0
+
+    def test_deterministic(self):
+        blob = image_for("wc")
+        a = jit_compile(blob).native_code
+        b = jit_compile(blob).native_code
+        assert a == b
+
+    def test_output_size_matches_native_model(self):
+        """Template splicing must produce exactly the per-instruction
+        native sizes of the target model."""
+        prog = repro.compile_c(SAMPLES["wc"], "wc")
+        cp = compress(prog)
+        target = PentiumLike()
+        result = jit_compile(cp.image.blob, target)
+        expected = target.program_size(prog)
+        # The JIT compiles from patterns with representative operands, so
+        # variable-length immediates may differ slightly — within 15%.
+        assert abs(result.output_bytes - expected) <= expected * 0.15
+
+    def test_ppc_target_produces_fixed_width(self):
+        result = jit_compile(image_for("wc"), PPCLike())
+        assert result.output_bytes % 4 == 0
+
+    def test_offset_map_monotonic(self):
+        jit = BriscJIT(image_for("calc"))
+        native, offsets = jit.compile_function(0)
+        keys = sorted(offsets)
+        values = [offsets[k] for k in keys]
+        assert values == sorted(values)
+        assert values[0] == 0
+
+    def test_every_function_compiled(self):
+        blob = image_for("strings")
+        jit = BriscJIT(blob)
+        result = jit.compile_program()
+        assert result.slots_compiled >= len(jit.image.functions)
+
+
+class TestThroughput:
+    def test_mb_per_second_positive(self):
+        result = jit_compile(image_for("sort"))
+        assert result.mb_per_second > 0
+
+    def test_compile_time_linear_in_input(self):
+        """The paper's point: template splicing is linear (no super-linear
+        register allocation), so doubling the input roughly doubles the
+        work, not more."""
+        small = jit_compile(image_for("wc"))
+        big = jit_compile(image_for("sort"))
+        assert big.slots_compiled > small.slots_compiled
+        # Bytes out per slot is bounded: no blowup with size.
+        ratio_small = small.output_bytes / small.slots_compiled
+        ratio_big = big.output_bytes / big.slots_compiled
+        assert 0.3 < ratio_big / ratio_small < 3.0

@@ -1,0 +1,174 @@
+"""C lexer tests."""
+
+import pytest
+
+from repro.cfront.errors import CompileError
+from repro.cfront.lexer import tokenize
+from repro.cfront.tokens import TokenKind as TK
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)][:-1]  # drop EOF
+
+
+def values(src):
+    return [t.value for t in tokenize(src)][:-1]
+
+
+class TestBasics:
+    def test_empty_input_gives_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is TK.EOF
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo") == [TK.KW_INT, TK.IDENT]
+
+    def test_identifier_with_underscore_and_digits(self):
+        toks = tokenize("_f00_bar")
+        assert toks[0].kind is TK.IDENT and toks[0].value == "_f00_bar"
+
+    def test_all_keywords_recognized(self):
+        for kw in ("void", "char", "short", "int", "long", "float", "double",
+                   "signed", "unsigned", "struct", "union", "enum", "typedef",
+                   "static", "extern", "const", "if", "else", "while", "do",
+                   "for", "switch", "case", "default", "break", "continue",
+                   "return", "sizeof", "goto"):
+            toks = tokenize(kw)
+            assert toks[0].kind.name == f"KW_{kw.upper()}", kw
+
+
+class TestNumbers:
+    def test_decimal(self):
+        assert values("0 7 12345") == [0, 7, 12345]
+
+    def test_hex(self):
+        assert values("0x0 0xff 0xDEAD") == [0, 255, 0xDEAD]
+
+    def test_hex_with_suffix(self):
+        assert values("0x7fffffffu") == [0x7FFFFFFF]
+
+    def test_octal(self):
+        assert values("017 010") == [15, 8]
+
+    def test_bad_octal_rejected(self):
+        with pytest.raises(CompileError):
+            tokenize("09")
+
+    def test_suffixes(self):
+        assert values("42u 42L 42ul") == [42, 42, 42]
+
+    def test_floats(self):
+        assert values("1.5 0.25 2e3 1.5e-2") == [1.5, 0.25, 2000.0, 0.015]
+
+    def test_float_kind(self):
+        assert kinds("3.14") == [TK.FLOAT_LIT]
+
+    def test_leading_dot_float(self):
+        assert values(".5") == [0.5]
+
+    def test_hex_needs_digits(self):
+        with pytest.raises(CompileError):
+            tokenize("0x")
+
+
+class TestCharsAndStrings:
+    def test_plain_char(self):
+        assert values("'a'") == [ord("a")]
+
+    def test_escapes(self):
+        assert values(r"'\n' '\t' '\0' '\\' '\''") == [10, 9, 0, 92, 39]
+
+    def test_hex_escape(self):
+        assert values(r"'\x41'") == [0x41]
+
+    def test_octal_escape(self):
+        assert values(r"'\101'") == [65]
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(CompileError):
+            tokenize(r"'\q'")
+
+    def test_unterminated_char(self):
+        with pytest.raises(CompileError):
+            tokenize("'a")
+
+    def test_string_literal(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_string_with_escapes(self):
+        assert values(r'"a\nb\0"') == ["a\nb\0"]
+
+    def test_adjacent_strings_concatenate(self):
+        assert values('"foo" "bar"') == ["foobar"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"abc')
+
+
+class TestOperators:
+    def test_longest_match_wins(self):
+        assert kinds("<<= << <") == [TK.LSHIFT_ASSIGN, TK.LSHIFT, TK.LT]
+
+    def test_arrows_and_dots(self):
+        assert kinds("-> . ...") == [TK.ARROW, TK.DOT, TK.ELLIPSIS]
+
+    def test_increments(self):
+        assert kinds("++ -- + -") == \
+            [TK.PLUSPLUS, TK.MINUSMINUS, TK.PLUS, TK.MINUS]
+
+    def test_compound_assigns(self):
+        assert kinds("+= -= *= /= %= &= |= ^= >>=") == [
+            TK.PLUS_ASSIGN, TK.MINUS_ASSIGN, TK.STAR_ASSIGN, TK.SLASH_ASSIGN,
+            TK.PERCENT_ASSIGN, TK.AMP_ASSIGN, TK.PIPE_ASSIGN, TK.CARET_ASSIGN,
+            TK.RSHIFT_ASSIGN,
+        ]
+
+    def test_logical(self):
+        assert kinds("&& || !") == [TK.AMPAMP, TK.PIPEPIPE, TK.BANG]
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("1 // comment\n2") == [TK.INT_LIT, TK.INT_LIT]
+
+    def test_block_comment(self):
+        assert kinds("1 /* x\ny */ 2") == [TK.INT_LIT, TK.INT_LIT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never closed")
+
+    def test_locations_track_lines(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].location.line == 1 and toks[0].location.column == 1
+        assert toks[1].location.line == 2 and toks[1].location.column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError):
+            tokenize("int $x;")
+
+
+class TestEndOfInput:
+    """Regression: literals at end-of-input must terminate (the empty
+    lookahead string is a member of every Python string, so naive
+    membership loops spin forever at EOF)."""
+
+    def test_decimal_at_eof(self):
+        assert values("12345") == [12345]
+
+    def test_hex_at_eof(self):
+        assert values("0xff") == [255]
+
+    def test_suffix_at_eof(self):
+        assert values("42u") == [42]
+        assert values("42UL") == [42]
+
+    def test_float_at_eof(self):
+        assert values("1.5") == [1.5]
+
+    def test_digit_then_e_at_eof(self):
+        # '1e' with nothing after: 'e' is not an exponent here.
+        toks = tokenize("1e")
+        assert toks[0].value == 1
+        assert toks[1].kind is TK.IDENT

@@ -1,0 +1,273 @@
+"""AST-to-IR lowering tests, including the paper's worked example."""
+
+import pytest
+
+from repro.cfront import compile_to_ast
+from repro.cfront.errors import CompileError
+from repro.ir import dump_function, lower_unit
+from repro.ir.tree import PtrInit, ScalarInit
+from repro.wire.patternize import normalize_labels
+
+
+def lower(src, name="m"):
+    return lower_unit(compile_to_ast(src, name), name)
+
+
+def forest_ops(fn):
+    return [t.op.name for t in fn.forest]
+
+
+class TestPaperExample:
+    """The paper lowers `salt` to a specific lcc tree shape."""
+
+    SRC = """
+    int salt(int j, int i) {
+        if (j > 0) {
+            pepper(i, j);
+            j--;
+        }
+        return j;
+    }
+    """
+
+    def test_forest_shape(self):
+        fn = lower(self.SRC).function("salt")
+        names = forest_ops(fn)
+        # The paper's sequence: LEI branch, two ARGIs, CALLI, the j--
+        # assignment, the label, and the return.
+        assert names == ["LEI", "ARGI", "ARGI", "CALLI", "ASGNI",
+                         "LABELV", "RETI"]
+
+    def test_branch_compares_against_zero(self):
+        fn = lower(self.SRC).function("salt")
+        branch = fn.forest[0]
+        assert branch.kids[1].op.name == "CNSTI"
+        assert branch.kids[1].value == 0
+
+    def test_decrement_is_sub_of_one(self):
+        fn = lower(self.SRC).function("salt")
+        asgn = fn.forest[4]
+        assert asgn.op.name == "ASGNI"
+        sub = asgn.kids[1]
+        assert sub.op.name == "SUBI"
+        assert sub.kids[1].value == 1
+
+    def test_args_precede_call(self):
+        fn = lower(self.SRC).function("salt")
+        names = forest_ops(fn)
+        assert names.index("ARGI") < names.index("CALLI")
+
+    def test_dump_matches_paper_notation(self):
+        fn = lower(self.SRC).function("salt")
+        text = dump_function(fn)
+        assert "ARGI(INDIRI(ADDRFP8[" in text
+        assert "CALLI(ADDRGP[pepper])" in text
+        assert "SUBI(INDIRI(ADDRFP8[0]), CNSTI8[1])" in text
+
+
+class TestControlFlow:
+    def test_while_tests_at_bottom(self):
+        fn = lower("void f(int n) { while (n) n--; }").function("f")
+        names = forest_ops(fn)
+        # jump to test, body label, ..., test label, conditional branch back
+        assert names[0] == "JUMPV"
+        assert "NEI" in names or "GTI" in names
+
+    def test_if_else_has_two_labels(self):
+        fn = lower("int f(int x) { if (x) return 1; else return 2; }") \
+            .function("f")
+        labels = [t for t in fn.forest if t.op.name == "LABELV"]
+        assert len(labels) == 2
+
+    def test_for_loop_structure(self):
+        fn = lower("int f(void) { int s = 0;"
+                   " for (int i = 0; i < 4; i++) s += i; return s; }") \
+            .function("f")
+        names = forest_ops(fn)
+        assert "LTI" in names  # the bottom test
+        assert names.count("LABELV") >= 3
+
+    def test_break_jumps_to_end(self):
+        fn = lower("void f(void) { while (1) break; }").function("f")
+        assert "JUMPV" in forest_ops(fn)
+
+    def test_switch_lowering_has_dispatch_chain(self):
+        fn = lower("""
+            int f(int x) {
+                switch (x) {
+                case 1: return 10;
+                case 2: return 20;
+                default: return 0;
+                }
+            }""").function("f")
+        eqs = [t for t in fn.forest if t.op.name == "EQI"]
+        assert len(eqs) == 2
+
+    def test_logical_and_short_circuits(self):
+        fn = lower("int f(int a, int b) { if (a && b) return 1; return 0; }") \
+            .function("f")
+        branches = [t for t in fn.forest if t.op.is_branch]
+        assert len(branches) == 2  # one test per operand
+
+    def test_missing_return_synthesized(self):
+        fn = lower("int f(void) { }").function("f")
+        assert fn.forest[-1].op.name == "RETI"
+
+    def test_void_return_synthesized(self):
+        fn = lower("void f(void) { }").function("f")
+        assert fn.forest[-1].op.name == "RETV"
+
+
+class TestExpressions:
+    def test_char_load_sign_extends(self):
+        fn = lower("int f(char *s) { return *s; }").function("f")
+        text = dump_function(fn)
+        assert "CVCI(INDIRC(" in text
+
+    def test_unsigned_char_load_zero_extends(self):
+        fn = lower("int f(unsigned char *s) { return *s; }").function("f")
+        assert "CVUCI(INDIRC(" in dump_function(fn)
+
+    def test_pointer_index_scaled(self):
+        fn = lower("int f(int *a, int i) { return a[i]; }").function("f")
+        text = dump_function(fn)
+        assert "MULI" in text and "ADDP" in text
+
+    def test_char_index_not_scaled(self):
+        fn = lower("char f(char *a, int i) { return a[i]; }").function("f")
+        assert "MULI" not in dump_function(fn)
+
+    def test_constant_index_folds_to_offset(self):
+        fn = lower("int f(int *a) { return a[3]; }").function("f")
+        text = dump_function(fn)
+        assert "CNSTI8[12]" in text
+        assert "MULI" not in text
+
+    def test_pointer_difference_divides(self):
+        fn = lower("int f(int *a, int *b) { return a - b; }").function("f")
+        text = dump_function(fn)
+        assert "SUBU" in text and "DIVI" in text
+
+    def test_struct_member_store(self):
+        fn = lower("struct P { int x; int y; };"
+                   "void f(struct P *p) { p->y = 1; }").function("f")
+        text = dump_function(fn)
+        assert "ADDP(INDIRP(ADDRFP8[0]), CNSTI8[4])" in text
+
+    def test_struct_assignment_uses_asgnb(self):
+        fn = lower("struct P { int x; int y; };"
+                   "void f(struct P *a, struct P *b) { *a = *b; }") \
+            .function("f")
+        assert "ASGNB" in forest_ops(fn)
+
+    def test_double_arithmetic(self):
+        fn = lower("double f(double a, double b) { return a * b + 1.0; }") \
+            .function("f")
+        text = dump_function(fn)
+        assert "MULD" in text and "ADDD" in text and "CNSTD[1.0]" in text
+
+    def test_int_to_double_conversion(self):
+        fn = lower("double f(int x) { return x; }").function("f")
+        assert "CVID" in dump_function(fn)
+
+    def test_unsigned_division(self):
+        fn = lower("unsigned f(unsigned a, unsigned b) { return a / b; }") \
+            .function("f")
+        assert "DIVU" in forest_ops(fn)[0] or "DIVU" in dump_function(fn)
+
+    def test_call_result_through_temp(self):
+        fn = lower("int g(void); int f(void) { return g() + 1; }") \
+            .function("f")
+        names = forest_ops(fn)
+        assert names[0] == "ASGNI"  # call captured into a temp
+        assert names[-1] == "RETI"
+
+    def test_nested_call_hoisted_before_args(self):
+        fn = lower("int g(int x); int f(void) { return g(g(1)); }") \
+            .function("f")
+        names = forest_ops(fn)
+        # inner ARG/CALL pair completes before the outer ARG appears
+        first_call = names.index("ASGNI")
+        assert names[:first_call].count("ARGI") == 1
+
+    def test_conditional_value_uses_temp(self):
+        fn = lower("int f(int c) { return c ? 3 : 4; }").function("f")
+        names = forest_ops(fn)
+        assert names.count("ASGNI") == 2
+
+    def test_postfix_increment_preserves_old_value(self):
+        fn = lower("int f(int x) { return x++; }").function("f")
+        text = dump_function(fn)
+        # old value saved to a temp before the update
+        assert text.count("ASGNI") == 2
+
+    def test_comma_discards_left(self):
+        fn = lower("int f(int a) { return (a, 5); }").function("f")
+        ret = fn.forest[-1]
+        assert ret.kids[0].value == 5
+
+
+class TestFramesAndGlobals:
+    def test_param_offsets_sequential(self):
+        fn = lower("int f(int a, int b, int c) { return a + b + c; }") \
+            .function("f")
+        text = dump_function(fn)
+        assert "ADDRFP8[0]" in text
+        assert "ADDRFP8[4]" in text
+        assert "ADDRFP8[8]" in text
+
+    def test_double_param_aligned(self):
+        fn = lower("double f(int a, double d) { return d; }").function("f")
+        assert fn.param_sizes == [4, 8]
+        assert "ADDRFP8[8]" in dump_function(fn)
+
+    def test_frame_size_covers_locals(self):
+        fn = lower("int f(void) { int a[10]; a[0] = 1; return a[0]; }") \
+            .function("f")
+        assert fn.frame_size >= 40
+
+    def test_global_scalar_init(self):
+        mod = lower("int x = 42;")
+        g = next(g for g in mod.globals if g.name == "x")
+        assert g.items == [ScalarInit(0, 4, 42)]
+
+    def test_global_array_init(self):
+        mod = lower("int a[3] = {1, 2};")
+        g = next(g for g in mod.globals if g.name == "a")
+        assert ScalarInit(0, 4, 1) in g.items
+        assert ScalarInit(4, 4, 2) in g.items
+
+    def test_global_string_pointer(self):
+        mod = lower('char *s = "hi";')
+        g = next(g for g in mod.globals if g.name == "s")
+        assert isinstance(g.items[0], PtrInit)
+
+    def test_global_function_pointer(self):
+        mod = lower("int f(int x) { return x; } int (*fp)(int) = f;")
+        g = next(g for g in mod.globals if g.name == "fp")
+        assert g.items == [PtrInit(0, "f")]
+
+    def test_string_global_emitted(self):
+        mod = lower('char *s = "ab";')
+        strings = [g for g in mod.globals if g.is_string]
+        assert strings and strings[0].size == 3
+
+    def test_struct_valued_params_rejected(self):
+        with pytest.raises(CompileError):
+            lower("struct P { int x; };"
+                  "int f(struct P p) { return p.x; }"
+                  "int main(void) { struct P q; q.x = 1; return f(q); }")
+
+
+class TestLabelNormalization:
+    def test_labels_become_dense_indices(self):
+        fn = lower("void f(int n) { while (n) n--; if (n) n = 1; }") \
+            .function("f")
+        norm = normalize_labels(fn)
+        labels = [t.value for t in norm.forest if t.op.name == "LABELV"]
+        assert all(label.isdigit() for label in labels)
+
+    def test_normalization_preserves_structure(self):
+        fn = lower("void f(int n) { while (n) n--; }").function("f")
+        norm = normalize_labels(fn)
+        assert [t.op.name for t in norm.forest] == forest_ops(fn)

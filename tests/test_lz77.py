@@ -1,0 +1,84 @@
+"""LZ77 matcher tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.lz77 import (
+    MAX_MATCH, MIN_MATCH, WINDOW_SIZE, Literal, Match, detokenize, tokenize,
+)
+
+
+class TestTokens:
+    def test_literal_validates_range(self):
+        with pytest.raises(ValueError):
+            Literal(256)
+        with pytest.raises(ValueError):
+            Literal(-1)
+
+    def test_match_validates_length(self):
+        with pytest.raises(ValueError):
+            Match(MIN_MATCH - 1, 1)
+        with pytest.raises(ValueError):
+            Match(MAX_MATCH + 1, 1)
+
+    def test_match_validates_distance(self):
+        with pytest.raises(ValueError):
+            Match(5, 0)
+        with pytest.raises(ValueError):
+            Match(5, WINDOW_SIZE + 1)
+
+
+class TestTokenize:
+    def test_empty(self):
+        assert tokenize(b"") == []
+
+    def test_incompressible_is_all_literals(self):
+        data = bytes(range(10))
+        tokens = tokenize(data)
+        assert all(isinstance(t, Literal) for t in tokens)
+
+    def test_repetition_produces_matches(self):
+        data = b"abcabcabcabcabc"
+        tokens = tokenize(data)
+        assert any(isinstance(t, Match) for t in tokens)
+
+    def test_overlapping_match_run(self):
+        # 'aaaa...' matches itself at distance 1 (RLE via LZ).
+        data = b"a" * 100
+        tokens = tokenize(data)
+        matches = [t for t in tokens if isinstance(t, Match)]
+        assert matches and matches[0].distance == 1
+
+    def test_greedy_vs_lazy_both_roundtrip(self):
+        data = b"abcxabcyabcxabcy" * 5
+        for lazy in (False, True):
+            assert detokenize(tokenize(data, lazy=lazy)) == data
+
+
+class TestDetokenize:
+    def test_simple(self):
+        tokens = [Literal(ord("a")), Literal(ord("b")),
+                  Match(3, 2)]
+        assert detokenize(tokens) == b"ababa"
+
+    def test_distance_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            detokenize([Literal(1), Match(3, 5)])
+
+
+@given(st.binary(max_size=4000))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(data):
+    assert detokenize(tokenize(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=50))
+@settings(max_examples=30, deadline=None)
+def test_repeated_input_roundtrip(chunk):
+    data = chunk * 30
+    tokens = tokenize(data)
+    assert detokenize(tokens) == data
+    # Heavy repetition should produce at least one back-reference whenever
+    # the chunk repetition creates a >= MIN_MATCH overlap.
+    if len(data) >= len(chunk) + MIN_MATCH:
+        assert any(isinstance(t, Match) for t in tokens)

@@ -1,0 +1,93 @@
+"""Move-to-front coding tests, including the paper's worked example."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compress.mtf import MoveToFront, mtf_decode, mtf_encode
+
+
+def test_paper_addrlp_stream_example():
+    """The paper MTF-codes the ADDRLP stream [72 72 68 72 68 68 68 68]
+    to [0 1 0 2 2 1 1 1] with 0 denoting a previously-unseen symbol."""
+    indices, novel = mtf_encode([72, 72, 68, 72, 68, 68, 68, 68])
+    assert indices == [0, 1, 0, 2, 2, 1, 1, 1]
+    assert novel == [72, 68]
+
+
+def test_decode_paper_example():
+    assert mtf_decode([0, 1, 0, 2, 2, 1, 1, 1], [72, 68]) == \
+        [72, 72, 68, 72, 68, 68, 68, 68]
+
+
+def test_empty_stream():
+    assert mtf_encode([]) == ([], [])
+    assert mtf_decode([], []) == []
+
+
+def test_all_distinct_symbols_are_novel():
+    indices, novel = mtf_encode(["a", "b", "c"])
+    assert indices == [0, 0, 0]
+    assert novel == ["a", "b", "c"]
+
+
+def test_repeated_symbol_stays_at_front():
+    indices, novel = mtf_encode([5, 5, 5, 5])
+    assert indices == [0, 1, 1, 1]
+    assert novel == [5]
+
+
+def test_locality_yields_small_indices():
+    """A stream alternating between two symbols never needs index > 2."""
+    indices, _ = mtf_encode([1, 2, 1, 2, 1, 2, 1, 2])
+    assert max(indices) <= 2
+
+
+def test_decode_rejects_bad_index():
+    with pytest.raises(ValueError):
+        mtf_decode([5], [1])
+
+
+def test_decode_rejects_missing_novel():
+    with pytest.raises(ValueError):
+        mtf_decode([0, 0], [1])
+
+
+@given(st.lists(st.integers(-1000, 1000)))
+def test_mtf_roundtrip_ints(stream):
+    indices, novel = mtf_encode(stream)
+    assert mtf_decode(indices, novel) == stream
+
+
+@given(st.lists(st.text(max_size=5)))
+def test_mtf_roundtrip_strings(stream):
+    indices, novel = mtf_encode(stream)
+    assert mtf_decode(indices, novel) == stream
+
+
+@given(st.lists(st.integers(-1000, 1000)))
+def test_novel_order_is_first_appearance(stream):
+    _, novel = mtf_encode(stream)
+    seen = []
+    for s in stream:
+        if s not in seen:
+            seen.append(s)
+    assert novel == seen
+
+
+class TestClassicMoveToFront:
+    def test_identity_alphabet(self):
+        m = MoveToFront(4)
+        assert m.encode([0, 1, 2, 3]) == [0, 1, 2, 3]
+
+    def test_repeats_become_zero(self):
+        m = MoveToFront(16)
+        assert m.encode([7, 7, 7]) == [7, 0, 0]
+
+    @given(st.lists(st.integers(0, 255)))
+    def test_roundtrip(self, data):
+        m = MoveToFront(256)
+        assert m.decode(m.encode(data)) == data
+
+    def test_rejects_empty_alphabet(self):
+        with pytest.raises(ValueError):
+            MoveToFront(0)

@@ -1,0 +1,120 @@
+"""Peephole optimizer tests."""
+
+import pytest
+
+import repro
+from repro.codegen.peephole import INVERTED_BRANCH, peephole_function
+from repro.vm.asm import parse_function
+from repro.vm.instr import Instr, VMProgram
+from repro.vm.interp import run_program
+
+
+def opt(text):
+    return peephole_function(parse_function(text, "f"))
+
+
+class TestRules:
+    def test_self_move_removed(self):
+        fn = opt("mov.i n0,n0\nhlt")
+        assert [i.name for i in fn.code] == ["hlt"]
+
+    def test_real_move_kept(self):
+        fn = opt("mov.i n0,n1\nhlt")
+        assert [i.name for i in fn.code] == ["mov.i", "hlt"]
+
+    def test_jump_to_next_removed(self):
+        fn = opt("jmp $next\n$next:\nhlt")
+        assert [i.name for i in fn.code] == ["hlt"]
+        assert fn.labels["next"] == 0
+
+    def test_jump_elsewhere_kept(self):
+        fn = opt("jmp $end\nli n0,1\n$end:\nhlt")
+        assert [i.name for i in fn.code] == ["jmp", "li", "hlt"]
+
+    def test_store_load_same_slot_becomes_move(self):
+        fn = opt("st.iw n1,8(sp)\nld.iw n0,8(sp)\nhlt")
+        assert [i.name for i in fn.code] == ["st.iw", "mov.i", "hlt"]
+        assert fn.code[1].operands == (0, 1)
+
+    def test_store_load_same_register_removed(self):
+        fn = opt("st.iw n0,8(sp)\nld.iw n0,8(sp)\nhlt")
+        assert [i.name for i in fn.code] == ["st.iw", "hlt"]
+
+    def test_store_load_different_slot_kept(self):
+        fn = opt("st.iw n0,8(sp)\nld.iw n1,12(sp)\nhlt")
+        assert [i.name for i in fn.code] == ["st.iw", "ld.iw", "hlt"]
+
+    def test_store_load_across_label_kept(self):
+        fn = opt("st.iw n0,8(sp)\n$l:\nld.iw n1,8(sp)\nhlt")
+        assert [i.name for i in fn.code] == ["st.iw", "ld.iw", "hlt"]
+
+    def test_branch_over_jump_inverted(self):
+        fn = opt("""
+            beqi.i n0,0,$skip
+            jmp $far
+            $skip:
+            li n0,1
+            $far:
+            hlt
+        """)
+        assert fn.code[0].name == "bnei.i"
+        assert fn.code[0].operands[2] == "far"
+        assert [i.name for i in fn.code] == ["bnei.i", "li", "hlt"]
+
+    def test_branch_over_labelled_jump_kept(self):
+        # A label on the jmp means something else can reach it: no rewrite.
+        fn = opt("""
+            beqi.i n0,0,$skip
+            $also:
+            jmp $far
+            $skip:
+            li n0,1
+            $far:
+            hlt
+        """)
+        assert fn.code[0].name == "beqi.i"
+
+    def test_inversion_table_is_involutive(self):
+        for a, b in INVERTED_BRANCH.items():
+            assert INVERTED_BRANCH[b] == a
+
+    def test_labels_remapped_after_deletions(self):
+        fn = opt("""
+            mov.i n0,n0
+            mov.i n1,n1
+            $target:
+            li n0,7
+            hlt
+        """)
+        assert fn.labels["target"] == 0
+        assert fn.code[fn.labels["target"]].name == "li"
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("src,expected", [
+        ("int main(void){int s=0;for(int i=0;i<9;i++)if(i%2)s+=i;return s;}",
+         16 + 1 + 3 + 5 + 7 - 16),
+        ("int f(int n){return n<2?n:f(n-1)+f(n-2);}"
+         "int main(void){return f(11);}", 89),
+    ])
+    def test_optimized_programs_agree(self, src, expected):
+        from repro.cfront import compile_to_ast
+        from repro.codegen import generate_program
+        from repro.ir import lower_unit
+
+        mod = lower_unit(compile_to_ast(src, "m"), "m")
+        a = run_program(generate_program(mod, optimize=False))
+        b = run_program(generate_program(mod, optimize=True))
+        assert a.exit_code == b.exit_code == expected
+        assert a.output == b.output
+
+    def test_optimizer_shrinks_typical_code(self):
+        from repro.cfront import compile_to_ast
+        from repro.codegen import generate_program
+        from repro.corpus.samples import SAMPLES
+        from repro.ir import lower_unit
+
+        mod = lower_unit(compile_to_ast(SAMPLES["calc"], "calc"), "calc")
+        raw = generate_program(mod, optimize=False).instruction_count()
+        tidy = generate_program(mod, optimize=True).instruction_count()
+        assert tidy < raw

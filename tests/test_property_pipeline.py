@@ -1,0 +1,177 @@
+"""Property-based pipeline tests.
+
+Two families:
+
+* random C integer expressions — the compiled VM program must agree with
+  a Python evaluation using C semantics (wrap-around, truncating division);
+  constants are passed in through variables so sema's constant folder and
+  the runtime exercise different paths against the same oracle;
+* random IR forests — the wire format must round-trip them exactly.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+import repro
+from repro.ir import T, Tree
+from repro.ir.tree import IRFunction, IRModule
+from repro.vm import VMError, run_program
+from repro.wire import decode_module, encode_module
+
+
+def _s32(v):
+    v &= 0xFFFFFFFF
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def _cdiv(a, b):
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+# --------------------------------------------------------------------------
+# Random integer expressions
+# --------------------------------------------------------------------------
+
+_INT = st.integers(-2**31, 2**31 - 1)
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    """Returns (c_source, python_value, var_bindings)."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(_INT)
+        return (None, value)  # leaf: placeholder name assigned later
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^", "<<", ">>",
+                               "/", "%"]))
+    left = draw(int_exprs(depth + 1))
+    right = draw(int_exprs(depth + 1))
+    return ((op, left, right), None)
+
+
+def _build(expr, names, bindings):
+    """Materialize the expression tree into C source + oracle value."""
+    shape, value = expr
+    if shape is None:
+        name = f"v{len(bindings)}"
+        bindings[name] = value
+        return name, value
+    op, left, right = shape
+    lsrc, lval = _build(left, names, bindings)
+    rsrc, rval = _build(right, names, bindings)
+    if op in ("<<", ">>"):
+        rsrc = f"({rsrc} & 31)"
+        shift = rval & 31
+        if op == "<<":
+            return f"({lsrc} << {rsrc})", _s32(lval << shift)
+        return f"({lsrc} >> {rsrc})", _s32(lval >> shift)
+    if op in ("/", "%"):
+        rsrc = f"(({rsrc} & 7) | 1)"  # non-zero, small
+        denom = (rval & 7) | 1
+        if op == "/":
+            return f"({lsrc} / {rsrc})", _s32(_cdiv(lval, denom))
+        return f"({lsrc} % {rsrc})", _s32(lval - _cdiv(lval, denom) * denom)
+    py = {"+": lval + rval, "-": lval - rval, "*": lval * rval,
+          "&": lval & rval, "|": lval | rval, "^": lval ^ rval}[op]
+    return f"({lsrc} {op} {rsrc})", _s32(py)
+
+
+@given(int_exprs())
+@settings(max_examples=60, deadline=None)
+def test_random_int_expression_agrees_with_oracle(expr):
+    bindings = {}
+    src, expected = _build(expr, [], bindings)
+    decls = "\n".join(f"    int {n} = {v};" for n, v in bindings.items())
+    program = repro.compile_c(f"""
+        int main(void) {{
+        {decls}
+            print_int({src});
+            return 0;
+        }}
+    """)
+    result = run_program(program, max_steps=1_000_000)
+    assert result.output == str(expected)
+
+
+@given(int_exprs())
+@settings(max_examples=20, deadline=None)
+def test_folding_and_runtime_agree(expr):
+    """The same expression over literals (sema folds it) and over
+    variables (the VM computes it) must produce identical values."""
+    bindings = {}
+    src_vars, expected = _build(expr, [], bindings)
+    # Literal version: substitute values textually.  Replace longer names
+    # first so "v1" does not clobber "v10"; parenthesize negatives.
+    src_lits = src_vars
+    for name in sorted(bindings, key=len, reverse=True):
+        src_lits = src_lits.replace(name, f"({bindings[name]})")
+    decls = "\n".join(f"    int {n} = {v};" for n, v in bindings.items())
+    program = repro.compile_c(f"""
+        int main(void) {{
+        {decls}
+            print_int({src_vars});
+            putchar(' ');
+            print_int({src_lits});
+            return 0;
+        }}
+    """)
+    result = run_program(program, max_steps=1_000_000)
+    a, b = result.output.split(" ")
+    assert a == b == str(expected)
+
+
+# --------------------------------------------------------------------------
+# Random IR forests through the wire format
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def int_value_trees(draw, depth=0):
+    """Random well-typed int-valued IR trees."""
+    if depth >= 3 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["cnst", "local", "param"]))
+        if kind == "cnst":
+            return T("CNSTI", value=draw(st.integers(-2**31, 2**31 - 1)))
+        if kind == "local":
+            return T("INDIRI", T("ADDRLP", value=draw(
+                st.integers(0, 1020)) // 4 * 4))
+        return T("INDIRI", T("ADDRFP", value=draw(
+            st.sampled_from([0, 4, 8]))))
+    name = draw(st.sampled_from(["ADDI", "SUBI", "MULI", "BANDI", "BORI"]))
+    return T(name, draw(int_value_trees(depth + 1)),
+             draw(int_value_trees(depth + 1)))
+
+
+@st.composite
+def forests(draw):
+    trees = []
+    n = draw(st.integers(1, 8))
+    for i in range(n):
+        kind = draw(st.sampled_from(["asgn", "label", "branch"]))
+        if kind == "asgn":
+            trees.append(T("ASGNI",
+                           T("ADDRLP", value=draw(st.integers(0, 255)) * 4),
+                           draw(int_value_trees())))
+        elif kind == "label":
+            trees.append(T("LABELV", value=f"L{i}"))
+        else:
+            trees.append(T("EQI", draw(int_value_trees()),
+                           draw(int_value_trees()), value=f"L{i}"))
+            trees.append(T("LABELV", value=f"L{i}"))
+    trees.append(T("RETI", draw(int_value_trees())))
+    return trees
+
+
+@given(forests())
+@settings(max_examples=40, deadline=None)
+def test_wire_roundtrips_random_forests(forest):
+    fn = IRFunction("f", forest, frame_size=1024, param_sizes=[4, 4, 4],
+                    ret_suffix="I")
+    module = IRModule("prop", functions=[fn])
+    back = decode_module(encode_module(module))
+    from repro.wire import normalize_labels
+
+    norm = normalize_labels(fn)
+    assert back.functions[0].forest == norm.forest
+    assert back.functions[0].frame_size == 1024
+    assert back.functions[0].param_sizes == [4, 4, 4]

@@ -1,0 +1,280 @@
+"""Semantic analysis tests: typing rules, conversions, and rejections."""
+
+import pytest
+
+from repro.cfront import compile_to_ast
+from repro.cfront import ctypes as ct
+from repro.cfront.astnodes import (
+    Binary, ExprStmt, ImplicitCast, IntLit, Return,
+)
+from repro.cfront.ctypes import PointerType
+from repro.cfront.errors import CompileError
+
+
+def check(src):
+    return compile_to_ast(src)
+
+
+def expr_of(src, ret_type="int"):
+    """Type-check `return <src>;` inside a canned function context."""
+    unit = check(
+        "int gi; double gd; char gc; unsigned gu; int garr[4]; char *gs;\n"
+        "struct P { int x; int y; } gp; struct P *gpp;\n"
+        f"{ret_type} f(void) {{ return {src}; }}"
+    )
+    ret = unit.functions[-1].body.body[0]
+    assert isinstance(ret, Return)
+    return ret.value
+
+
+def reject(src):
+    with pytest.raises(CompileError):
+        check(src)
+
+
+class TestExpressionTyping:
+    def test_int_literal(self):
+        assert expr_of("42").ctype == ct.INT
+
+    def test_arithmetic_promotes_char(self):
+        e = expr_of("gc + gc")
+        assert e.ctype == ct.INT
+
+    def test_mixed_int_double(self):
+        e = expr_of("gi + gd", "double")
+        assert e.ctype == ct.DOUBLE
+
+    def test_unsigned_wins(self):
+        e = expr_of("gi + gu", "unsigned")
+        assert e.ctype == ct.UINT
+
+    def test_comparison_yields_int(self):
+        assert expr_of("gd < gd").ctype == ct.INT
+
+    def test_logical_yields_int(self):
+        assert expr_of("gi && gd").ctype == ct.INT
+
+    def test_array_decays_to_pointer(self):
+        e = expr_of("garr", "int *")
+        assert e.ctype == PointerType(ct.INT)
+        assert isinstance(e, ImplicitCast)
+
+    def test_address_of(self):
+        assert expr_of("&gi", "int *").ctype == PointerType(ct.INT)
+
+    def test_deref(self):
+        assert expr_of("*gs", "char").ctype == ct.CHAR
+
+    def test_index(self):
+        assert expr_of("garr[2]").ctype == ct.INT
+
+    def test_reverse_index(self):
+        assert expr_of("2[garr]").ctype == ct.INT
+
+    def test_member(self):
+        assert expr_of("gp.x").ctype == ct.INT
+
+    def test_arrow(self):
+        assert expr_of("gpp->y").ctype == ct.INT
+
+    def test_member_offset_computed(self):
+        e = expr_of("gp.y")
+        assert e.offset == 4
+
+    def test_pointer_plus_int(self):
+        e = expr_of("gs + 3", "char *")
+        assert e.ctype == PointerType(ct.CHAR)
+
+    def test_pointer_difference_is_int(self):
+        assert expr_of("(garr + 3) - garr").ctype == ct.INT
+
+    def test_conditional_common_type(self):
+        assert expr_of("gi ? gi : gd", "double").ctype == ct.DOUBLE
+
+    def test_sizeof_folds_to_constant(self):
+        e = expr_of("sizeof(struct P)", "unsigned")
+        assert isinstance(e, IntLit) and e.value == 8
+
+    def test_sizeof_expr_folds(self):
+        e = expr_of("sizeof gd", "unsigned")
+        assert isinstance(e, IntLit) and e.value == 8
+
+    def test_sizeof_array_not_decayed(self):
+        e = expr_of("sizeof garr", "unsigned")
+        assert e.value == 16
+
+    def test_string_literal_gets_label(self):
+        unit = check('char *p = "hi";\nint main(void) { return 0; }')
+        assert unit.strings and unit.strings[0][1] == "hi"
+
+    def test_identical_strings_share_label(self):
+        unit = check(
+            'void f(void) { print_str("x"); print_str("x"); }')
+        assert len(unit.strings) == 1
+
+    def test_constant_folding_binary(self):
+        e = expr_of("2 + 3 * 4")
+        assert isinstance(e, IntLit) and e.value == 14
+
+    def test_constant_folding_truncating_division(self):
+        e = expr_of("-7 / 2")
+        assert isinstance(e, IntLit) and e.value == -3
+
+    def test_constant_folding_unsigned_wrap(self):
+        e = expr_of("(unsigned)0 - 1u", "unsigned")
+        # folding happens on literal ops; wrap checked via IntType.wrap
+        assert e.ctype == ct.UINT
+
+    def test_enum_constant_becomes_literal(self):
+        unit = check("enum { K = 9 };\nint f(void) { return K; }")
+        ret = unit.functions[0].body.body[0]
+        assert isinstance(ret.value, IntLit) and ret.value.value == 9
+
+
+class TestImplicitConversions:
+    def test_assignment_inserts_cast(self):
+        unit = check("double d;\nvoid f(void) { d = 1; }")
+        assign = unit.functions[0].body.body[0].expr
+        assert isinstance(assign.value, (ImplicitCast, IntLit))
+        assert assign.value.ctype == ct.DOUBLE
+
+    def test_return_coerces(self):
+        e = expr_of("gc", "double")
+        assert e.ctype == ct.DOUBLE
+
+    def test_argument_coercion(self):
+        unit = check("void take(double x);\nvoid f(void) { take(1); }")
+        call = unit.functions[1].body.body[0].expr
+        assert call.args[0].ctype == ct.DOUBLE
+
+    def test_null_pointer_constant(self):
+        assert expr_of("gs == 0").ctype == ct.INT
+
+
+class TestRejections:
+    def test_undeclared_identifier(self):
+        reject("int f(void) { return nope; }")
+
+    def test_implicit_fn_decl_is_allowed_for_calls(self):
+        check("int f(void) { return g(1); } int g(int x) { return x; }")
+
+    def test_call_non_function(self):
+        reject("int x; int f(void) { return x(); }")
+
+    def test_wrong_arity(self):
+        reject("int g(int a); int f(void) { return g(1, 2); }")
+
+    def test_assign_to_rvalue(self):
+        reject("int f(void) { 1 = 2; return 0; }")
+
+    def test_assign_to_array(self):
+        reject("int a[2]; int b[2]; void f(void) { a = b; }")
+
+    def test_deref_non_pointer(self):
+        reject("int f(void) { int x; return *x; }")
+
+    def test_deref_void_pointer(self):
+        reject("void *p; int f(void) { return *p; }")
+
+    def test_member_of_non_struct(self):
+        reject("int x; int f(void) { return x.y; }")
+
+    def test_unknown_member(self):
+        reject("struct P { int x; }; struct P p; int f(void) { return p.z; }")
+
+    def test_break_outside_loop(self):
+        reject("void f(void) { break; }")
+
+    def test_continue_outside_loop(self):
+        reject("void f(void) { continue; }")
+
+    def test_continue_not_satisfied_by_switch(self):
+        reject("void f(int x) { switch (x) { default: continue; } }")
+
+    def test_break_in_switch_ok(self):
+        check("void f(int x) { switch (x) { default: break; } }")
+
+    def test_return_value_from_void(self):
+        reject("void f(void) { return 1; }")
+
+    def test_missing_return_value(self):
+        reject("int f(void) { return; }")
+
+    def test_duplicate_case(self):
+        reject("void f(int x) { switch (x) { case 1: break; case 1: break; } }")
+
+    def test_duplicate_default(self):
+        reject("void f(int x) { switch (x) { default: break; default: break; } }")
+
+    def test_non_constant_case(self):
+        reject("void f(int x, int y) { switch (x) { case y: break; } }")
+
+    def test_switch_on_double(self):
+        reject("void f(double d) { switch (d) { default: break; } }")
+
+    def test_struct_condition(self):
+        reject("struct P { int x; }; struct P p; void f(void) { if (p) ; }")
+
+    def test_redeclared_local(self):
+        reject("void f(void) { int x; int x; }")
+
+    def test_redeclared_global_different_type(self):
+        reject("int x; double x;")
+
+    def test_void_variable(self):
+        reject("void v;")
+
+    def test_incompatible_pointer_assignment(self):
+        reject("int *p; double *q; void f(void) { p = q; }")
+
+    def test_pointer_int_assignment_rejected(self):
+        reject("int *p; void f(void) { p = 5; }")
+
+    def test_cast_pointer_to_double_rejected(self):
+        reject("int *p; double f(void) { return (double)p; }")
+
+    def test_modulo_on_double(self):
+        reject("double f(double a) { return a % 2.0; }")
+
+    def test_bitand_on_double(self):
+        reject("double f(double a) { return a & 1.0; }")
+
+    def test_function_redefinition(self):
+        reject("int f(void) { return 0; } int f(void) { return 1; }")
+
+    def test_too_many_initializers(self):
+        reject("int a[2] = {1, 2, 3};")
+
+    def test_string_initializer_too_long(self):
+        reject('char a[2] = "abc";')
+
+    def test_non_constant_global_init_rejected_at_lowering(self):
+        from repro.ir import lower_unit
+        unit = check("int g(void) { return 1; } int x = g();")
+        with pytest.raises(CompileError):
+            lower_unit(unit)
+
+
+class TestStatics:
+    def test_local_static_hoisted(self):
+        unit = check("int f(void) { static int n = 3; return n; }")
+        hoisted = [g for g in unit.globals if "." in g.name]
+        assert len(hoisted) == 1
+
+    def test_statics_in_different_functions_distinct(self):
+        unit = check(
+            "int f(void) { static int n; return n; }\n"
+            "int g(void) { static int n; return n; }"
+        )
+        hoisted = {g.name for g in unit.globals}
+        assert len(hoisted) == 2
+
+
+class TestArraysFromInit:
+    def test_size_inferred_from_list(self):
+        unit = check("int a[] = {1, 2, 3};")
+        assert unit.globals[0].type.count == 3
+
+    def test_size_inferred_from_string(self):
+        unit = check('char s[] = "abcd";')
+        assert unit.globals[0].type.count == 5  # includes NUL

@@ -1,0 +1,65 @@
+"""Multi-stream container tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.streams import pack_streams, stream_sizes, unpack_streams
+
+
+def test_roundtrip_basic():
+    streams = {"ops": b"abcabcabc" * 50, "lits": bytes(range(100))}
+    assert unpack_streams(pack_streams(streams)) == streams
+
+
+def test_empty_container():
+    assert unpack_streams(pack_streams({})) == {}
+
+
+def test_empty_stream_preserved():
+    streams = {"empty": b"", "one": b"x"}
+    assert unpack_streams(pack_streams(streams)) == streams
+
+
+def test_uncompressed_mode():
+    streams = {"a": b"zz" * 100}
+    blob = pack_streams(streams, compress=False)
+    assert unpack_streams(blob) == streams
+    # Raw mode must store payload verbatim (container adds only framing).
+    assert len(blob) >= 200
+
+
+def test_tiny_streams_stored_raw_when_compression_loses():
+    streams = {"tiny": b"ab"}
+    blob = pack_streams(streams)
+    assert unpack_streams(blob) == streams
+    assert len(blob) < 30
+
+
+def test_compression_applied_to_large_redundant_streams():
+    streams = {"big": b"abcdefgh" * 1000}
+    assert len(pack_streams(streams)) < 2000
+
+
+def test_unicode_stream_names():
+    streams = {"ADDRLP8": b"\x01", "CNSTI16": b"\x02\x03"}
+    assert unpack_streams(pack_streams(streams)) == streams
+
+
+def test_truncated_container_raises():
+    blob = pack_streams({"a": b"hello world"})
+    with pytest.raises((EOFError, ValueError)):
+        unpack_streams(blob[:-3])
+
+
+def test_stream_sizes_reports_both():
+    sizes = stream_sizes({"s": b"qq" * 200})
+    raw, packed = sizes["s"]
+    assert raw == 400
+    assert packed < raw
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=10), st.binary(max_size=500),
+                       max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(streams):
+    assert unpack_streams(pack_streams(streams)) == streams

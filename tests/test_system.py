@@ -1,0 +1,111 @@
+"""Scenario-model tests: delivery latency and paging arithmetic."""
+
+import pytest
+
+from repro.system import (
+    DSL_1M, LAN_10M, MODEM_28_8, Link, PagingConfig, Representation,
+    delivery_time, paging_run, working_set_pages,
+)
+
+
+class TestDelivery:
+    NATIVE = Representation("native", 400_000)
+    WIRE = Representation("wire", 80_000, decompress_rate=1_000_000,
+                          jit_rate=2_500_000, native_bytes=400_000)
+    BRISC = Representation("brisc", 120_000, jit_rate=2_500_000,
+                           native_bytes=400_000)
+
+    def test_modem_favours_smallest_representation(self):
+        """The paper: over a modem the (smaller) wire code wins."""
+        times = {
+            rep.name: delivery_time(rep, MODEM_28_8).total_seconds
+            for rep in (self.NATIVE, self.WIRE, self.BRISC)
+        }
+        assert times["wire"] < times["brisc"] < times["native"]
+
+    def test_lan_brisc_competitive(self):
+        """On a LAN, transfer is cheap and BRISC's single JIT pass keeps it
+        within a whisker of wire (no decompress stage)."""
+        wire = delivery_time(self.WIRE, LAN_10M).total_seconds
+        brisc = delivery_time(self.BRISC, LAN_10M).total_seconds
+        assert brisc <= wire * 1.5
+
+    def test_overlap_masks_preparation(self):
+        """The paper: "delivery time ... can mask some or even all of the
+        recompilation time"."""
+        serial = delivery_time(self.BRISC, MODEM_28_8, overlap=False)
+        piped = delivery_time(self.BRISC, MODEM_28_8, overlap=True)
+        assert piped.total_seconds < serial.total_seconds
+        # Over a slow modem, transfer dominates, so the JIT is fully masked.
+        assert piped.total_seconds == pytest.approx(
+            MODEM_28_8.latency_seconds + piped.transfer_seconds)
+
+    def test_no_preparation_representation(self):
+        res = delivery_time(self.NATIVE, DSL_1M)
+        assert res.prepare_seconds == 0
+        assert res.total_seconds == pytest.approx(
+            DSL_1M.latency_seconds + res.transfer_seconds)
+
+    def test_faster_link_smaller_total(self):
+        slow = delivery_time(self.WIRE, MODEM_28_8).total_seconds
+        fast = delivery_time(self.WIRE, LAN_10M).total_seconds
+        assert fast < slow
+
+
+class TestPaging:
+    def test_working_set_pages_rounds_up(self):
+        assert working_set_pages(1) == 1
+        assert working_set_pages(4096) == 1
+        assert working_set_pages(4097) == 2
+
+    def test_compression_reduces_faults(self):
+        results = paging_run(native_bytes=400_000, compressed_bytes=200_000,
+                             instructions_executed=1_000_000)
+        assert results["compressed-interpreted"].pages_faulted < \
+            results["native"].pages_faulted
+
+    def test_interpretation_costs_cpu(self):
+        results = paging_run(native_bytes=400_000, compressed_bytes=200_000,
+                             instructions_executed=1_000_000)
+        assert results["compressed-interpreted"].cpu_seconds > \
+            results["native"].cpu_seconds
+
+    def test_crossover_when_cpu_idles_on_faults(self):
+        """The paper's motivating profile: with the CPU idle during paging,
+        compressed pages win overall despite the interpretation penalty."""
+        config = PagingConfig(fault_seconds=0.010)
+        # Short run (cold start dominated by faults).
+        results = paging_run(native_bytes=2_000_000,
+                             compressed_bytes=1_000_000,
+                             instructions_executed=5_000_000,
+                             config=config)
+        assert results["compressed-interpreted"].total_seconds < \
+            results["native"].total_seconds
+
+    def test_native_wins_for_hot_long_runs(self):
+        config = PagingConfig(fault_seconds=0.010)
+        results = paging_run(native_bytes=2_000_000,
+                             compressed_bytes=1_000_000,
+                             instructions_executed=20_000_000_000,
+                             config=config)
+        assert results["native"].total_seconds < \
+            results["compressed-interpreted"].total_seconds
+
+    def test_hybrid_between_extremes_on_cold_starts(self):
+        """Keeping once-run code compressed (the paper's "many functions
+        are called just once") beats all-native on fault-dominated runs."""
+        config = PagingConfig(fault_seconds=0.010, cold_fraction=0.6)
+        results = paging_run(native_bytes=2_000_000,
+                             compressed_bytes=1_000_000,
+                             instructions_executed=5_000_000,
+                             config=config)
+        assert results["hybrid"].total_seconds < \
+            results["native"].total_seconds
+
+    def test_strategies_report_page_counts(self):
+        results = paging_run(native_bytes=40_000, compressed_bytes=20_000,
+                             instructions_executed=1000)
+        for r in results.values():
+            assert r.pages_faulted > 0
+            assert r.total_seconds == pytest.approx(
+                r.fault_seconds + r.cpu_seconds)

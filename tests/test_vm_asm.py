@@ -1,0 +1,85 @@
+"""Assembler / disassembler text round-trip tests."""
+
+import pytest
+
+from repro.vm.asm import format_function, format_instr, parse_function
+from repro.vm.instr import Instr, VMFunction
+
+
+class TestFormat:
+    def test_memory_style(self):
+        assert format_instr(Instr("ld.iw", (0, 4, 14))) == "ld.iw n0,4(sp)"
+
+    def test_paper_example_spelling(self):
+        """The paper writes `spill.i n4,16(sp)` and `ble.i n4,0,$L56`."""
+        assert format_instr(Instr("spill.i", (4, 16, 14))) == \
+            "spill.i n4,16(sp)"
+        assert format_instr(Instr("blei.i", (4, 0, "L56"))) == \
+            "blei.i n4,0,$L56"
+
+    def test_enter_exit(self):
+        assert format_instr(Instr("enter", (14, 14, 24))) == "enter sp,sp,24"
+
+    def test_call_and_rjr(self):
+        assert format_instr(Instr("call", ("pepper",))) == "call pepper"
+        assert format_instr(Instr("rjr", (15,))) == "rjr ra"
+
+    def test_no_operands(self):
+        assert format_instr(Instr("hlt", ())) == "hlt"
+
+    def test_float_registers(self):
+        assert format_instr(Instr("add.d", (0, 1, 2))) == "add.d f0,f1,f2"
+
+
+class TestParse:
+    def test_roundtrip_function(self):
+        fn = VMFunction("f")
+        fn.emit(Instr("enter", (14, 14, 16)))
+        fn.emit(Instr("spill.i", (15, 8, 14)))
+        fn.define_label("loop")
+        fn.emit(Instr("addi.i", (0, 0, 1)))
+        fn.emit(Instr("blti.i", (0, 10, "loop")))
+        fn.emit(Instr("reload.i", (15, 8, 14)))
+        fn.emit(Instr("exit", (14, 14, 16)))
+        fn.emit(Instr("rjr", (15,)))
+        text = format_function(fn)
+        back = parse_function(text, "f")
+        assert back.code == fn.code
+        assert back.labels == fn.labels
+
+    def test_parse_comments_and_blanks(self):
+        fn = parse_function("""
+            ; a comment
+            li n1,5
+
+            mov.i n0,n1   ; trailing comment
+        """)
+        assert [i.name for i in fn.code] == ["li", "mov.i"]
+
+    def test_parse_negative_displacement(self):
+        fn = parse_function("st.iw n0,-4(sp)")
+        assert fn.code[0].operands == (0, -4, 14)
+
+    def test_parse_hex_immediate(self):
+        fn = parse_function("li n0,0xff")
+        assert fn.code[0].operands == (0, 255)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            parse_function("frobnicate n0")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(ValueError):
+            parse_function("mov.i n0,n99")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            parse_function("mov.i n0")
+
+    def test_label_without_dollar_rejected(self):
+        with pytest.raises(ValueError):
+            parse_function("jmp loop")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ValueError):
+            parse_function("$a:\n$a:\nhlt")
