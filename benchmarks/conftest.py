@@ -1,9 +1,11 @@
 """Shared benchmark configuration.
 
-Heavy artifacts (suite compilation, BRISC dictionaries) are cached inside
-:mod:`repro.bench.measure`, so benchmark functions only re-run the cheap
-kernel under measurement.  Every table printed here is also written to
-``benchmarks/results/`` for EXPERIMENTS.md.
+Heavy artifacts (suite compilation, BRISC dictionaries) come from the
+shared pipeline toolchain (:func:`repro.pipeline.default_toolchain`),
+whose content-addressed cache means benchmark functions only re-run the
+cheap kernel under measurement.  Every table printed here is also written
+to ``benchmarks/results/`` for EXPERIMENTS.md, along with the pipeline's
+per-stage run/hit accounting for the whole session.
 """
 
 import pathlib
@@ -17,6 +19,25 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def toolchain():
+    """The shared pipeline toolchain benchmarks compile through."""
+    from repro.pipeline import default_toolchain
+
+    return default_toolchain()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def pipeline_stats_report(results_dir):
+    """Write the session's per-stage pipeline stats next to the tables."""
+    yield
+    from repro.bench.tables import toolchain_stats_table
+    from repro.pipeline import default_toolchain
+
+    text = toolchain_stats_table(default_toolchain().stats())
+    save_table(results_dir, "pipeline_stats", text)
 
 
 def save_table(results_dir, name: str, text: str) -> None:

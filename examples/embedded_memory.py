@@ -12,12 +12,10 @@ and-interpreted code beats native code on cold starts.
 """
 
 from repro.bench import render_table
-from repro.brisc import compress, run_image
-from repro.cfront import compile_to_ast
-from repro.codegen import generate_program
+from repro.brisc import run_image
 from repro.corpus import SAMPLES, link_sources
-from repro.ir import lower_unit
 from repro.native import PentiumLike
+from repro.pipeline import Toolchain
 from repro.system import PagingConfig, paging_run, working_set_pages
 from repro.vm import run_program
 
@@ -25,12 +23,11 @@ from repro.vm import run_program
 def main() -> None:
     source = link_sources([SAMPLES[n] for n in
                            ("wc", "calc", "strings", "sort", "hashtab")])
-    module = lower_unit(compile_to_ast(source, "app"), "app")
-    program = generate_program(module)
+    print("compiling and compressing to BRISC through the pipeline...")
+    res = Toolchain().compile(source, name="app", stages=("brisc",))
+    program = res.program
     native = PentiumLike().program_size(program)
-
-    print("compressing to BRISC...")
-    cp = compress(program)
+    cp = res.brisc
     compressed = cp.image.code_segment_size
 
     native_pages = working_set_pages(native)

@@ -12,29 +12,27 @@ LAN (where delivery masks recompilation).
 """
 
 from repro.bench import render_table
-from repro.brisc import compress
-from repro.cfront import compile_to_ast
-from repro.codegen import generate_program
 from repro.corpus import generate_program_source
-from repro.ir import lower_unit
 from repro.jit import jit_compile
 from repro.native import PentiumLike
+from repro.pipeline import Toolchain
 from repro.system import (
     DSL_1M, ISDN_128K, LAN_10M, MODEM_28_8, Representation, delivery_time,
 )
-from repro.wire import encode_module
 
 
 def main() -> None:
     print("building a medium application (synthetic corpus)...")
     source = generate_program_source(functions=60, seed=21)
-    module = lower_unit(compile_to_ast(source, "app"), "app")
-    program = generate_program(module)
+    print("compiling and compressing through the pipeline "
+          "(wire + BRISC greedy dictionary construction)...")
+    res = Toolchain().compile(source, name="app",
+                              stages=("wire", "brisc"))
+    program = res.program
 
     native_bytes = PentiumLike().program_size(program)
-    wire_bytes = len(encode_module(module))
-    print("compressing to BRISC (greedy dictionary construction)...")
-    cp = compress(program)
+    wire_bytes = len(res.wire_blob)
+    cp = res.brisc
     jit = jit_compile(cp.image.blob)
     jit_rate = jit.output_bytes / max(jit.compile_seconds, 1e-9)
 

@@ -6,18 +6,18 @@ Usage::
 
 Walks the whole pipeline on a small program: C source -> lcc-style tree IR
 -> RISC VM code -> (a) the wire format and (b) BRISC, then executes the
-program from every representation to show they agree.
+program from every representation to show they agree.  One
+:class:`repro.pipeline.Toolchain` call produces every artifact; a second
+call shows the content-addressed cache serving the whole bundle for free.
 """
 
-import repro
-from repro.brisc import compress, decompress, run_image
-from repro.cfront import compile_to_ast
+from repro.brisc import decompress, run_image
 from repro.codegen import generate_program
-from repro.compress import deflate
-from repro.ir import dump_function, lower_unit
+from repro.ir import dump_function
 from repro.native import SparcLike
-from repro.vm import program_size, run_program
-from repro.wire import decode_module, encode_module
+from repro.pipeline import Toolchain
+from repro.vm import run_program
+from repro.wire import decode_module
 
 SOURCE = r"""
 int gcd(int a, int b) {
@@ -40,31 +40,30 @@ int main(void) {
 
 
 def main() -> None:
-    print("== 1. compile C to lcc-style tree IR ==")
-    module = lower_unit(compile_to_ast(SOURCE, "quickstart"), "quickstart")
-    print(dump_function(module.function("gcd")))
+    toolchain = Toolchain()
+    print("== 1. compile C through the staged pipeline ==")
+    res = toolchain.compile(SOURCE, name="quickstart")
+    print(dump_function(res.module.function("gcd")))
     print()
 
-    print("== 2. generate RISC VM code and run it ==")
-    program = generate_program(module)
-    result = run_program(program)
+    print("== 2. run the RISC VM code ==")
+    result = run_program(res.program)
     print(result.output, end="")
     print(f"(exit {result.exit_code}, {result.steps} instructions)\n")
 
     print("== 3. sizes across representations ==")
-    vm_bytes = program_size(program)
-    native = SparcLike().program_size(program)
-    wire_blob = encode_module(module)
-    brisc = compress(program)
+    sizes = res.sizes()
+    native = SparcLike().program_size(res.program)
+    brisc = res.brisc
     print(f"  conventional (SPARC-like) : {native:6d} bytes")
-    print(f"  VM binary encoding        : {vm_bytes:6d} bytes")
-    print(f"  wire format               : {len(wire_blob):6d} bytes")
-    print(f"  BRISC image               : {brisc.size:6d} bytes "
+    print(f"  VM binary encoding        : {sizes['vm']:6d} bytes")
+    print(f"  wire format               : {sizes['wire']:6d} bytes")
+    print(f"  BRISC image               : {sizes['brisc']:6d} bytes "
           f"(code segment {brisc.image.code_segment_size})")
     print()
 
     print("== 4. run from every compressed representation ==")
-    rewired = run_program(generate_program(decode_module(wire_blob)))
+    rewired = run_program(generate_program(decode_module(res.wire_blob)))
     print(f"  wire round-trip output matches: "
           f"{rewired.output == result.output}")
     inplace = run_image(brisc.image.blob)
@@ -73,6 +72,16 @@ def main() -> None:
     redecoded = run_program(decompress(brisc.image.blob))
     print(f"  BRISC decompressed and re-run  : "
           f"{redecoded.output == result.output}")
+    print()
+
+    print("== 5. recompile: every stage is a cache hit ==")
+    again = toolchain.compile(SOURCE, name="quickstart")
+    hits = [a.stage for a in again.artifacts.values() if a.from_cache]
+    print(f"  stages served from cache: {', '.join(hits)}")
+    stats = toolchain.stats()["stages"]
+    print(f"  total stage runs after two compiles: "
+          f"{sum(s['runs'] for s in stats.values())} "
+          f"(one per stage; the second compile cost nothing)")
 
 
 if __name__ == "__main__":

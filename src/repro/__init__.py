@@ -17,6 +17,8 @@ The paper's two compressors and everything they stand on, from scratch:
   model, and in-place interpretation of the compressed code;
 * :mod:`repro.jit` — the template-splicing BRISC-to-native JIT;
 * :mod:`repro.native` — synthetic Pentium/PowerPC/SPARC-like targets;
+* :mod:`repro.pipeline` — the staged toolchain: typed artifacts,
+  content-addressed caching, and parallel batch compilation;
 * :mod:`repro.corpus` — benchmark programs and a synthetic generator;
 * :mod:`repro.system` — delivery-latency and paging scenario models;
 * :mod:`repro.bench` — the measurement runners behind every table.
@@ -34,23 +36,29 @@ Quick start::
 
 from . import (
     bench, brisc, cfront, codegen, compress, corpus, ir, jit, native,
-    system, vm, wire,
+    pipeline, system, vm, wire,
 )
 from .cfront import compile_to_ast
 from .codegen import generate_program
 from .ir import lower_unit
+from .pipeline import Toolchain, default_toolchain
 from .vm import run_program as run
 from .vm.instr import VMProgram
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "bench", "brisc", "cfront", "codegen", "compile_c", "compress",
-    "corpus", "ir", "jit", "native", "run", "system", "vm", "wire",
-    "VMProgram",
+    "Toolchain", "bench", "brisc", "cfront", "codegen", "compile_c",
+    "compress", "corpus", "default_toolchain", "ir", "jit", "native",
+    "pipeline", "run", "system", "vm", "wire", "VMProgram",
 ]
 
 
 def compile_c(source: str, name: str = "<input>") -> VMProgram:
-    """Compile C source all the way to a linked VM program."""
-    return generate_program(lower_unit(compile_to_ast(source, name), name))
+    """Compile C source all the way to a linked VM program.
+
+    Routed through the shared pipeline toolchain, so repeated compiles of
+    the same source are served from the artifact cache.
+    """
+    return default_toolchain().compile(source, name=name,
+                                       stages=("codegen",)).program

@@ -6,36 +6,41 @@ Usage::
     python -m repro dump-ir prog.c             # lcc-style trees
     python -m repro dump-asm prog.c            # RISC VM assembly
     python -m repro sizes prog.c               # every representation's size
+    python -m repro sizes prog.c --json        # machine-readable sizes
+    python -m repro stats prog.c               # per-stage timing/size stats
     python -m repro wire prog.c -o prog.wire   # emit the wire format
     python -m repro brisc prog.c -o prog.brisc # emit a BRISC image
     python -m repro exec-brisc prog.brisc      # interpret an image in place
+
+Every command compiles through :mod:`repro.pipeline`, so artifacts shared
+between representations (parse, lower, codegen) are produced once per
+invocation; ``--disk-cache`` persists them under ``~/.cache/repro/`` so
+repeated invocations on unchanged sources skip recompilation entirely.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from .brisc import compress, run_image
-from .cfront import CompileError, compile_to_ast
-from .codegen import generate_program
-from .compress import deflate
-from .ir import dump_module, lower_unit
+from .brisc import run_image
+from .cfront import CompileError
+from .ir import dump_module
 from .native import PentiumLike, SparcLike
-from .vm import format_function, program_size, run_program
-from .wire import encode_module, wire_size
+from .pipeline import Toolchain, default_toolchain
+from .vm import format_function, run_program
 
 
-def _load(path: str):
-    with open(path) as f:
-        source = f.read()
-    module = lower_unit(compile_to_ast(source, path), path)
-    return module
+def _toolchain(args) -> Toolchain:
+    if getattr(args, "disk_cache", False) or getattr(args, "cache_dir", None):
+        return Toolchain(disk_cache=args.disk_cache, cache_dir=args.cache_dir)
+    return default_toolchain()
 
 
 def cmd_run(args) -> int:
-    program = generate_program(_load(args.file))
-    result = run_program(program, max_steps=args.max_steps)
+    res = _toolchain(args).compile_file(args.file, stages=("codegen",))
+    result = run_program(res.program, max_steps=args.max_steps)
     sys.stdout.write(result.output)
     if args.stats:
         print(f"\n[{result.steps} instructions executed]", file=sys.stderr)
@@ -43,41 +48,75 @@ def cmd_run(args) -> int:
 
 
 def cmd_dump_ir(args) -> int:
-    print(dump_module(_load(args.file)))
+    res = _toolchain(args).compile_file(args.file, stages=("lower",))
+    print(dump_module(res.module))
     return 0
 
 
 def cmd_dump_asm(args) -> int:
-    program = generate_program(_load(args.file))
-    for fn in program.functions:
+    res = _toolchain(args).compile_file(args.file, stages=("codegen",))
+    for fn in res.program.functions:
         print(format_function(fn))
         print()
     return 0
 
 
 def cmd_sizes(args) -> int:
-    module = _load(args.file)
-    program = generate_program(module)
-    vm = program_size(program)
+    res = _toolchain(args).compile_file(
+        args.file, stages=("codegen", "wire", "brisc", "deflate"))
+    program = res.program
+    sizes = res.sizes()
     sparc = SparcLike().program_size(program)
     pentium = PentiumLike().program_size(program)
-    from .bench.measure import vm_code_bytes
-
-    gz = len(deflate.compress(vm_code_bytes(program)))
-    wire = wire_size(module, code_only=True)
-    cp = compress(program)
+    brisc_meta = res.artifact("brisc").meta
+    if args.json:
+        payload = {
+            "unit": args.file,
+            "sizes": {
+                "sparc_native": sparc,
+                "pentium_native": pentium,
+                "vm": sizes["vm"],
+                "deflate_vm": sizes["deflate_vm"],
+                "wire": sizes["wire"],
+                "wire_code": sizes["wire_code"],
+                "brisc": sizes["brisc"],
+                "brisc_code": sizes["brisc_code"],
+            },
+            "brisc_patterns": brisc_meta["patterns"],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"SPARC-like native   : {sparc:8d} B")
     print(f"Pentium-like native : {pentium:8d} B")
-    print(f"VM binary encoding  : {vm:8d} B")
-    print(f"deflate(VM code)    : {gz:8d} B")
-    print(f"wire format (code)  : {wire:8d} B")
-    print(f"BRISC code segment  : {cp.image.code_segment_size:8d} B"
-          f"  ({cp.image.pattern_count} patterns)")
+    print(f"VM binary encoding  : {sizes['vm']:8d} B")
+    print(f"deflate(VM code)    : {sizes['deflate_vm']:8d} B")
+    print(f"wire format (code)  : {sizes['wire_code']:8d} B")
+    print(f"BRISC code segment  : {sizes['brisc_code']:8d} B"
+          f"  ({brisc_meta['patterns']} patterns)")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    toolchain = _toolchain(args)
+    res = toolchain.compile_file(args.file)
+    if args.json:
+        print(json.dumps({
+            "unit": args.file,
+            "stages": res.stage_rows(),
+            "toolchain": toolchain.stats(),
+        }, indent=2, sort_keys=True, default=str))
+        return 0
+    from .bench.tables import stage_stats_table
+
+    print(stage_stats_table(res.stage_rows()))
+    cache = toolchain.stats()["cache"]
+    print(f"\ncache: {cache['hits']} hits, {cache['misses']} misses")
     return 0
 
 
 def cmd_wire(args) -> int:
-    blob = encode_module(_load(args.file))
+    res = _toolchain(args).compile_file(args.file, stages=("wire",))
+    blob = res.wire_blob
     with open(args.output, "wb") as f:
         f.write(blob)
     print(f"wrote {len(blob)} bytes to {args.output}")
@@ -85,8 +124,10 @@ def cmd_wire(args) -> int:
 
 
 def cmd_brisc(args) -> int:
-    program = generate_program(_load(args.file))
-    cp = compress(program, k=args.k)
+    toolchain = _toolchain(args)
+    config = toolchain.config.with_brisc(k=args.k)
+    res = toolchain.compile_file(args.file, stages=("brisc",), config=config)
+    cp = res.brisc
     with open(args.output, "wb") as f:
         f.write(cp.image.blob)
     print(f"wrote {cp.size} bytes to {args.output} "
@@ -108,6 +149,10 @@ def main(argv=None) -> int:
         prog="repro",
         description="Code Compression (PLDI 1997) reproduction toolchain",
     )
+    parser.add_argument("--disk-cache", action="store_true",
+                        help="persist pipeline artifacts under ~/.cache/repro")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (implies --disk-cache)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("run", help="compile a C file and execute it")
@@ -126,7 +171,14 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("sizes", help="compare representation sizes")
     p.add_argument("file")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable per-representation sizes")
     p.set_defaults(fn=cmd_sizes)
+
+    p = sub.add_parser("stats", help="per-stage pipeline timing/size stats")
+    p.add_argument("file")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("wire", help="emit the wire format")
     p.add_argument("file")
@@ -153,6 +205,9 @@ def main(argv=None) -> int:
         return 1
     except BrokenPipeError:  # output piped into head etc.
         return 0
+    except OSError as exc:  # unreadable input / unwritable output
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -2,8 +2,10 @@
 
 Each function computes one experiment's numbers; ``benchmarks/`` and
 ``examples/`` call these so the reported rows come from a single code
-path.  Heavyweight artifacts (suite compilation, BRISC compression) are
-cached at module level — pytest-benchmark repeats calls many times.
+path.  Heavyweight artifacts (suite compilation, BRISC compression) come
+from the shared :func:`repro.pipeline.default_toolchain`, whose
+content-addressed cache keeps pytest-benchmark's many repeated calls
+from recompiling anything.
 """
 
 from __future__ import annotations
@@ -12,31 +14,22 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..brisc import CompressedProgram, compress, run_image
+from ..brisc import CompressedProgram, run_image
 from ..brisc.interp import BriscInterpreter
-from ..codegen import ABLATION_VARIANTS, generate_program
+from ..codegen import ABLATION_VARIANTS
 from ..compress import deflate
-from ..corpus import build_input
+from ..corpus import build_input, suite_source
 from ..jit import BriscJIT, jit_compile
 from ..native import PPCLike, PentiumLike, SparcLike
+from ..pipeline import default_toolchain, vm_code_bytes
 from ..vm import Interpreter, run_program
-from ..vm.encode import encode_function
 from ..vm.instr import VMProgram
 from ..vm.isa import ISA
-from ..wire import encode_module, wire_size
 
 __all__ = [
     "WireRow", "BriscRow", "AblationRow", "wire_row", "brisc_row",
     "ablation_rows", "vm_code_bytes", "compressed_suite", "interp_overhead",
 ]
-
-
-def vm_code_bytes(program: VMProgram) -> bytes:
-    """The program's code segment in the base VM binary encoding."""
-    symbol_ids = {fn.name: i for i, fn in enumerate(program.functions)}
-    for g in program.globals:
-        symbol_ids.setdefault(g.name, len(symbol_ids))
-    return b"".join(encode_function(fn, symbol_ids) for fn in program.functions)
 
 
 # ---------------------------------------------------------------------------
@@ -74,8 +67,11 @@ def wire_row(name: str) -> WireRow:
     )
     gzipped = len(deflate.compress(sparc_bytes))
     # Code segments only, as the paper measures (the baseline carries no
-    # symbol table or data image either).
-    wire = wire_size(inp.module, code_only=True)
+    # symbol table or data image either).  The wire artifact's meta carries
+    # that metric; parse/lower hit the cache ``build_input`` warmed.
+    res = default_toolchain().compile(inp.source, name=name,
+                                      stages=("wire",))
+    wire = res.artifact("wire").meta["code_size"]
     row = WireRow(name, conventional, gzipped, wire)
     _WIRE_CACHE[name] = row
     return row
@@ -86,21 +82,20 @@ def wire_row(name: str) -> WireRow:
 # ---------------------------------------------------------------------------
 
 
-_BRISC_CACHE: Dict[Tuple[str, int, bool], CompressedProgram] = {}
-
-
 def compressed_suite(
     name: str, k: int = 20, abundant_memory: bool = False
 ) -> CompressedProgram:
-    """Compress a suite input (cached — this is the expensive step)."""
-    key = (name, k, abundant_memory)
-    cached = _BRISC_CACHE.get(key)
-    if cached is not None:
-        return cached
-    inp = build_input(name)
-    cp = compress(inp.program, k=k, abundant_memory=abundant_memory)
-    _BRISC_CACHE[key] = cp
-    return cp
+    """Compress a suite input (cached — this is the expensive step).
+
+    Routed through the shared toolchain: the BRISC artifact is keyed by
+    (source, ISA, k, abundant_memory), so benchmarks, tests, and the CLI
+    all reuse one compression per configuration.
+    """
+    toolchain = default_toolchain()
+    config = toolchain.config.with_brisc(k=k, abundant_memory=abundant_memory)
+    res = toolchain.compile(suite_source(name), name=name,
+                            stages=("brisc",), config=config)
+    return res.brisc
 
 
 @dataclass
@@ -225,12 +220,15 @@ def ablation_rows(name: str = "lcc", k: int = 20) -> List[AblationRow]:
     cached = _ABLATION_CACHE.get(key)
     if cached is not None:
         return cached
+    toolchain = default_toolchain()
     baseline = build_input(name, ABLATION_VARIANTS[0])
     native = PentiumLike().program_size(baseline.program)
     rows: List[AblationRow] = []
     for isa in ABLATION_VARIANTS:
         inp = build_input(name, isa)
-        cp = compress(inp.program, k=k)
+        config = toolchain.config.with_isa(isa).with_brisc(k=k)
+        cp = toolchain.compile(inp.source, name=name, stages=("brisc",),
+                               config=config).brisc
         rows.append(AblationRow(isa.name, native, cp.image.code_segment_size))
     _ABLATION_CACHE[key] = rows
     return rows

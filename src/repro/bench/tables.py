@@ -10,7 +10,8 @@ from typing import Iterable, List, Sequence
 
 from .measure import AblationRow, BriscRow, WireRow
 
-__all__ = ["render_table", "wire_table", "brisc_table", "ablation_table"]
+__all__ = ["render_table", "wire_table", "brisc_table", "ablation_table",
+           "stage_stats_table", "toolchain_stats_table"]
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
@@ -59,4 +60,38 @@ def ablation_table(rows: Iterable[AblationRow]) -> str:
     return render_table(
         ["abstract machine variant", "compressed/native"],
         [[r.variant, f"{r.ratio:.2f}"] for r in rows],
+    )
+
+
+def stage_stats_table(rows: Iterable[dict]) -> str:
+    """Per-stage rows of one :class:`repro.pipeline.CompilationResult`.
+
+    ``rows`` is :meth:`CompilationResult.stage_rows` output: dicts with
+    ``stage``, ``seconds``, ``size``, ``cached``, and ``meta`` keys.
+    """
+    return render_table(
+        ["stage", "time", "size", "cached", "detail"],
+        [
+            [r["stage"], f"{r['seconds'] * 1000:9.2f} ms",
+             f"{r['size']:8d} B" if r["size"] else "       —",
+             "yes" if r["cached"] else "no",
+             ", ".join(f"{k}={v}" for k, v in sorted(r["meta"].items()))]
+            for r in rows
+        ],
+    )
+
+
+def toolchain_stats_table(stats: dict) -> str:
+    """Lifetime per-stage stats of a :class:`repro.pipeline.Toolchain`.
+
+    ``stats`` is :meth:`Toolchain.stats` output; renders the ``stages``
+    section (runs, cache hits, cumulative seconds, bytes produced).
+    """
+    return render_table(
+        ["stage", "runs", "cache hits", "seconds", "bytes"],
+        [
+            [name, str(s["runs"]), str(s["cache_hits"]),
+             f"{s['seconds']:8.3f}", str(s["bytes"])]
+            for name, s in stats["stages"].items()
+        ],
     )

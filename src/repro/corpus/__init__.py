@@ -3,10 +3,13 @@ and the named suite standing in for the paper's benchmark programs."""
 
 from .generator import GeneratorConfig, generate_program_source
 from .samples import SAMPLES, get_sample, sample_names
-from .suite import SUITE_SIZES, SuiteInput, build_input, link_sources, suite_names
+from .suite import (
+    SUITE_SIZES, SuiteInput, build_input, link_sources, suite_names,
+    suite_source,
+)
 
 __all__ = [
     "GeneratorConfig", "SAMPLES", "SUITE_SIZES", "SuiteInput", "build_input",
     "generate_program_source", "get_sample", "link_sources", "sample_names",
-    "suite_names",
+    "suite_names", "suite_source",
 ]

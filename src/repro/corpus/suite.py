@@ -11,8 +11,11 @@ shaped program, one large program) is preserved:
   synthetic body (compiler-shaped: scanners, tables, dispatchers);
 * ``gcc``    — a large synthetic program, several times ``lcc``'s size.
 
-``build_input`` compiles a named input once and caches the results at
-module level so test and benchmark code can share the work.
+``build_input`` compiles a named input through the shared
+:func:`repro.pipeline.default_toolchain` — its content-addressed cache
+(plus a small identity cache here) lets test and benchmark code share
+the work, and downstream stages (wire, BRISC) reuse the same parse and
+lowering artifacts.
 """
 
 from __future__ import annotations
@@ -20,16 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..cfront import compile_to_ast
-from ..codegen import generate_program
-from ..ir import IRModule, lower_unit
+from ..ir import IRModule
+from ..pipeline import default_toolchain
 from ..vm.instr import VMProgram
 from ..vm.isa import ISA
 from .generator import generate_program_source
 from .samples import SAMPLES
 
 __all__ = ["SuiteInput", "SUITE_SIZES", "suite_names", "build_input",
-           "link_sources"]
+           "link_sources", "suite_source"]
 
 #: Synthetic-function counts for the generated suite members.
 SUITE_SIZES: Dict[str, int] = {
@@ -72,19 +74,29 @@ def link_sources(sources: List[str]) -> str:
     return "\n".join(parts)
 
 
-def _build_source(name: str) -> str:
+_SOURCE_CACHE: Dict[str, str] = {}
+
+
+def suite_source(name: str) -> str:
+    """The C source of a named suite input (generation cached)."""
+    cached = _SOURCE_CACHE.get(name)
+    if cached is not None:
+        return cached
     if name == "wc":
-        return SAMPLES["wc"]
-    if name == "lcc":
+        source = SAMPLES["wc"]
+    elif name == "lcc":
         # Every hand-written sample, linked, plus a medium synthetic body.
         synth = generate_program_source(functions=SUITE_SIZES["lcc"], seed=7)
-        return link_sources(list(SAMPLES.values()) + [synth])
-    if name == "gcc":
+        source = link_sources(list(SAMPLES.values()) + [synth])
+    elif name == "gcc":
         synth_a = generate_program_source(functions=SUITE_SIZES["gcc"], seed=11)
         synth_b = generate_program_source(functions=SUITE_SIZES["gcc"] // 2,
                                           seed=13, arrays=6, strings=10)
-        return link_sources([synth_a, synth_b])
-    raise KeyError(f"unknown suite input {name!r}")
+        source = link_sources([synth_a, synth_b])
+    else:
+        raise KeyError(f"unknown suite input {name!r}")
+    _SOURCE_CACHE[name] = source
+    return source
 
 
 _CACHE: Dict[Tuple[str, str], SuiteInput] = {}
@@ -97,9 +109,11 @@ def build_input(name: str, isa: Optional[ISA] = None) -> SuiteInput:
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
-    source = _build_source(name)
-    module = lower_unit(compile_to_ast(source, name), name)
-    program = generate_program(module, isa)
-    built = SuiteInput(name=name, source=source, module=module, program=program)
+    source = suite_source(name)
+    toolchain = default_toolchain()
+    res = toolchain.compile(source, name=name, stages=("codegen",),
+                            config=toolchain.config.with_isa(isa))
+    built = SuiteInput(name=name, source=source, module=res.module,
+                       program=res.program)
     _CACHE[key] = built
     return built

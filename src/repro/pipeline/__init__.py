@@ -1,0 +1,55 @@
+"""The staged compilation pipeline: stages, artifacts, caching, batching.
+
+Every entry point (CLI, benchmarks, examples, the corpus suite) routes
+through one :class:`Toolchain` so compiled artifacts are shared instead
+of re-derived::
+
+    from repro.pipeline import Toolchain
+
+    tc = Toolchain()                       # in-memory artifact cache
+    res = tc.compile(source, name="app")   # runs parse→…→deflate
+    res.program                            # the linked VM program
+    res.wire_blob, res.brisc               # compressed representations
+    res.sizes()                            # per-representation bytes
+    tc.stats()                             # per-stage runs/hits/seconds
+
+    items = tc.compile_many(units, workers=4)   # parallel batch,
+    [it.result or it.error for it in items]     # per-unit isolation
+
+``default_toolchain()`` returns the process-wide shared instance (used
+by :mod:`repro.corpus` and :mod:`repro.bench` so tests and benchmarks
+reuse each other's artifacts); set ``REPRO_DISK_CACHE=1`` to have it
+persist artifacts under ``~/.cache/repro/`` (or ``$REPRO_CACHE_DIR``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .artifacts import Artifact, BatchItem, CompilationResult
+from .cache import (
+    ArtifactCache, DiskCache, MemoryCache, TieredCache, default_cache_dir,
+)
+from .config import PipelineConfig
+from .stages import STAGE_NAMES, STAGES, Stage, resolve_stages, vm_code_bytes
+from .toolchain import SCHEMA_VERSION, StageStats, Toolchain
+
+__all__ = [
+    "Artifact", "ArtifactCache", "BatchItem", "CompilationResult",
+    "DiskCache", "MemoryCache", "PipelineConfig", "SCHEMA_VERSION",
+    "STAGES", "STAGE_NAMES", "Stage", "StageStats", "TieredCache",
+    "Toolchain", "default_cache_dir", "default_toolchain", "resolve_stages",
+    "vm_code_bytes",
+]
+
+_DEFAULT: Optional[Toolchain] = None
+
+
+def default_toolchain() -> Toolchain:
+    """The process-wide shared toolchain (created on first use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        disk = os.environ.get("REPRO_DISK_CACHE", "") not in ("", "0")
+        _DEFAULT = Toolchain(disk_cache=disk)
+    return _DEFAULT

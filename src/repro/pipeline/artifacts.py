@@ -1,0 +1,143 @@
+"""Typed artifacts and result bundles produced by the pipeline.
+
+An :class:`Artifact` is one stage's output plus its measurement metadata
+(size in bytes where the representation has a binary form, wall-clock
+seconds to produce, a stage-specific ``meta`` dict) and its
+content-addressed cache key.  A :class:`CompilationResult` bundles every
+artifact produced for one translation unit; :class:`BatchItem` wraps one
+unit of a :meth:`Toolchain.compile_many` batch with per-unit error
+isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Artifact", "BatchItem", "CompilationResult"]
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One stage's output.
+
+    ``size`` is the byte size of the produced representation (0 for
+    stages whose output is an in-memory structure without a canonical
+    binary form); ``seconds`` is the wall time the producing run took —
+    it is preserved when the artifact is served from cache, with
+    ``from_cache`` flipped to ``True``.
+    """
+
+    stage: str
+    unit: str
+    key: str
+    payload: Any
+    size: int = 0
+    seconds: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    from_cache: bool = False
+
+
+@dataclass
+class CompilationResult:
+    """Every artifact produced for one translation unit."""
+
+    unit: str
+    source: str
+    artifacts: Dict[str, Artifact]
+
+    def artifact(self, stage: str) -> Artifact:
+        try:
+            return self.artifacts[stage]
+        except KeyError:
+            raise KeyError(
+                f"stage {stage!r} was not run for unit {self.unit!r} "
+                f"(have: {sorted(self.artifacts)})"
+            ) from None
+
+    # -- payload accessors ------------------------------------------------
+
+    @property
+    def ast(self):
+        """The typed AST (parse stage)."""
+        return self.artifact("parse").payload
+
+    @property
+    def module(self):
+        """The lcc-style IR module (lower stage)."""
+        return self.artifact("lower").payload
+
+    @property
+    def program(self):
+        """The linked VM program (codegen stage)."""
+        return self.artifact("codegen").payload
+
+    @property
+    def wire_blob(self) -> bytes:
+        """The wire-format encoding (wire stage)."""
+        return self.artifact("wire").payload
+
+    @property
+    def brisc(self):
+        """The :class:`repro.brisc.CompressedProgram` (brisc stage)."""
+        return self.artifact("brisc").payload
+
+    @property
+    def deflated(self) -> bytes:
+        """deflate of the VM code segment (deflate stage)."""
+        return self.artifact("deflate").payload
+
+    @property
+    def vm_code_bytes(self) -> bytes:
+        """The VM binary encoding of the program's code segment."""
+        from .stages import vm_code_bytes
+
+        return vm_code_bytes(self.program)
+
+    # -- measurement views ------------------------------------------------
+
+    def sizes(self) -> Dict[str, int]:
+        """Per-representation byte sizes for whichever stages ran."""
+        out: Dict[str, int] = {}
+        if "codegen" in self.artifacts:
+            out["vm"] = self.artifact("codegen").size
+        if "deflate" in self.artifacts:
+            out["deflate_vm"] = self.artifact("deflate").size
+        if "wire" in self.artifacts:
+            wire = self.artifact("wire")
+            out["wire"] = wire.size
+            out["wire_code"] = wire.meta.get("code_size", wire.size)
+        if "brisc" in self.artifacts:
+            brisc = self.artifact("brisc")
+            out["brisc"] = brisc.size
+            out["brisc_code"] = brisc.meta.get("code_segment", brisc.size)
+        return out
+
+    def stage_rows(self) -> List[Dict[str, Any]]:
+        """Per-stage rows (stage, seconds, size, cached, meta) in run order."""
+        return [
+            {
+                "stage": a.stage,
+                "seconds": a.seconds,
+                "size": a.size,
+                "cached": a.from_cache,
+                "meta": dict(a.meta),
+            }
+            for a in self.artifacts.values()
+        ]
+
+
+@dataclass
+class BatchItem:
+    """One unit's outcome within a :meth:`Toolchain.compile_many` batch."""
+
+    index: int
+    unit: str
+    result: Optional[CompilationResult] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None

@@ -1,0 +1,165 @@
+"""Content-addressed artifact caches.
+
+Keys are SHA-256 hex digests chained over (source text, unit name, stage
+name, stage configuration) — see :meth:`Toolchain.compile` — so any
+change to the input or to a stage's knobs produces a different key.
+
+Three backends:
+
+* :class:`MemoryCache` — bounded LRU, the default;
+* :class:`DiskCache` — pickles under ``~/.cache/repro/`` (or
+  ``$REPRO_CACHE_DIR``), content-addressed by key, written atomically;
+* :class:`TieredCache` — memory in front of disk, promoting disk hits.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional
+
+from .artifacts import Artifact
+
+__all__ = [
+    "ArtifactCache", "DiskCache", "MemoryCache", "TieredCache",
+    "default_cache_dir",
+]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ArtifactCache:
+    """Backend interface plus hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[Artifact]:
+        raise NotImplementedError
+
+    def put(self, key: str, artifact: Artifact) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class MemoryCache(ArtifactCache):
+    """Bounded in-process LRU over artifacts."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Artifact]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Artifact]:
+        artifact = self._entries.get(key)
+        if artifact is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return artifact
+
+    def put(self, key: str, artifact: Artifact) -> None:
+        self._entries[key] = artifact
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class DiskCache(ArtifactCache):
+    """Pickle-per-artifact store under a cache directory.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl`` and are written via a
+    temp file + ``os.replace`` so concurrent writers (parallel batch
+    workers sharing the directory) never expose partial files.  Unreadable
+    or corrupt entries are treated as misses and removed best-effort.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        super().__init__()
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Artifact]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                artifact = pickle.load(f)
+        # Unpickling arbitrary corrupt bytes can raise nearly anything
+        # (UnpicklingError, ValueError, EOFError, ImportError, ...); any
+        # unreadable entry is simply a miss.
+        except Exception:
+            if path.exists():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    def put(self, key: str, artifact: Artifact) -> None:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(artifact, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # a read-only or full cache dir must never fail a compile
+
+
+class TieredCache(ArtifactCache):
+    """Memory LRU in front of a disk backend; disk hits are promoted."""
+
+    def __init__(self, memory: MemoryCache, disk: DiskCache) -> None:
+        super().__init__()
+        self.memory = memory
+        self.disk = disk
+
+    def get(self, key: str) -> Optional[Artifact]:
+        artifact = self.memory.get(key)
+        if artifact is None:
+            artifact = self.disk.get(key)
+            if artifact is not None:
+                self.memory.put(key, artifact)
+        if artifact is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return artifact
+
+    def put(self, key: str, artifact: Artifact) -> None:
+        self.memory.put(key, artifact)
+        self.disk.put(key, artifact)

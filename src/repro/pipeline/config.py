@@ -1,0 +1,48 @@
+"""Pipeline configuration: everything that changes what a stage produces.
+
+The configuration is part of every stage's cache key, so two compiles
+with different ISAs, BRISC knobs, or wire settings never share artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..vm.isa import ISA
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs consumed by the stages.
+
+    ``isa`` selects the abstract machine (the ablation variants de-tune
+    it); ``brisc_*`` mirror :func:`repro.brisc.compress`'s parameters;
+    ``wire_compress`` mirrors :func:`repro.wire.encode_module`'s flag.
+    """
+
+    isa: ISA = field(default_factory=ISA)
+    brisc_k: int = 20
+    brisc_abundant_memory: bool = False
+    brisc_max_passes: int = 40
+    wire_compress: bool = True
+
+    def with_isa(self, isa: Optional[ISA]) -> "PipelineConfig":
+        """A copy targeting ``isa`` (``None`` keeps the current one)."""
+        return self if isa is None else replace(self, isa=isa)
+
+    def with_brisc(self, k: Optional[int] = None,
+                   abundant_memory: Optional[bool] = None,
+                   max_passes: Optional[int] = None) -> "PipelineConfig":
+        """A copy with the given BRISC knobs overridden."""
+        return replace(
+            self,
+            brisc_k=self.brisc_k if k is None else k,
+            brisc_abundant_memory=(self.brisc_abundant_memory
+                                   if abundant_memory is None
+                                   else abundant_memory),
+            brisc_max_passes=(self.brisc_max_passes
+                              if max_passes is None else max_passes),
+        )

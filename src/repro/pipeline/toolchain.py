@@ -1,0 +1,240 @@
+"""The Toolchain facade: staged compilation, caching, batch parallelism.
+
+``Toolchain().compile(source)`` replaces the ad-hoc
+``lower_unit(compile_to_ast(...))`` + ``generate_program(...)`` chains
+that every entry point used to re-wire by hand.  Artifacts are
+content-addressed (SHA-256 chained over source, unit name, stage name,
+and stage configuration), so recompiling an unchanged unit is a cache
+hit at every stage.  ``compile_many`` fans a corpus out over a process
+pool with deterministic result ordering and per-unit error isolation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cfront import CompileError
+from .artifacts import Artifact, BatchItem, CompilationResult
+from .cache import ArtifactCache, DiskCache, MemoryCache, TieredCache
+from .config import PipelineConfig
+from .stages import STAGES, resolve_stages
+
+__all__ = ["SCHEMA_VERSION", "StageStats", "Toolchain"]
+
+#: Bump to invalidate every cached artifact (on-disk entries included)
+#: whenever a stage's output format changes incompatibly.
+SCHEMA_VERSION = "1"
+
+
+@dataclass
+class StageStats:
+    """Per-stage accounting across a toolchain's lifetime."""
+
+    runs: int = 0
+    cache_hits: int = 0
+    seconds: float = 0.0
+    bytes_out: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"runs": self.runs, "cache_hits": self.cache_hits,
+                "seconds": self.seconds, "bytes": self.bytes_out}
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class Toolchain:
+    """Compiles translation units through the staged pipeline.
+
+    ``disk_cache=True`` (or a ``cache_dir``) layers an on-disk backend
+    under the in-memory LRU so artifacts survive the process; a custom
+    ``cache`` overrides both.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        cache: Optional[ArtifactCache] = None,
+        disk_cache: bool = False,
+        cache_dir=None,
+        capacity: int = 512,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        if cache is None:
+            memory = MemoryCache(capacity)
+            if disk_cache or cache_dir is not None:
+                cache = TieredCache(memory, DiskCache(cache_dir))
+            else:
+                cache = memory
+        self.cache = cache
+        self._stats: Dict[str, StageStats] = {
+            s.name: StageStats() for s in STAGES
+        }
+
+    # -- single-unit compilation ------------------------------------------
+
+    def compile(
+        self,
+        source: str,
+        name: str = "<input>",
+        stages: Optional[Sequence[str]] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> CompilationResult:
+        """Run ``source`` through the selected stages (all by default).
+
+        Upstream dependencies of a requested stage run (or hit cache)
+        automatically.  Raises :class:`repro.cfront.CompileError` on
+        front-end errors.
+        """
+        config = config or self.config
+        selected = resolve_stages(stages)
+        base_key = _digest(f"{SCHEMA_VERSION}|{name}|{source}")
+        keys: Dict[str, str] = {}
+        artifacts: Dict[str, Artifact] = {}
+        for stage in selected:
+            parent = base_key if stage.requires is None else keys[stage.requires]
+            key = _digest(
+                f"{parent}|{stage.name}|{stage.config_fragment(config)}"
+            )
+            keys[stage.name] = key
+            stats = self._stats[stage.name]
+            cached = self.cache.get(key)
+            if cached is not None:
+                stats.cache_hits += 1
+                artifacts[stage.name] = replace(cached, from_cache=True)
+                continue
+            upstream = (source if stage.requires is None
+                        else artifacts[stage.requires].payload)
+            t0 = time.perf_counter()
+            payload, size, meta = stage.run(upstream, name, config)
+            dt = time.perf_counter() - t0
+            artifact = Artifact(stage=stage.name, unit=name, key=key,
+                                payload=payload, size=size, seconds=dt,
+                                meta=meta)
+            stats.runs += 1
+            stats.seconds += dt
+            stats.bytes_out += size
+            self.cache.put(key, artifact)
+            artifacts[stage.name] = artifact
+        return CompilationResult(unit=name, source=source, artifacts=artifacts)
+
+    def compile_file(
+        self,
+        path: str,
+        stages: Optional[Sequence[str]] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> CompilationResult:
+        """Read ``path`` and compile it, named after the file."""
+        with open(path) as f:
+            source = f.read()
+        return self.compile(source, name=path, stages=stages, config=config)
+
+    # -- batch compilation ------------------------------------------------
+
+    def compile_many(
+        self,
+        units: Iterable[Tuple[str, str]],
+        workers: Optional[int] = None,
+        stages: Optional[Sequence[str]] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> List[BatchItem]:
+        """Compile ``(name, source)`` units, optionally in parallel.
+
+        Results come back in input order regardless of completion order.
+        A unit that fails with :class:`CompileError` yields a
+        :class:`BatchItem` carrying the error; the rest of the batch is
+        unaffected.  ``workers`` <= 1 (or ``None``) compiles serially;
+        higher values use a :class:`ProcessPoolExecutor`, falling back to
+        serial execution where process pools are unavailable.  Worker
+        artifacts are folded back into this toolchain's cache and stats.
+        """
+        unit_list = [(str(name), source) for name, source in units]
+        if workers is not None and workers > 1 and unit_list:
+            try:
+                return self._compile_parallel(unit_list, workers, stages,
+                                              config)
+            except (OSError, PermissionError, ImportError):
+                pass  # no process support (sandbox, missing semaphores)
+        return self._compile_serial(unit_list, stages, config)
+
+    def _compile_serial(self, unit_list, stages, config) -> List[BatchItem]:
+        items: List[BatchItem] = []
+        for i, (name, source) in enumerate(unit_list):
+            t0 = time.perf_counter()
+            try:
+                result = self.compile(source, name=name, stages=stages,
+                                      config=config)
+                items.append(BatchItem(index=i, unit=name, result=result,
+                                       seconds=time.perf_counter() - t0))
+            except CompileError as exc:
+                items.append(BatchItem(index=i, unit=name, error=str(exc),
+                                       error_type=type(exc).__name__,
+                                       seconds=time.perf_counter() - t0))
+        return items
+
+    def _compile_parallel(self, unit_list, workers, stages,
+                          config) -> List[BatchItem]:
+        config = config or self.config
+        stage_names = tuple(stages) if stages is not None else None
+        items: List[BatchItem] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_compile_worker, name, source, config, stage_names)
+                for name, source in unit_list
+            ]
+            for i, ((name, _), future) in enumerate(zip(unit_list, futures)):
+                outcome = future.result()
+                if outcome[0] == "ok":
+                    _, result, worker_stats, seconds = outcome
+                    for artifact in result.artifacts.values():
+                        self.cache.put(artifact.key, artifact)
+                    for stage_name, stat in worker_stats.items():
+                        mine = self._stats[stage_name]
+                        mine.runs += stat["runs"]
+                        mine.seconds += stat["seconds"]
+                        mine.bytes_out += stat["bytes"]
+                    items.append(BatchItem(index=i, unit=name, result=result,
+                                           seconds=seconds))
+                else:
+                    _, error_type, message, seconds = outcome
+                    items.append(BatchItem(index=i, unit=name, error=message,
+                                           error_type=error_type,
+                                           seconds=seconds))
+        return items
+
+    # -- stats ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-stage runs/hits/seconds/bytes plus cache hit counters."""
+        return {
+            "stages": {name: s.as_dict() for name, s in self._stats.items()},
+            "cache": self.cache.stats(),
+        }
+
+    def reset_stats(self) -> None:
+        for name in self._stats:
+            self._stats[name] = StageStats()
+
+
+def _compile_worker(name: str, source: str, config: PipelineConfig,
+                    stage_names: Optional[Tuple[str, ...]]):
+    """Process-pool entry: compile one unit in a fresh toolchain.
+
+    Returns a picklable tagged tuple so a unit's ``CompileError`` never
+    aborts the batch (exception classes with rich constructor arguments
+    do not survive the pickle round-trip reliably).
+    """
+    toolchain = Toolchain(config=config)
+    t0 = time.perf_counter()
+    try:
+        result = toolchain.compile(source, name=name, stages=stage_names)
+    except CompileError as exc:
+        return ("error", type(exc).__name__, str(exc),
+                time.perf_counter() - t0)
+    stage_stats = toolchain.stats()["stages"]
+    return ("ok", result, stage_stats, time.perf_counter() - t0)

@@ -1,5 +1,7 @@
 """CLI (`python -m repro`) tests."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -41,6 +43,41 @@ def test_sizes(hello_c, capsys):
     assert "wire format" in out
 
 
+def test_sizes_json(hello_c, capsys):
+    assert main(["sizes", hello_c, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    sizes = payload["sizes"]
+    for key in ("sparc_native", "pentium_native", "vm", "deflate_vm",
+                "wire", "wire_code", "brisc", "brisc_code"):
+        assert isinstance(sizes[key], int) and sizes[key] > 0
+    assert payload["brisc_patterns"] > 0
+
+
+def test_stats(hello_c, capsys):
+    assert main(["stats", hello_c]) == 0
+    out = capsys.readouterr().out
+    for stage in ("parse", "lower", "codegen", "wire", "brisc", "deflate"):
+        assert stage in out
+    assert "cache:" in out
+
+
+def test_stats_json(hello_c, capsys):
+    assert main(["stats", hello_c, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [row["stage"] for row in payload["stages"]] == \
+        ["parse", "lower", "codegen", "wire", "brisc", "deflate"]
+    assert "toolchain" in payload
+
+
+def test_disk_cache_across_invocations(hello_c, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["--cache-dir", cache_dir, "sizes", hello_c]) == 0
+    capsys.readouterr()
+    assert main(["--cache-dir", cache_dir, "stats", hello_c]) == 0
+    out = capsys.readouterr().out
+    assert "yes" in out  # stages served from the on-disk cache
+
+
 def test_wire_output(hello_c, tmp_path, capsys):
     out_path = str(tmp_path / "out.wire")
     assert main(["wire", hello_c, "-o", out_path]) == 0
@@ -60,6 +97,11 @@ def test_compile_error_reported(tmp_path, capsys):
     bad = tmp_path / "bad.c"
     bad.write_text("int main(void) { return undeclared; }")
     assert main(["run", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_input_reported(capsys):
+    assert main(["run", "does-not-exist.c"]) == 1
     assert "error:" in capsys.readouterr().err
 
 

@@ -1,0 +1,277 @@
+"""Pipeline tests: staging, caching, batch compilation, equivalence.
+
+Covers the acceptance criteria of the pipeline refactor:
+
+* cache hit/miss behaviour, verified by stage-invocation counts;
+* compiling the corpus suite twice shows zero recompiles the second time;
+* the on-disk cache round-trips across toolchain instances;
+* ``compile_many`` isolates a ``CompileError`` unit without aborting the
+  batch, and parallel workers produce byte-identical wire and BRISC
+  artifacts to the serial path;
+* pipeline outputs equal the old direct-call path on the corpus suite.
+
+BRISC-stage assertions use small units (the greedy builder is minutes on
+the large corpus members); the large members exercise every cheaper stage.
+"""
+
+import pytest
+
+from repro.cfront import CompileError, compile_to_ast
+from repro.codegen import generate_program
+from repro.corpus import suite_names, suite_source
+from repro.ir import dump_module, lower_unit
+from repro.pipeline import (
+    MemoryCache, PipelineConfig, STAGE_NAMES, Toolchain, resolve_stages,
+    vm_code_bytes,
+)
+from repro.wire import encode_module
+
+SMALL = """
+int sq(int x) { return x * x; }
+int main(void) { print_int(sq(7)); putchar('\\n'); return 0; }
+"""
+
+OTHER = """
+int cube(int x) { return x * x * x; }
+int main(void) { print_int(cube(3)); return 0; }
+"""
+
+BAD = "int main(void) { return undeclared; }"
+
+CHEAP_STAGES = ("codegen", "wire", "deflate")
+
+
+def total_runs(toolchain):
+    return sum(s["runs"] for s in toolchain.stats()["stages"].values())
+
+
+# ---------------------------------------------------------------------------
+# caching
+# ---------------------------------------------------------------------------
+
+
+def test_cache_hit_then_miss_counts():
+    tc = Toolchain()
+    first = tc.compile(SMALL, name="u")
+    assert not any(a.from_cache for a in first.artifacts.values())
+    second = tc.compile(SMALL, name="u")
+    assert all(a.from_cache for a in second.artifacts.values())
+    stages = tc.stats()["stages"]
+    assert all(s["runs"] == 1 for s in stages.values())
+    assert all(s["cache_hits"] == 1 for s in stages.values())
+    # Different source -> misses again.
+    tc.compile(OTHER, name="u")
+    assert all(s["runs"] == 2 for s in tc.stats()["stages"].values())
+
+
+def test_corpus_suite_twice_zero_recompiles():
+    """Acceptance: recompiling the whole corpus is pure cache hits."""
+    tc = Toolchain()
+    for name in suite_names():
+        tc.compile(suite_source(name), name=name, stages=CHEAP_STAGES)
+    runs_after_first = total_runs(tc)
+    assert runs_after_first > 0
+    for name in suite_names():
+        res = tc.compile(suite_source(name), name=name, stages=CHEAP_STAGES)
+        assert all(a.from_cache for a in res.artifacts.values())
+    assert total_runs(tc) == runs_after_first  # zero recompiles
+
+
+def test_config_changes_invalidate_downstream_only():
+    tc = Toolchain()
+    tc.compile(SMALL, name="u", stages=("brisc",))
+    base_runs = {n: s["runs"] for n, s in tc.stats()["stages"].items()}
+    config = tc.config.with_brisc(k=5)
+    tc.compile(SMALL, name="u", stages=("brisc",), config=config)
+    stages = tc.stats()["stages"]
+    # parse/lower/codegen keys are unchanged -> served from cache...
+    for name in ("parse", "lower", "codegen"):
+        assert stages[name]["runs"] == base_runs[name]
+    # ...but the brisc stage re-ran under the new knobs.
+    assert stages["brisc"]["runs"] == base_runs["brisc"] + 1
+
+
+def test_unit_name_is_part_of_the_key():
+    tc = Toolchain()
+    tc.compile(SMALL, name="a", stages=("lower",))
+    res = tc.compile(SMALL, name="b", stages=("lower",))
+    assert not any(a.from_cache for a in res.artifacts.values())
+    assert res.module.name == "b"
+
+
+def test_memory_cache_lru_eviction():
+    cache = MemoryCache(capacity=2)
+    tc = Toolchain(cache=cache)
+    tc.compile(SMALL, name="u", stages=("lower",))  # parse + lower cached
+    tc.compile(OTHER, name="v", stages=("parse",))  # evicts u's parse
+    res = tc.compile(SMALL, name="u", stages=("lower",))
+    assert not res.artifact("parse").from_cache
+
+
+def test_disk_cache_roundtrip(tmp_path):
+    tc = Toolchain(cache_dir=tmp_path)
+    tc.compile(SMALL, name="u")
+    fresh = Toolchain(cache_dir=tmp_path)
+    res = fresh.compile(SMALL, name="u")
+    assert all(a.from_cache for a in res.artifacts.values())
+    assert total_runs(fresh) == 0
+    # The artifacts decode to working payloads, not just equal metadata.
+    assert vm_code_bytes(res.program)
+    assert res.wire_blob[:4] == b"WIR1"
+
+
+@pytest.mark.parametrize("garbage", [b"not a pickle", b"garbage\n", b""])
+def test_disk_cache_survives_corrupt_entries(tmp_path, garbage):
+    tc = Toolchain(cache_dir=tmp_path)
+    tc.compile(SMALL, name="u")
+    for pkl in tmp_path.rglob("*.pkl"):
+        pkl.write_bytes(garbage)
+    fresh = Toolchain(cache_dir=tmp_path)
+    res = fresh.compile(SMALL, name="u")  # recompiles, no crash
+    assert not any(a.from_cache for a in res.artifacts.values())
+
+
+# ---------------------------------------------------------------------------
+# stage selection
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_stages_pulls_upstreams():
+    assert [s.name for s in resolve_stages(("wire",))] == \
+        ["parse", "lower", "wire"]
+    assert [s.name for s in resolve_stages(("brisc",))] == \
+        ["parse", "lower", "codegen", "brisc"]
+    assert [s.name for s in resolve_stages(None)] == list(STAGE_NAMES)
+    with pytest.raises(KeyError):
+        resolve_stages(("nonesuch",))
+
+
+def test_partial_compile_has_only_requested_closure():
+    res = Toolchain().compile(SMALL, name="u", stages=("codegen",))
+    assert set(res.artifacts) == {"parse", "lower", "codegen"}
+    with pytest.raises(KeyError):
+        res.artifact("brisc")
+
+
+# ---------------------------------------------------------------------------
+# batch compilation
+# ---------------------------------------------------------------------------
+
+
+def test_batch_serial_error_isolation():
+    tc = Toolchain()
+    items = tc.compile_many(
+        [("a", SMALL), ("bad", BAD), ("b", OTHER)], stages=CHEAP_STAGES)
+    assert [it.unit for it in items] == ["a", "bad", "b"]
+    assert items[0].ok and items[2].ok
+    assert not items[1].ok
+    assert items[1].error_type == "CompileError"
+    assert "undeclared" in items[1].error
+
+
+def test_batch_parallel_error_isolation_and_order():
+    tc = Toolchain()
+    items = tc.compile_many(
+        [("a", SMALL), ("bad", BAD), ("b", OTHER)], workers=2)
+    assert [it.index for it in items] == [0, 1, 2]
+    assert items[0].ok and items[2].ok and not items[1].ok
+    assert items[1].error_type == "CompileError"
+
+
+def test_batch_parallel_matches_serial_bytes():
+    """Acceptance: workers>1 yields byte-identical wire and BRISC output."""
+    units = [("wc", suite_source("wc")), ("small", SMALL), ("other", OTHER)]
+    serial = Toolchain().compile_many(units)
+    parallel = Toolchain().compile_many(units, workers=2)
+    for s, p in zip(serial, parallel):
+        assert s.unit == p.unit
+        assert s.result.wire_blob == p.result.wire_blob
+        assert s.result.brisc.image.blob == p.result.brisc.image.blob
+        assert vm_code_bytes(s.result.program) == \
+            vm_code_bytes(p.result.program)
+
+
+def test_batch_parallel_corpus_cheap_stages_match_serial():
+    """The large corpus members agree serial-vs-parallel on wire/deflate."""
+    units = [(n, suite_source(n)) for n in suite_names()]
+    serial = Toolchain().compile_many(units, stages=CHEAP_STAGES)
+    parallel = Toolchain().compile_many(units, workers=2,
+                                        stages=CHEAP_STAGES)
+    for s, p in zip(serial, parallel):
+        assert s.result.wire_blob == p.result.wire_blob
+        assert s.result.deflated == p.result.deflated
+
+
+def test_batch_results_populate_parent_cache():
+    tc = Toolchain()
+    tc.compile_many([("a", SMALL)], workers=2, stages=CHEAP_STAGES)
+    res = tc.compile(SMALL, name="a", stages=CHEAP_STAGES)
+    assert all(a.from_cache for a in res.artifacts.values())
+
+
+# ---------------------------------------------------------------------------
+# equivalence with the old direct-call path
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["wc", "lcc", "gcc"])
+def test_pipeline_matches_direct_path_on_corpus(name):
+    source = suite_source(name)
+    module = lower_unit(compile_to_ast(source, name), name)
+    program = generate_program(module)
+    res = Toolchain().compile(source, name=name, stages=CHEAP_STAGES)
+    assert dump_module(res.module) == dump_module(module)
+    assert vm_code_bytes(res.program) == vm_code_bytes(program)
+    assert res.wire_blob == encode_module(module)
+
+
+def test_pipeline_brisc_matches_direct_path():
+    from repro.brisc import compress
+
+    source = suite_source("wc")
+    program = generate_program(lower_unit(compile_to_ast(source, "wc"), "wc"))
+    direct = compress(program)
+    res = Toolchain().compile(source, name="wc", stages=("brisc",))
+    assert res.brisc.image.blob == direct.image.blob
+    assert res.brisc.image.pattern_count == direct.image.pattern_count
+
+
+# ---------------------------------------------------------------------------
+# artifacts and stats
+# ---------------------------------------------------------------------------
+
+
+def test_artifact_metadata_and_sizes():
+    res = Toolchain().compile(SMALL, name="u")
+    sizes = res.sizes()
+    assert sizes["vm"] > 0 and sizes["wire"] > 0 and sizes["brisc"] > 0
+    wire = res.artifact("wire")
+    assert wire.meta["code_size"] <= wire.size
+    assert res.artifact("deflate").meta["raw_bytes"] == \
+        len(res.vm_code_bytes)
+    rows = res.stage_rows()
+    assert [r["stage"] for r in rows] == list(STAGE_NAMES)
+    assert all(r["seconds"] >= 0 for r in rows)
+
+
+def test_vm_code_bytes_is_the_pipeline_artifact():
+    """The old buried-import helper is now the pipeline's (re-exported)."""
+    from repro.bench import measure
+
+    assert measure.vm_code_bytes is vm_code_bytes
+
+
+def test_compile_error_propagates_from_compile():
+    with pytest.raises(CompileError):
+        Toolchain().compile(BAD, name="bad")
+
+
+def test_stats_dict_shape():
+    tc = Toolchain()
+    tc.compile(SMALL, name="u", stages=("codegen",))
+    stats = tc.stats()
+    assert set(stats) == {"stages", "cache"}
+    assert set(stats["stages"]) == set(STAGE_NAMES)
+    assert stats["cache"]["misses"] >= 3
+    tc.reset_stats()
+    assert total_runs(tc) == 0
