@@ -21,7 +21,11 @@ The paper's two compressors and everything they stand on, from scratch:
   content-addressed caching, and parallel batch compilation;
 * :mod:`repro.corpus` — benchmark programs and a synthetic generator;
 * :mod:`repro.system` — delivery-latency and paging scenario models;
-* :mod:`repro.bench` — the measurement runners behind every table.
+* :mod:`repro.bench` — the measurement runners behind every table;
+* :mod:`repro.errors` — the typed decode-error taxonomy and resource
+  limits every container decoder enforces;
+* :mod:`repro.faults` — the deterministic fault-injection harness behind
+  ``python -m repro fuzz``.
 
 Quick start::
 
@@ -35,11 +39,15 @@ Quick start::
 """
 
 from . import (
-    bench, brisc, cfront, codegen, compress, corpus, ir, jit, native,
-    pipeline, system, vm, wire,
+    bench, brisc, cfront, codegen, compress, corpus, errors, faults, ir,
+    jit, native, pipeline, system, vm, wire,
 )
 from .cfront import compile_to_ast
 from .codegen import generate_program
+from .errors import (
+    CorruptStreamError, DecodeError, ResourceLimitError, ResourceLimits,
+    TruncatedStreamError, UnsupportedFormatError,
+)
 from .ir import lower_unit
 from .pipeline import Toolchain, default_toolchain
 from .vm import run_program as run
@@ -48,9 +56,12 @@ from .vm.instr import VMProgram
 __version__ = "1.0.0"
 
 __all__ = [
-    "Toolchain", "bench", "brisc", "cfront", "codegen", "compile_c",
-    "compress", "corpus", "default_toolchain", "ir", "jit", "native",
-    "pipeline", "run", "system", "vm", "wire", "VMProgram",
+    "CorruptStreamError", "DecodeError", "ResourceLimitError",
+    "ResourceLimits", "Toolchain", "TruncatedStreamError",
+    "UnsupportedFormatError", "VMProgram", "bench", "brisc", "cfront",
+    "codegen", "compile_c", "compress", "corpus", "default_toolchain",
+    "errors", "faults", "ir", "jit", "native", "pipeline", "run", "system",
+    "vm", "wire",
 ]
 
 

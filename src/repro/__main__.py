@@ -11,6 +11,8 @@ Usage::
     python -m repro wire prog.c -o prog.wire   # emit the wire format
     python -m repro brisc prog.c -o prog.brisc # emit a BRISC image
     python -m repro exec-brisc prog.brisc      # interpret an image in place
+    python -m repro verify prog.wire           # integrity-check a container
+    python -m repro fuzz --seed 1 --mutations 500   # fault-injection sweep
 
 Every command compiles through :mod:`repro.pipeline`, so artifacts shared
 between representations (parse, lower, codegen) are produced once per
@@ -144,6 +146,85 @@ def cmd_exec_brisc(args) -> int:
     return result.exit_code
 
 
+def cmd_verify(args) -> int:
+    """Exit 0 for a clean container, 1 for corruption, 2 for unsupported."""
+    from .brisc import decode_image
+    from .errors import DecodeError, UnsupportedFormatError
+    from .wire import decode_module
+
+    with open(args.file, "rb") as f:
+        blob = f.read()
+    try:
+        if blob[:3] == b"WIR":
+            module = decode_module(blob)
+            detail = f"wire module {module.name!r}"
+        elif blob[:3] == b"BRI":
+            program = decode_image(blob)
+            detail = f"BRISC image, {len(program.functions)} functions"
+        else:
+            raise UnsupportedFormatError(
+                f"unrecognized container magic {blob[:4]!r}")
+    except UnsupportedFormatError as exc:
+        print(f"{args.file}: unsupported: {exc}", file=sys.stderr)
+        return 2
+    except DecodeError as exc:
+        print(f"{args.file}: corrupt: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: OK ({detail}, {len(blob)} bytes)")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    """Fault-injection sweep over freshly built containers; exit 0 iff the
+    decode contract held for every mutation."""
+    from .brisc import decode_image
+    from .faults import fuzz_decoder
+    from .ir import dump_module
+    from .wire import decode_module
+
+    units = [u.strip() for u in args.units.split(",") if u.strip()]
+    formats = [f.strip() for f in args.formats.split(",") if f.strip()]
+    unknown = set(formats) - {"wire", "brisc"}
+    if unknown:
+        print(f"error: unknown formats {sorted(unknown)}", file=sys.stderr)
+        return 2
+    from .corpus import get_sample, suite_source
+
+    toolchain = _toolchain(args)
+    reports = []
+    for unit in units:
+        try:
+            source = suite_source(unit)
+        except KeyError:
+            try:
+                source = get_sample(unit)
+            except KeyError:
+                print(f"error: unknown corpus unit {unit!r}", file=sys.stderr)
+                return 2
+        res = toolchain.compile(source, name=unit, stages=tuple(formats))
+        if "wire" in formats:
+            reports.append(fuzz_decoder(
+                res.wire_blob, decode_module,
+                target=f"{unit}.wire", mutations=args.mutations,
+                seed=args.seed, deadline=args.deadline,
+                canonical=dump_module))
+            print(reports[-1].summary())
+        if "brisc" in formats:
+            reports.append(fuzz_decoder(
+                res.brisc.image.blob, decode_image,
+                target=f"{unit}.brisc", mutations=args.mutations,
+                seed=args.seed, deadline=args.deadline))
+            print(reports[-1].summary())
+    failures = [f for r in reports for f in r.failures]
+    for failure in failures:
+        print(f"FAIL {failure.target} #{failure.index} ({failure.kind}): "
+              f"{failure.outcome}: {failure.detail}", file=sys.stderr)
+    total = sum(r.mutations for r in reports)
+    print(f"{total} mutations across {len(reports)} containers: "
+          f"{len(failures)} contract violations")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -196,6 +277,24 @@ def main(argv=None) -> int:
     p.add_argument("file")
     p.add_argument("--max-steps", type=int, default=200_000_000)
     p.set_defaults(fn=cmd_exec_brisc)
+
+    p = sub.add_parser("verify",
+                       help="integrity-check a wire or BRISC container")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("fuzz",
+                       help="seeded fault-injection sweep over the decoders")
+    p.add_argument("--seed", type=int, default=1997)
+    p.add_argument("--mutations", type=int, default=500,
+                   help="mutations per container (default 500)")
+    p.add_argument("--deadline", type=float, default=10.0,
+                   help="seconds a single decode may take (default 10)")
+    p.add_argument("--units", default="wc",
+                   help="comma-separated corpus units (default: wc)")
+    p.add_argument("--formats", default="wire,brisc",
+                   help="container kinds to fuzz (default: wire,brisc)")
+    p.set_defaults(fn=cmd_fuzz)
 
     args = parser.parse_args(argv)
     try:

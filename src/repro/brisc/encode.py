@@ -10,10 +10,15 @@ preserved exactly (labels are regenerated as ``L<offset>``).
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..compress.bitio import read_uvarint, write_uvarint
+from ..compress.bitio import read_uvarint, take_bytes, write_uvarint
+from ..errors import (
+    CorruptStreamError, DEFAULT_LIMITS, ResourceLimits,
+    TruncatedStreamError, UnsupportedFormatError, decode_guard,
+)
 from ..ir.tree import GlobalData, PtrInit, ScalarInit
 from ..vm.instr import Instr, VMFunction, VMProgram
 from ..vm.isa import Operand, SPEC
@@ -25,7 +30,15 @@ from .slots import SlotProgram
 
 __all__ = ["BriscImage", "encode_image", "decode_image"]
 
-_MAGIC = b"BRI1"
+# Fourth magic byte = container version.  "BRI1" (the seed format) has no
+# integrity check; "BRI2" carries a CRC32 of the entire payload right after
+# the magic, verified before any parsing, so corruption is detected up
+# front instead of mid-dictionary-rebuild.  BRISC is interpreted in place
+# from one monolithic image, so a whole-payload CRC plays the role the
+# per-stream CRCs play in the (multi-stream) wire container.
+_MAGIC_PREFIX = b"BRI"
+_MAGIC_V1 = b"BRI1"
+_MAGIC = b"BRI2"
 _NIBBLE_CLASSES = {"r", "f", "n4"}
 _BYTE_WIDTH = {"b": 1, "h": 2, "w": 4, "l": 2, "s": 2, "d": 8}
 
@@ -147,35 +160,51 @@ def _pack_globals(out: bytearray, globals_: List[GlobalData]) -> None:
                 out.extend(raw)
 
 
+def _take_name(data: bytes, pos: int, what: str) -> Tuple[str, int]:
+    n, pos = read_uvarint(data, pos)
+    DEFAULT_LIMITS.check(f"{what} length", n, DEFAULT_LIMITS.max_name_bytes)
+    raw, pos = take_bytes(data, pos, n, what)
+    return raw.decode("utf-8"), pos
+
+
+def _take_byte(data: bytes, pos: int, what: str) -> Tuple[int, int]:
+    if pos >= len(data):
+        raise TruncatedStreamError(f"image ends before {what}")
+    return data[pos], pos + 1
+
+
 def _unpack_globals(data: bytes, pos: int) -> Tuple[List[GlobalData], int]:
     count, pos = read_uvarint(data, pos)
+    if count > len(data) - pos:  # each global costs several bytes
+        raise TruncatedStreamError(
+            f"image promises {count} globals, only {len(data) - pos} bytes")
     globals_: List[GlobalData] = []
     for _ in range(count):
-        n, pos = read_uvarint(data, pos)
-        name = data[pos : pos + n].decode("utf-8")
-        pos += n
+        name, pos = _take_name(data, pos, "global name")
         size, pos = read_uvarint(data, pos)
         align, pos = read_uvarint(data, pos)
-        is_string = bool(data[pos])
-        pos += 1
+        flag, pos = _take_byte(data, pos, "global flags")
+        is_string = bool(flag)
         nitems, pos = read_uvarint(data, pos)
+        if nitems > len(data) - pos:
+            raise TruncatedStreamError(
+                f"global {name!r} promises {nitems} items, image too short")
         g = GlobalData(name, size, align, is_string=is_string)
         for _ in range(nitems):
-            tag = data[pos]
-            pos += 1
+            tag, pos = _take_byte(data, pos, "initializer tag")
             offset, pos = read_uvarint(data, pos)
             if tag == 0:
                 isize, pos = read_uvarint(data, pos)
                 z, pos = read_uvarint(data, pos)
                 g.items.append(ScalarInit(offset, isize, _unzig(z)))
             elif tag == 1:
-                g.items.append(ScalarInit(offset, 8,
-                                          struct.unpack_from("<d", data, pos)[0]))
-                pos += 8
+                raw, pos = take_bytes(data, pos, 8, "double initializer")
+                g.items.append(ScalarInit(offset, 8, struct.unpack("<d", raw)[0]))
+            elif tag == 2:
+                symbol, pos = _take_name(data, pos, "pointer symbol")
+                g.items.append(PtrInit(offset, symbol))
             else:
-                n, pos = read_uvarint(data, pos)
-                g.items.append(PtrInit(offset, data[pos : pos + n].decode("utf-8")))
-                pos += n
+                raise CorruptStreamError(f"unknown initializer tag {tag}")
         globals_.append(g)
     return globals_, pos
 
@@ -193,7 +222,7 @@ def encode_image(
     for g in globals_:
         symbol_ids.setdefault(g.name, len(symbol_ids))
 
-    out = bytearray(_MAGIC)
+    out = bytearray()  # container payload; magic + CRC32 are prepended below
     # Dictionary.
     write_uvarint(out, len(model.patterns))
     dict_start = len(out)
@@ -275,8 +304,9 @@ def encode_image(
             write_uvarint(out, off - last)
             last = off
 
+    payload = bytes(out)
     image = BriscImage(
-        blob=bytes(out),
+        blob=_MAGIC + zlib.crc32(payload).to_bytes(4, "little") + payload,
         breakdown={
             "dictionary": dict_bytes,
             "tables": table_bytes,
@@ -316,50 +346,96 @@ class DecodedFunction:
     bb_offsets: Set[int] = field(default_factory=set)
 
 
-def parse_image(blob: bytes) -> DecodedImage:
+def _image_payload(blob: bytes) -> bytes:
+    """Validate the magic/version/CRC framing; return the bare payload."""
+    if blob[:3] != _MAGIC_PREFIX:
+        raise UnsupportedFormatError("not a BRISC image (bad magic)")
+    version, _ = take_bytes(blob, 3, 1, "BRISC version byte")
+    if version == b"1":  # seed format: no integrity check
+        return blob[4:]
+    if version != b"2":
+        raise UnsupportedFormatError(
+            f"BRISC container version {version!r} is newer than this decoder")
+    stored, pos = take_bytes(blob, 4, 4, "BRISC payload CRC")
+    payload = blob[pos:]
+    if zlib.crc32(payload) != int.from_bytes(stored, "little"):
+        raise CorruptStreamError("BRISC payload CRC mismatch")
+    return payload
+
+
+def parse_image(
+    blob: bytes, limits: Optional[ResourceLimits] = None
+) -> DecodedImage:
     """Parse an image's container structure (no slot decoding yet)."""
-    if blob[:4] != _MAGIC:
-        raise ValueError("not a BRISC image")
-    pos = 4
-    npatterns, pos = read_uvarint(blob, pos)
-    patterns: List[DictPattern] = []
-    for _ in range(npatterns):
-        pattern, pos = deserialize_pattern(blob, pos)
-        patterns.append(pattern)
-    ntables, pos = read_uvarint(blob, pos)
-    tables: Dict[int, List[int]] = {}
-    for _ in range(ntables):
-        zctx, pos = read_uvarint(blob, pos)
-        count, pos = read_uvarint(blob, pos)
-        table: List[int] = []
-        for _ in range(count):
-            pid, pos = read_uvarint(blob, pos)
-            table.append(pid)
-        tables[_unzig(zctx)] = table
-    globals_, pos = _unpack_globals(blob, pos)
-    n, pos = read_uvarint(blob, pos)
-    entry = blob[pos : pos + n].decode("utf-8")
-    pos += n
-    nfuncs, pos = read_uvarint(blob, pos)
-    out = DecodedImage(patterns, tables, globals_, entry)
-    for _ in range(nfuncs):
-        n, pos = read_uvarint(blob, pos)
-        name = blob[pos : pos + n].decode("utf-8")
-        pos += n
-        frame, pos = read_uvarint(blob, pos)
-        params, pos = read_uvarint(blob, pos)
-        code_len, pos = read_uvarint(blob, pos)
-        code = blob[pos : pos + code_len]
-        pos += code_len
-        nbb, pos = read_uvarint(blob, pos)
-        offsets: Set[int] = set()
-        last = 0
-        for _ in range(nbb):
-            delta, pos = read_uvarint(blob, pos)
-            last += delta
-            offsets.add(last)
-        out.functions.append(DecodedFunction(name, frame, params, code, offsets))
-    return out
+    limits = limits or DEFAULT_LIMITS
+    with decode_guard("BRISC image"):
+        data = _image_payload(blob)
+        pos = 0
+        npatterns, pos = read_uvarint(data, pos)
+        limits.check("pattern count", npatterns, limits.max_patterns)
+        if npatterns > len(data) - pos:  # each pattern costs >= 1 byte
+            raise TruncatedStreamError(
+                f"image promises {npatterns} patterns, "
+                f"only {len(data) - pos} bytes remain")
+        patterns: List[DictPattern] = []
+        for _ in range(npatterns):
+            pattern, pos = deserialize_pattern(data, pos)
+            patterns.append(pattern)
+        ntables, pos = read_uvarint(data, pos)
+        if ntables > len(data) - pos:
+            raise TruncatedStreamError(
+                f"image promises {ntables} tables, image too short")
+        tables: Dict[int, List[int]] = {}
+        for _ in range(ntables):
+            zctx, pos = read_uvarint(data, pos)
+            count, pos = read_uvarint(data, pos)
+            if count > len(data) - pos:
+                raise TruncatedStreamError(
+                    f"Markov table promises {count} entries, image too short")
+            table: List[int] = []
+            for _ in range(count):
+                pid, pos = read_uvarint(data, pos)
+                if pid >= npatterns:
+                    raise CorruptStreamError(
+                        f"Markov table references pattern {pid} "
+                        f"of {npatterns}")
+                table.append(pid)
+            tables[_unzig(zctx)] = table
+        globals_, pos = _unpack_globals(data, pos)
+        entry, pos = _take_name(data, pos, "entry symbol")
+        nfuncs, pos = read_uvarint(data, pos)
+        limits.check("function count", nfuncs, limits.max_functions)
+        if nfuncs > len(data) - pos:
+            raise TruncatedStreamError(
+                f"image promises {nfuncs} functions, image too short")
+        out = DecodedImage(patterns, tables, globals_, entry)
+        for _ in range(nfuncs):
+            name, pos = _take_name(data, pos, "function name")
+            frame, pos = read_uvarint(data, pos)
+            params, pos = read_uvarint(data, pos)
+            code_len, pos = read_uvarint(data, pos)
+            limits.check("function code size", code_len,
+                         limits.max_decoded_bytes)
+            code, pos = take_bytes(data, pos, code_len,
+                                   f"code for function {name!r}")
+            nbb, pos = read_uvarint(data, pos)
+            if nbb > len(data) - pos:
+                raise TruncatedStreamError(
+                    f"function {name!r} promises {nbb} block offsets, "
+                    f"image too short")
+            offsets: Set[int] = set()
+            last = 0
+            for _ in range(nbb):
+                delta, pos = read_uvarint(data, pos)
+                last += delta
+                if last > len(code):
+                    raise CorruptStreamError(
+                        f"block offset {last} beyond code of {len(code)} "
+                        f"bytes in {name!r}")
+                offsets.add(last)
+            out.functions.append(
+                DecodedFunction(name, frame, params, code, offsets))
+        return out
 
 
 def symbol_names(image: DecodedImage) -> List[str]:
@@ -385,23 +461,25 @@ def decode_slot(
     if names is None:
         names = symbol_names(image)
     code = fn.code
-    byte = code[offset]
-    offset += 1
+    byte, offset = _take_byte(code, offset, "opcode byte")
     if byte == ESCAPE:
-        pid = int.from_bytes(code[offset : offset + 2], "little")
-        offset += 2
+        raw, offset = take_bytes(code, offset, 2, "escaped pattern id")
+        pid = int.from_bytes(raw, "little")
     else:
         table = image.tables.get(ctx)
         if table is None or byte >= len(table):
-            raise ValueError(f"invalid opcode byte {byte} in context {ctx}")
+            raise CorruptStreamError(
+                f"invalid opcode byte {byte} in context {ctx}")
         pid = table[byte]
+    if pid >= len(image.patterns):
+        raise CorruptStreamError(
+            f"slot references pattern {pid} of {len(image.patterns)}")
     pattern = image.patterns[pid]
     _, classes = pattern.operand_layout()
     nnib = sum(1 for c in classes if c in _NIBBLE_CLASSES)
     nibbles: List[int] = []
     for i in range((nnib + 1) // 2):
-        b = code[offset]
-        offset += 1
+        b, offset = _take_byte(code, offset, "operand nibbles")
         nibbles.append(b >> 4)
         nibbles.append(b & 0xF)
     nibbles = nibbles[:nnib]
@@ -416,20 +494,22 @@ def decode_slot(
             ni += 1
         elif cls in ("b", "h", "w"):
             width = _BYTE_WIDTH[cls]
-            values.append(int.from_bytes(code[offset : offset + width],
-                                         "little", signed=True))
-            offset += width
+            raw, offset = take_bytes(code, offset, width,
+                                     f"{cls!r} operand")
+            values.append(int.from_bytes(raw, "little", signed=True))
         elif cls == "l":
-            target = int.from_bytes(code[offset : offset + 2], "little")
-            offset += 2
-            values.append(f"L{target}")
+            raw, offset = take_bytes(code, offset, 2, "label operand")
+            values.append(f"L{int.from_bytes(raw, 'little')}")
         elif cls == "s":
-            idx = int.from_bytes(code[offset : offset + 2], "little")
-            offset += 2
+            raw, offset = take_bytes(code, offset, 2, "symbol operand")
+            idx = int.from_bytes(raw, "little")
+            if idx >= len(names):
+                raise CorruptStreamError(
+                    f"symbol index {idx} of {len(names)}")
             values.append(names[idx])
         else:
-            values.append(struct.unpack_from("<d", code, offset)[0])
-            offset += 8
+            raw, offset = take_bytes(code, offset, 8, "double operand")
+            values.append(struct.unpack("<d", raw)[0])
     # Rebuild concrete instructions.
     instrs: List[Instr] = []
     vi = 0
@@ -445,50 +525,56 @@ def decode_slot(
     return pattern, instrs, offset
 
 
-def decode_image(blob: bytes) -> VMProgram:
+def decode_image(
+    blob: bytes, limits: Optional[ResourceLimits] = None
+) -> VMProgram:
     """Fully decode an image back into a runnable VM program."""
-    image = parse_image(blob)
-    names = symbol_names(image)
-    program = VMProgram("decoded", entry=image.entry)
-    program.globals = list(image.globals)
-    for fn in image.functions:
-        vmf = VMFunction(fn.name, frame_size=fn.frame_size,
-                         param_bytes=fn.param_bytes)
-        offset = 0
-        prev: Optional[int] = None
-        offset_to_index: Dict[int, int] = {}
-        referenced: Set[str] = set()
-        while offset < len(fn.code):
-            if offset == 0:
-                ctx = CTX_ENTRY
-            elif offset in fn.bb_offsets:
-                ctx = CTX_BB
-            else:
-                assert prev is not None
-                ctx = prev
-            offset_to_index[offset] = len(vmf.code)
-            pattern, instrs, next_offset = decode_slot(image, fn, offset, ctx,
-                                                       names)
-            for instr in instrs:
-                for kind, value in zip(instr.spec.signature, instr.operands):
-                    if kind is Operand.LABEL:
-                        referenced.add(str(value))
-            vmf.code.extend(instrs)
-            # Track which pattern id produced this slot for the context.
-            byte = fn.code[offset]
-            if byte == ESCAPE:
-                prev = int.from_bytes(fn.code[offset + 1 : offset + 3], "little")
-            else:
-                prev = image.tables[ctx][byte]
-            offset = next_offset
-        # Labels at every block start and at referenced offsets.
-        for off in sorted(set(fn.bb_offsets) | {0}):
-            if off in offset_to_index:
-                vmf.labels.setdefault(f"L{off}", offset_to_index[off])
-        for label in referenced:
-            off = int(label[1:])
-            if off not in offset_to_index:
-                raise ValueError(f"branch to mid-slot offset {off} in {fn.name}")
-            vmf.labels.setdefault(label, offset_to_index[off])
-        program.functions.append(vmf)
-    return program
+    image = parse_image(blob, limits=limits)
+    with decode_guard("BRISC image"):
+        names = symbol_names(image)
+        program = VMProgram("decoded", entry=image.entry)
+        program.globals = list(image.globals)
+        for fn in image.functions:
+            vmf = VMFunction(fn.name, frame_size=fn.frame_size,
+                             param_bytes=fn.param_bytes)
+            offset = 0
+            prev: Optional[int] = None
+            offset_to_index: Dict[int, int] = {}
+            referenced: Set[str] = set()
+            while offset < len(fn.code):
+                if offset == 0:
+                    ctx = CTX_ENTRY
+                elif offset in fn.bb_offsets:
+                    ctx = CTX_BB
+                else:
+                    assert prev is not None
+                    ctx = prev
+                offset_to_index[offset] = len(vmf.code)
+                pattern, instrs, next_offset = decode_slot(image, fn, offset,
+                                                           ctx, names)
+                for instr in instrs:
+                    for kind, value in zip(instr.spec.signature,
+                                           instr.operands):
+                        if kind is Operand.LABEL:
+                            referenced.add(str(value))
+                vmf.code.extend(instrs)
+                # Track which pattern id produced this slot for the context.
+                byte = fn.code[offset]
+                if byte == ESCAPE:
+                    prev = int.from_bytes(fn.code[offset + 1 : offset + 3],
+                                          "little")
+                else:
+                    prev = image.tables[ctx][byte]
+                offset = next_offset
+            # Labels at every block start and at referenced offsets.
+            for off in sorted(set(fn.bb_offsets) | {0}):
+                if off in offset_to_index:
+                    vmf.labels.setdefault(f"L{off}", offset_to_index[off])
+            for label in referenced:
+                off = int(label[1:])
+                if off not in offset_to_index:
+                    raise CorruptStreamError(
+                        f"branch to mid-slot offset {off} in {fn.name}")
+                vmf.labels.setdefault(label, offset_to_index[off])
+            program.functions.append(vmf)
+        return program

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import CorruptStreamError
 from ..vm.instr import VMFunction, VMProgram
 from ..vm.interp import FUNC_ADDR_BASE, Interpreter, VMError
 from ..vm.isa import Operand
@@ -74,11 +75,7 @@ class BriscInterpreter(Interpreter):
         pattern, instrs, next_offset = decode_slot(self._image, fn, offset, ctx,
                                                     self._sym_names)
         self.slots_decoded += 1
-        byte = fn.code[offset]
-        if byte == ESCAPE:
-            pid = int.from_bytes(fn.code[offset + 1 : offset + 3], "little")
-        else:
-            pid = self._image.tables[ctx][byte]
+        pid = self._pattern_id(fn, offset, ctx)
         group: List[Tuple[str, tuple]] = []
         for instr in instrs:
             ops: List[object] = []
@@ -94,6 +91,19 @@ class BriscInterpreter(Interpreter):
         if self._cache_decoded:
             self._slot_cache[(func, offset)] = result
         return result
+
+    def _pattern_id(self, fn, offset: int, ctx: int) -> int:
+        """The pattern id at ``offset``, with the context-table lookup
+        guarded so a corrupt image raises a typed error, never a bare
+        ``KeyError``/``IndexError``, even if a decode path misses a check."""
+        byte = fn.code[offset]
+        if byte == ESCAPE:
+            return int.from_bytes(fn.code[offset + 1 : offset + 3], "little")
+        table = self._image.tables.get(ctx)
+        if table is None or byte >= len(table):
+            raise CorruptStreamError(
+                f"invalid opcode byte {byte} in context {ctx}")
+        return table[byte]
 
     def _resolve_sym(self, value) -> Tuple[str, int]:
         name = str(value)
@@ -154,11 +164,7 @@ class BriscInterpreter(Interpreter):
         pattern, instrs, next_offset = decode_slot(
             self._image, fn, offset, prev_pid, self._sym_names)
         self.slots_decoded += 1
-        byte = fn.code[offset]
-        if byte == ESCAPE:
-            pid = int.from_bytes(fn.code[offset + 1 : offset + 3], "little")
-        else:
-            pid = self._image.tables[prev_pid][byte]
+        pid = self._pattern_id(fn, offset, prev_pid)
         group: List[Tuple[str, tuple]] = []
         for instr in instrs:
             ops: List[object] = []

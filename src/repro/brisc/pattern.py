@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
-from ..compress.bitio import read_uvarint, write_uvarint
+from ..compress.bitio import read_uvarint, take_bytes, write_uvarint
+from ..errors import CorruptStreamError, TruncatedStreamError
 from ..vm.instr import Instr
 from ..vm.isa import MNEMONIC, Operand, SPEC
 
@@ -277,33 +278,50 @@ def serialize_pattern(pattern: DictPattern) -> bytes:
 
 
 def deserialize_pattern(data: bytes, pos: int) -> Tuple[DictPattern, int]:
-    """Inverse of :func:`serialize_pattern`; returns (pattern, new_pos)."""
+    """Inverse of :func:`serialize_pattern`; returns (pattern, new_pos).
+
+    Every field is bounds-checked: a forged mnemonic id, wildcard class,
+    tag byte, or string length raises a typed :class:`DecodeError` instead
+    of an ``IndexError``/``KeyError`` or a silently short slice.
+    """
     import struct
 
     nparts, pos = read_uvarint(data, pos)
+    if nparts < 1 or nparts > len(data) - pos:
+        raise CorruptStreamError(f"pattern with impossible part count {nparts}")
     parts: List[InsnPattern] = []
     for _ in range(nparts):
         mid, pos = read_uvarint(data, pos)
+        if mid >= len(MNEMONIC):
+            raise CorruptStreamError(f"unknown mnemonic id {mid}")
         name = MNEMONIC[mid]
         spec = SPEC[name]
         fields: List[Field] = []
         for kind in spec.signature:
+            if pos >= len(data):
+                raise TruncatedStreamError("pattern ends before a field tag")
             tag = data[pos]
             pos += 1
             if tag & 0x80:
-                fields.append(Wildcard(_CLS_BY_ID[tag & 0x7F]))
+                cls = _CLS_BY_ID.get(tag & 0x7F)
+                if cls is None:
+                    raise CorruptStreamError(
+                        f"unknown wildcard class id {tag & 0x7F}")
+                fields.append(Wildcard(cls))
             elif tag == 0x00:
-                fields.append(Burned(data[pos]))
-                pos += 1
+                raw, pos = take_bytes(data, pos, 1, "burned register")
+                fields.append(Burned(raw[0]))
             elif tag == 0x01:
                 z, pos = read_uvarint(data, pos)
                 fields.append(Burned(-(z >> 1) - 1 if z & 1 else z >> 1))
             elif tag == 0x02:
-                fields.append(Burned(struct.unpack_from("<d", data, pos)[0]))
-                pos += 8
-            else:
+                raw, pos = take_bytes(data, pos, 8, "burned double")
+                fields.append(Burned(struct.unpack("<d", raw)[0]))
+            elif tag == 0x03:
                 n, pos = read_uvarint(data, pos)
-                fields.append(Burned(data[pos : pos + n].decode("utf-8")))
-                pos += n
+                raw, pos = take_bytes(data, pos, n, "burned string")
+                fields.append(Burned(raw.decode("utf-8")))
+            else:
+                raise CorruptStreamError(f"unknown field tag {tag:#x}")
         parts.append(InsnPattern(name, tuple(fields)))
     return DictPattern(tuple(parts)), pos

@@ -13,11 +13,14 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
+from ..errors import CorruptStreamError, TruncatedStreamError
+
 __all__ = [
     "BitWriter",
     "BitReader",
     "write_uvarint",
     "read_uvarint",
+    "take_bytes",
     "uvarint",
 ]
 
@@ -94,8 +97,10 @@ class BitWriter:
 class BitReader:
     """Reads bits MSB-first from a ``bytes`` buffer.
 
-    Reading past the end raises :class:`EOFError`; entropy decoders treat
-    that as a corrupt-stream condition rather than silently yielding zeros.
+    Reading past the end raises
+    :class:`~repro.errors.TruncatedStreamError` (an ``EOFError`` subclass);
+    entropy decoders treat that as a corrupt-stream condition rather than
+    silently yielding zeros.
     """
 
     def __init__(self, data: bytes) -> None:
@@ -108,7 +113,7 @@ class BitReader:
         """Read and return a single bit."""
         if self._nbits == 0:
             if self._pos >= len(self._data):
-                raise EOFError("bit stream exhausted")
+                raise TruncatedStreamError("bit stream exhausted")
             self._acc = self._data[self._pos]
             self._pos += 1
             self._nbits = 8
@@ -124,7 +129,7 @@ class BitReader:
         while remaining:
             if self._nbits == 0:
                 if self._pos >= len(self._data):
-                    raise EOFError("bit stream exhausted")
+                    raise TruncatedStreamError("bit stream exhausted")
                 self._acc = self._data[self._pos]
                 self._pos += 1
                 self._nbits = 8
@@ -140,9 +145,11 @@ class BitReader:
 
     def read_bytes(self, n: int) -> bytes:
         """Read ``n`` whole bytes (fast when byte-aligned)."""
+        if n < 0:
+            raise CorruptStreamError(f"negative byte count {n}")
         if self._nbits == 0:
             if self._pos + n > len(self._data):
-                raise EOFError("bit stream exhausted")
+                raise TruncatedStreamError("bit stream exhausted")
             out = self._data[self._pos : self._pos + n]
             self._pos += n
             return out
@@ -152,6 +159,12 @@ class BitReader:
     def bits_consumed(self) -> int:
         """Number of bits consumed so far."""
         return self._pos * 8 - self._nbits
+
+    @property
+    def bits_remaining(self) -> int:
+        """Unread bits left in the buffer — the cheapest upper bound on how
+        many symbols a count field could legitimately promise."""
+        return (len(self._data) - self._pos) * 8 + self._nbits
 
     def at_eof(self) -> bool:
         """True when no unread bits remain."""
@@ -181,7 +194,7 @@ def read_uvarint(data: bytes, pos: int) -> "tuple[int, int]":
     shift = 0
     while True:
         if pos >= len(data):
-            raise EOFError("truncated uvarint")
+            raise TruncatedStreamError("truncated uvarint")
         byte = data[pos]
         pos += 1
         value |= (byte & 0x7F) << shift
@@ -189,7 +202,26 @@ def read_uvarint(data: bytes, pos: int) -> "tuple[int, int]":
             return value, pos
         shift += 7
         if shift > 63:
-            raise ValueError("uvarint too long")
+            raise CorruptStreamError("uvarint too long")
+
+
+def take_bytes(data: bytes, pos: int, n: int, what: str = "field") -> "tuple[bytes, int]":
+    """Slice ``n`` bytes at ``pos``, *then* check the slice is complete.
+
+    Python slicing silently truncates past the end of a buffer; every
+    length-prefixed read in the decoders goes through this helper so a
+    short buffer raises :class:`~repro.errors.TruncatedStreamError` instead
+    of yielding a quietly shortened value.  Returns ``(slice, new_pos)``.
+    """
+    if n < 0:
+        raise CorruptStreamError(f"negative length {n} for {what}")
+    end = pos + n
+    chunk = data[pos:end]
+    if len(chunk) != n:
+        raise TruncatedStreamError(
+            f"{what} needs {n} bytes at offset {pos}, "
+            f"only {len(data) - pos} remain")
+    return chunk, end
 
 
 def uvarint(value: int) -> bytes:

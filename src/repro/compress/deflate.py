@@ -17,8 +17,11 @@ library depends on zlib.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from ..errors import (
+    CorruptStreamError, DEFAULT_LIMITS, ResourceLimits, decode_guard,
+)
 from .bitio import BitReader, BitWriter
 from .huffman import (
     HuffmanDecoder,
@@ -124,34 +127,66 @@ def compress(data: bytes) -> bytes:
     return w.getvalue()
 
 
-def decompress(blob: bytes) -> bytes:
-    """Invert :func:`compress`."""
-    r = BitReader(blob)
-    expected = r.read_bits(32)
-    litlen_dec = HuffmanDecoder(read_code_lengths(r))
-    dist_lengths = read_code_lengths(r)
-    dist_dec = HuffmanDecoder(dist_lengths) if any(dist_lengths) else None
+def decompress(
+    blob: bytes, limits: Optional[ResourceLimits] = None
+) -> bytes:
+    """Invert :func:`compress`.
 
-    tokens: List[Token] = []
-    while True:
-        sym = litlen_dec.decode_symbol(r)
-        if sym == _END_OF_BLOCK:
-            break
-        if sym < 256:
-            tokens.append(Literal(sym))
-            continue
-        extra, base = _LENGTH_BY_SYMBOL[sym]
-        length = base + (r.read_bits(extra) if extra else 0)
-        if dist_dec is None:
-            raise ValueError("match token but no distance table")
-        dsym = dist_dec.decode_symbol(r)
-        dextra, dbase = _DIST_BY_SYMBOL[dsym]
-        distance = dbase + (r.read_bits(dextra) if dextra else 0)
-        tokens.append(Match(length, distance))
-    out = detokenize(tokens)
-    if len(out) != expected:
-        raise ValueError(f"decompressed {len(out)} bytes, header said {expected}")
-    return out
+    The declared output size is validated against ``limits`` before any
+    allocation, and the token loop stops the moment it would produce more
+    bytes than the header declared — a corrupt stream raises a typed
+    :class:`~repro.errors.DecodeError` instead of ballooning memory.
+    """
+    limits = limits or DEFAULT_LIMITS
+    with decode_guard("deflate block"):
+        r = BitReader(blob)
+        expected = r.read_bits(32)
+        limits.check("declared deflate output", expected,
+                     limits.max_decoded_bytes)
+        litlen_dec = HuffmanDecoder(read_code_lengths(r, limits))
+        dist_lengths = read_code_lengths(r, limits)
+        dist_dec = HuffmanDecoder(dist_lengths) if any(dist_lengths) else None
+
+        tokens: List[Token] = []
+        produced = 0
+        while True:
+            sym = litlen_dec.decode_symbol(r)
+            if sym == _END_OF_BLOCK:
+                break
+            if sym >= _LITLEN_ALPHABET:
+                raise CorruptStreamError(f"literal/length symbol {sym} "
+                                         "outside the alphabet")
+            if sym < 256:
+                tokens.append(Literal(sym))
+                produced += 1
+            else:
+                try:
+                    extra, base = _LENGTH_BY_SYMBOL[sym]
+                except KeyError:
+                    raise CorruptStreamError(
+                        f"invalid length symbol {sym}") from None
+                length = base + (r.read_bits(extra) if extra else 0)
+                if dist_dec is None:
+                    raise CorruptStreamError(
+                        "match token but no distance table")
+                dsym = dist_dec.decode_symbol(r)
+                try:
+                    dextra, dbase = _DIST_BY_SYMBOL[dsym]
+                except KeyError:
+                    raise CorruptStreamError(
+                        f"invalid distance symbol {dsym}") from None
+                distance = dbase + (r.read_bits(dextra) if dextra else 0)
+                tokens.append(Match(length, distance))
+                produced += length
+            if produced > expected:
+                raise CorruptStreamError(
+                    f"token stream produces more than the declared "
+                    f"{expected} bytes")
+        out = detokenize(tokens)
+        if len(out) != expected:
+            raise CorruptStreamError(
+                f"decompressed {len(out)} bytes, header said {expected}")
+        return out
 
 
 def compressed_size(data: bytes) -> int:

@@ -15,8 +15,12 @@ from __future__ import annotations
 
 import heapq
 from collections import Counter
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..errors import (
+    CorruptStreamError, DEFAULT_LIMITS, ResourceLimits, TruncatedStreamError,
+    decode_guard,
+)
 from .bitio import BitReader, BitWriter
 
 __all__ = [
@@ -183,7 +187,12 @@ class HuffmanDecoder:
 
     def __init__(self, lengths: Sequence[int]) -> None:
         self.lengths = list(lengths)
-        codes = canonical_codes(self.lengths)
+        try:
+            codes = canonical_codes(self.lengths)
+        except ValueError as exc:
+            # Length tables read off the wire are attacker-controlled; an
+            # infeasible table is a corrupt stream, not a programming error.
+            raise CorruptStreamError(str(exc)) from exc
         # first_code[L], first_index[L], and symbols sorted canonically.
         by_length: Dict[int, List[int]] = {}
         for sym, (code, L) in sorted(codes.items(), key=lambda kv: (kv[1][1], kv[1][0])):
@@ -204,7 +213,7 @@ class HuffmanDecoder:
                 offset = code - self._first_code[length]
                 if 0 <= offset < len(syms):
                     return syms[offset]
-        raise ValueError("invalid Huffman code in stream")
+        raise CorruptStreamError("invalid Huffman code in stream")
 
 
 def write_code_lengths(writer: BitWriter, lengths: Sequence[int]) -> None:
@@ -216,9 +225,20 @@ def write_code_lengths(writer: BitWriter, lengths: Sequence[int]) -> None:
         writer.write_bits(L, 4)
 
 
-def read_code_lengths(reader: BitReader) -> List[int]:
-    """Inverse of :func:`write_code_lengths`."""
+def read_code_lengths(
+    reader: BitReader, limits: Optional[ResourceLimits] = None
+) -> List[int]:
+    """Inverse of :func:`write_code_lengths`.
+
+    The count is validated against the remaining bits (each length costs
+    four) and against ``limits.max_alphabet`` before any allocation.
+    """
+    limits = limits or DEFAULT_LIMITS
     n = reader.read_bits(32)
+    limits.check("Huffman alphabet size", n, limits.max_alphabet)
+    if n * 4 > reader.bits_remaining:
+        raise TruncatedStreamError(
+            f"code-length table promises {n} entries, stream too short")
     return [reader.read_bits(4) for _ in range(n)]
 
 
@@ -239,10 +259,29 @@ def encode_symbols(symbols: Sequence[int], alphabet_size: int) -> bytes:
     return w.getvalue()
 
 
-def decode_symbols(data: bytes) -> List[int]:
-    """Inverse of :func:`encode_symbols`."""
-    r = BitReader(data)
-    count = r.read_bits(32)
-    lengths = read_code_lengths(r)
-    dec = HuffmanDecoder(lengths)
-    return [dec.decode_symbol(r) for _ in range(count)]
+def decode_symbols(
+    data: bytes, limits: Optional[ResourceLimits] = None
+) -> List[int]:
+    """Inverse of :func:`encode_symbols`.
+
+    Every count is validated against the remaining input and the resource
+    limits, so a forged header raises a typed
+    :class:`~repro.errors.DecodeError` instead of looping or allocating.
+    """
+    limits = limits or DEFAULT_LIMITS
+    with decode_guard("Huffman stream"):
+        r = BitReader(data)
+        count = r.read_bits(32)
+        limits.check("Huffman symbol count", count, limits.max_symbols)
+        lengths = read_code_lengths(r, limits)
+        if count and not any(lengths):
+            raise CorruptStreamError(
+                "symbol count is nonzero but the code-length table is empty")
+        # Each symbol costs at least one bit, so the count cannot exceed
+        # the bits left after the header — reject before the decode loop.
+        if count > r.bits_remaining:
+            raise TruncatedStreamError(
+                f"stream promises {count} symbols, only "
+                f"{r.bits_remaining} bits remain")
+        dec = HuffmanDecoder(lengths)
+        return [dec.decode_symbol(r) for _ in range(count)]

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Union
 
+from ..errors import CorruptStreamError
+
 __all__ = [
     "Literal",
     "Match",
@@ -146,7 +148,12 @@ def tokenize(data: bytes, lazy: bool = True) -> List[Token]:
 
 
 def detokenize(tokens: List[Token]) -> bytes:
-    """Reconstruct the original bytes from a token sequence."""
+    """Reconstruct the original bytes from a token sequence.
+
+    A back-reference pointing before the start of the output (which only a
+    corrupt token stream can produce) raises
+    :class:`~repro.errors.CorruptStreamError`.
+    """
     out = bytearray()
     for tok in tokens:
         if isinstance(tok, Literal):
@@ -154,7 +161,8 @@ def detokenize(tokens: List[Token]) -> bytes:
         else:
             start = len(out) - tok.distance
             if start < 0:
-                raise ValueError("match distance reaches before stream start")
+                raise CorruptStreamError(
+                    "match distance reaches before stream start")
             for k in range(tok.length):
                 out.append(out[start + k])  # may overlap, byte-at-a-time copy
     return bytes(out)

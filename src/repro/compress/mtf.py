@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Hashable, List, Sequence, Tuple
 
+from ..errors import CorruptStreamError
+
 __all__ = ["mtf_encode", "mtf_decode", "MoveToFront"]
 
 
@@ -60,7 +62,8 @@ def mtf_decode(indices: Sequence[int], novel: Sequence[Hashable]) -> List[Hashab
 
     ``indices`` uses 0 for "next novel symbol" and 1-based table positions
     otherwise; ``novel`` supplies the novel symbols in first-appearance
-    order.
+    order.  Malformed inputs (an index past the table, more escapes than
+    novel symbols) raise :class:`~repro.errors.CorruptStreamError`.
     """
     table: List[Hashable] = []
     out: List[Hashable] = []
@@ -70,10 +73,13 @@ def mtf_decode(indices: Sequence[int], novel: Sequence[Hashable]) -> List[Hashab
             try:
                 sym = next(novel_iter)
             except StopIteration:
-                raise ValueError("MTF stream references more novel symbols than provided")
+                raise CorruptStreamError(
+                    "MTF stream references more novel symbols than provided"
+                ) from None
         else:
-            if idx > len(table):
-                raise ValueError(f"MTF index {idx} exceeds table size {len(table)}")
+            if idx < 0 or idx > len(table):
+                raise CorruptStreamError(
+                    f"MTF index {idx} exceeds table size {len(table)}")
             sym = table.pop(idx - 1)
         table.insert(0, sym)
         out.append(sym)

@@ -10,27 +10,46 @@ Layout (all integers LEB128):
 
     count
     repeat count times:
-        name_len, name (utf-8), flags (1 = deflate-compressed), payload_len, payload
+        name_len, name (utf-8), flags, [crc32 (4 bytes LE, when flag 2)],
+        payload_len, payload
+
+Flag 1 marks a deflate-compressed payload; flag 2 marks a CRC32 of the
+*stored* payload bytes, verified before any decompression, so a flipped
+bit in transit is reported as :class:`~repro.errors.CorruptStreamError`
+up front rather than surfacing mid-Huffman-rebuild.  Readers accept both
+checksummed and legacy (CRC-less) entries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+import zlib
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+from ..errors import (
+    CorruptStreamError, DEFAULT_LIMITS, ResourceLimits, TruncatedStreamError,
+    decode_guard,
+)
 from . import deflate
-from .bitio import read_uvarint, write_uvarint
+from .bitio import read_uvarint, take_bytes, write_uvarint
 
 __all__ = ["pack_streams", "unpack_streams", "stream_sizes"]
 
 _FLAG_DEFLATE = 1
+_FLAG_CRC32 = 2
 
 
-def pack_streams(streams: Mapping[str, bytes], compress: bool = True) -> bytes:
+def pack_streams(
+    streams: Mapping[str, bytes],
+    compress: bool = True,
+    checksums: bool = False,
+) -> bytes:
     """Serialize named byte streams, compressing each in isolation.
 
     When ``compress`` is true each stream is deflate-compressed unless the
     compressed form would be larger (tiny streams), in which case it is
-    stored raw — the flag byte records which happened.
+    stored raw — the flag byte records which happened.  ``checksums``
+    appends a CRC32 per stream (4 bytes each) so the receiver can detect
+    corruption before decoding.
     """
     out = bytearray()
     write_uvarint(out, len(streams))
@@ -42,36 +61,66 @@ def pack_streams(streams: Mapping[str, bytes], compress: bool = True) -> bytes:
             if len(packed) < len(payload):
                 payload = packed
                 flags = _FLAG_DEFLATE
+        if checksums:
+            flags |= _FLAG_CRC32
         raw_name = name.encode("utf-8")
         write_uvarint(out, len(raw_name))
         out.extend(raw_name)
         out.append(flags)
+        if checksums:
+            out.extend(zlib.crc32(payload).to_bytes(4, "little"))
         write_uvarint(out, len(payload))
         out.extend(payload)
     return bytes(out)
 
 
-def unpack_streams(blob: bytes) -> Dict[str, bytes]:
-    """Invert :func:`pack_streams`."""
-    streams: Dict[str, bytes] = {}
-    count, pos = read_uvarint(blob, 0)
-    for _ in range(count):
-        name_len, pos = read_uvarint(blob, pos)
-        name = blob[pos : pos + name_len].decode("utf-8")
-        pos += name_len
-        if pos >= len(blob):
-            raise EOFError("truncated stream container")
-        flags = blob[pos]
-        pos += 1
-        payload_len, pos = read_uvarint(blob, pos)
-        payload = blob[pos : pos + payload_len]
-        if len(payload) != payload_len:
-            raise EOFError("truncated stream payload")
-        pos += payload_len
-        if flags & _FLAG_DEFLATE:
-            payload = deflate.decompress(payload)
-        streams[name] = payload
-    return streams
+def unpack_streams(
+    blob: bytes, limits: Optional[ResourceLimits] = None
+) -> Dict[str, bytes]:
+    """Invert :func:`pack_streams`, validating every count and checksum.
+
+    Raises a typed :class:`~repro.errors.DecodeError` subclass on any
+    malformed input; ``limits`` bounds what the container may allocate.
+    """
+    limits = limits or DEFAULT_LIMITS
+    with decode_guard("stream container"):
+        streams: Dict[str, bytes] = {}
+        decoded_total = 0
+        count, pos = read_uvarint(blob, 0)
+        limits.check("stream count", count, limits.max_streams)
+        for _ in range(count):
+            name_len, pos = read_uvarint(blob, pos)
+            limits.check("stream name length", name_len, limits.max_name_bytes)
+            raw_name, pos = take_bytes(blob, pos, name_len, "stream name")
+            name = raw_name.decode("utf-8")
+            if pos >= len(blob):
+                raise TruncatedStreamError("truncated stream container")
+            flags = blob[pos]
+            pos += 1
+            if flags & ~(_FLAG_DEFLATE | _FLAG_CRC32):
+                raise CorruptStreamError(
+                    f"unknown stream flags {flags:#x} for {name!r}")
+            crc = None
+            if flags & _FLAG_CRC32:
+                crc_raw, pos = take_bytes(blob, pos, 4, "stream checksum")
+                crc = int.from_bytes(crc_raw, "little")
+            payload_len, pos = read_uvarint(blob, pos)
+            limits.check("stream payload", payload_len,
+                         limits.max_decoded_bytes)
+            payload, pos = take_bytes(blob, pos, payload_len,
+                                      f"stream {name!r} payload")
+            if crc is not None and zlib.crc32(payload) != crc:
+                raise CorruptStreamError(
+                    f"stream {name!r} failed its CRC32 check")
+            if flags & _FLAG_DEFLATE:
+                payload = deflate.decompress(payload, limits=limits)
+            decoded_total += len(payload)
+            limits.check("decoded container bytes", decoded_total,
+                         limits.max_decoded_bytes)
+            if name in streams:
+                raise CorruptStreamError(f"duplicate stream {name!r}")
+            streams[name] = payload
+        return streams
 
 
 def stream_sizes(streams: Mapping[str, bytes]) -> Dict[str, Tuple[int, int]]:

@@ -1,0 +1,127 @@
+"""Typed decode-error taxonomy and decoder resource limits.
+
+The paper's representations exist to be *shipped*: wire blobs stream over
+28.8k modems, BRISC images demand-page from disk and JIT on arrival.  A
+receiver therefore decodes bytes it does not control, and every decoder in
+this reproduction reports malformed input through one typed hierarchy
+rooted at :class:`DecodeError` instead of leaking ``struct.error``,
+``IndexError`` or a silent wrong answer.
+
+Compatibility: the concrete classes double-inherit from the built-in
+exception a pre-taxonomy caller would have seen (``ValueError`` for
+malformed content, ``EOFError`` for exhausted buffers), the same trick the
+stdlib uses for ``json.JSONDecodeError(ValueError)`` — existing
+``except ValueError`` / ``except EOFError`` call sites keep working while
+new code catches :class:`DecodeError` alone.
+
+:class:`ResourceLimits` bounds what a decoder will allocate on behalf of a
+blob (stream counts, symbol counts, decoded bytes), so a forged length
+field raises :class:`ResourceLimitError` instead of ballooning memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "DecodeError",
+    "CorruptStreamError",
+    "TruncatedStreamError",
+    "UnsupportedFormatError",
+    "ResourceLimitError",
+    "ResourceLimits",
+    "DEFAULT_LIMITS",
+    "decode_guard",
+]
+
+
+class DecodeError(Exception):
+    """Root of the decode-side error taxonomy.
+
+    Anything a decoder raises because of the *input bytes* (rather than a
+    bug or an environmental failure) is a ``DecodeError``.
+    """
+
+
+class CorruptStreamError(DecodeError, ValueError):
+    """The input is structurally invalid: a CRC mismatch, an impossible
+    count, an out-of-range index, an invalid Huffman code..."""
+
+
+class TruncatedStreamError(CorruptStreamError, EOFError):
+    """The input ends before the structure it promised (a cut-off
+    download); a special case of corruption worth distinguishing because
+    streaming callers may retry with more data."""
+
+
+class UnsupportedFormatError(DecodeError, ValueError):
+    """The container is recognizably *not for this decoder*: wrong magic
+    or a format version newer than we speak."""
+
+
+class ResourceLimitError(DecodeError, ValueError):
+    """Decoding would exceed the configured resource budget; raised before
+    the offending allocation happens."""
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Ceilings a decoder enforces against attacker-controlled counts.
+
+    The defaults are an order of magnitude above anything the benchmark
+    corpus produces, so real artifacts never trip them, while a forged
+    32-bit count fails fast instead of allocating gigabytes.
+    """
+
+    max_streams: int = 4096          # entries in a multi-stream container
+    max_symbols: int = 1 << 24       # symbols per entropy-coded stream
+    max_alphabet: int = 1 << 20      # Huffman code-length table entries
+    max_decoded_bytes: int = 1 << 28 # total bytes a container may expand to
+    max_name_bytes: int = 1 << 16    # any single name/string field
+    max_patterns: int = 1 << 20      # dictionary entries in a BRISC image
+    max_functions: int = 1 << 18     # functions per module/image
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 1:
+                raise ValueError(f"{name} must be positive")
+
+    def check(self, what: str, value: int, bound: int) -> None:
+        """Raise :class:`ResourceLimitError` when ``value`` exceeds ``bound``."""
+        if value > bound:
+            raise ResourceLimitError(
+                f"{what} {value} exceeds the limit of {bound}")
+
+
+DEFAULT_LIMITS = ResourceLimits()
+
+# Exceptions a decode boundary converts into the typed taxonomy.  TypeError
+# and arithmetic errors are included deliberately: a malformed blob can
+# steer well-typed reader code into any of these, and the contract is that
+# *no* untyped exception escapes a decoder.
+_UNTYPED = (
+    ValueError, KeyError, IndexError, TypeError, OverflowError,
+    ZeroDivisionError, UnicodeDecodeError, struct.error,
+)
+
+
+@contextmanager
+def decode_guard(what: str = "container"):
+    """Convert stray exceptions at a decode boundary into typed errors.
+
+    Targeted bounds checks inside the readers produce the precise error;
+    this guard is the backstop that upholds the "only ``DecodeError``
+    escapes a decoder" contract even for paths those checks miss.
+    ``DecodeError`` passes through untouched.
+    """
+    try:
+        yield
+    except DecodeError:
+        raise
+    except EOFError as exc:
+        raise TruncatedStreamError(f"truncated {what}: {exc}") from exc
+    except _UNTYPED as exc:
+        raise CorruptStreamError(
+            f"corrupt {what}: {type(exc).__name__}: {exc}") from exc

@@ -1,0 +1,212 @@
+"""Deterministic fault injection for the decode path.
+
+The robustness contract of this reproduction is simple to state: feed any
+decoder any bytes, and it either returns the exact artifact it was given
+(the mutation hit dead space or cancelled out) or raises a typed
+:class:`~repro.errors.DecodeError` — promptly.  No ``IndexError`` leaking
+out of a slice, no silent wrong answer, no unbounded loop chewing on a
+forged length field.
+
+This module is the harness that checks the contract.  It mutates a known
+good container with a small family of byte-level faults — single bit
+flips, truncations, byte deletions, duplications, and adjacent swaps (the
+classic transmission/storage error shapes) — and classifies what the
+decoder does with each mutant:
+
+``intact``
+    decoded successfully to a value canonically equal to the original;
+``detected``
+    raised a :class:`DecodeError` subclass — the desired outcome;
+``unchanged``
+    the mutation produced the identical blob (e.g. swapping equal bytes);
+``untyped``
+    raised anything *outside* the taxonomy — a contract violation;
+``wrong_answer``
+    decoded "successfully" to a different value — silent corruption;
+``hang``
+    did not return within the deadline.
+
+All randomness comes from a seeded :class:`random.Random`, so a failing
+mutation index reproduces exactly; there is no wall-clock randomness
+anywhere.  The CLI front end lives in ``python -m repro fuzz``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .errors import DecodeError
+
+__all__ = [
+    "MUTATION_KINDS",
+    "FuzzFailure",
+    "FuzzReport",
+    "apply_mutation",
+    "fuzz_decoder",
+]
+
+MUTATION_KINDS = ("bit_flip", "truncate", "delete", "duplicate", "swap")
+
+FAILURE_OUTCOMES = ("untyped", "wrong_answer", "hang")
+
+
+def apply_mutation(blob: bytes, kind: str, rng: Random) -> bytes:
+    """Apply one ``kind`` of fault to ``blob`` at a position drawn from
+    ``rng``; pure function of its inputs."""
+    if kind not in MUTATION_KINDS:
+        raise ValueError(f"unknown mutation kind {kind!r}")
+    if not blob:
+        return blob
+    if kind == "bit_flip":
+        i = rng.randrange(len(blob))
+        return blob[:i] + bytes([blob[i] ^ (1 << rng.randrange(8))]) + blob[i + 1:]
+    if kind == "truncate":
+        return blob[: rng.randrange(len(blob))]
+    if kind == "delete":
+        i = rng.randrange(len(blob))
+        return blob[:i] + blob[i + 1:]
+    if kind == "duplicate":
+        i = rng.randrange(len(blob))
+        return blob[: i + 1] + blob[i : i + 1] + blob[i + 1:]
+    # swap two adjacent bytes
+    if len(blob) < 2:
+        return blob
+    i = rng.randrange(len(blob) - 1)
+    return blob[:i] + blob[i + 1 : i + 2] + blob[i : i + 1] + blob[i + 2:]
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One contract-violating mutation, with enough detail to replay it."""
+
+    target: str
+    kind: str
+    index: int        # mutation ordinal: re-runs reproduce it exactly
+    outcome: str      # "untyped" | "wrong_answer" | "hang"
+    detail: str
+
+
+@dataclass
+class FuzzReport:
+    """Outcome histogram of one fuzzing run against one container."""
+
+    target: str
+    seed: int
+    mutations: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{name}={self.counts.get(name, 0)}"
+            for name in ("intact", "detected", "unchanged") + FAILURE_OUTCOMES
+            if self.counts.get(name, 0)
+        )
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (f"{self.target}: {self.mutations} mutations "
+                f"(seed {self.seed}): {parts} -> {status}")
+
+
+def _call_with_deadline(
+    decode: Callable[[bytes], object], blob: bytes, deadline: float
+) -> Tuple[str, object]:
+    """Run ``decode(blob)`` on a watchdog thread.
+
+    Returns ("value", result), ("error", exception), or ("hang", None).
+    A hung decode leaks its (daemon) thread — acceptable for a test
+    harness, and the only way to keep the sweep moving without signals.
+    """
+    box: Dict[str, object] = {}
+
+    def run() -> None:
+        try:
+            box["value"] = decode(blob)
+        except BaseException as exc:  # noqa: BLE001 - classified by caller
+            box["error"] = exc
+
+    worker = threading.Thread(target=run, daemon=True)
+    worker.start()
+    worker.join(deadline)
+    if worker.is_alive():
+        return "hang", None
+    if "error" in box:
+        return "error", box["error"]
+    return "value", box["value"]
+
+
+def fuzz_decoder(
+    blob: bytes,
+    decode: Callable[[bytes], object],
+    *,
+    target: str = "container",
+    mutations: int = 500,
+    seed: int = 0,
+    deadline: float = 10.0,
+    kinds: Sequence[str] = MUTATION_KINDS,
+    canonical: Optional[Callable[[object], object]] = None,
+) -> FuzzReport:
+    """Sweep ``mutations`` seeded faults over ``blob`` through ``decode``.
+
+    ``decode`` must decode the *unmutated* blob successfully; its result
+    (projected through ``canonical`` when given — use this when decoded
+    objects need normalization before ``==`` is meaningful) is the
+    reference against which surviving mutants are compared.  Mutation
+    kinds are cycled round-robin so every kind gets ~equal coverage.
+    """
+    if mutations < 1:
+        raise ValueError("mutations must be positive")
+    if not kinds:
+        raise ValueError("at least one mutation kind required")
+    project = canonical if canonical is not None else (lambda value: value)
+    reference = project(decode(bytes(blob)))
+    rng = Random(seed)
+    report = FuzzReport(target=target, seed=seed, mutations=mutations)
+
+    def bump(outcome: str) -> None:
+        report.counts[outcome] = report.counts.get(outcome, 0) + 1
+
+    for index in range(mutations):
+        kind = kinds[index % len(kinds)]
+        mutated = apply_mutation(bytes(blob), kind, rng)
+        if mutated == blob:
+            bump("unchanged")
+            continue
+        status, payload = _call_with_deadline(decode, mutated, deadline)
+        if status == "hang":
+            bump("hang")
+            report.failures.append(FuzzFailure(
+                target, kind, index, "hang",
+                f"no result within {deadline}s"))
+        elif status == "error":
+            if isinstance(payload, DecodeError):
+                bump("detected")
+            else:
+                bump("untyped")
+                report.failures.append(FuzzFailure(
+                    target, kind, index, "untyped",
+                    f"{type(payload).__name__}: {payload}"))
+        else:
+            try:
+                same = project(payload) == reference
+            except Exception as exc:  # canonicalization itself blew up
+                same = False
+                bump("untyped")
+                report.failures.append(FuzzFailure(
+                    target, kind, index, "untyped",
+                    f"canonicalization failed: {type(exc).__name__}: {exc}"))
+                continue
+            if same:
+                bump("intact")
+            else:
+                bump("wrong_answer")
+                report.failures.append(FuzzFailure(
+                    target, kind, index, "wrong_answer",
+                    "decode succeeded with a different artifact"))
+    return report

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional
 
+from ..errors import DecodeError
 from .artifacts import Artifact
 
 __all__ = [
@@ -102,20 +103,36 @@ class DiskCache(ArtifactCache):
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def _drop(self, path: Path) -> None:
+        """Best-effort removal of a bad entry so it is not retried."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[Artifact]:
         path = self._path(key)
         try:
             with open(path, "rb") as f:
                 artifact = pickle.load(f)
+        except DecodeError:
+            # A payload's own integrity checks fired while materializing
+            # (e.g. a CRC-framed container embedded in the artifact): the
+            # entry is corrupt on disk, so remove it and recompile.
+            self._drop(path)
+            self.misses += 1
+            return None
         # Unpickling arbitrary corrupt bytes can raise nearly anything
         # (UnpicklingError, ValueError, EOFError, ImportError, ...); any
         # unreadable entry is simply a miss.
         except Exception:
             if path.exists():
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                self._drop(path)
+            self.misses += 1
+            return None
+        if not isinstance(artifact, Artifact):
+            # Readable pickle, wrong shape (stale schema or foreign file).
+            self._drop(path)
             self.misses += 1
             return None
         self.hits += 1

@@ -14,6 +14,8 @@ from __future__ import annotations
 import hashlib
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -27,7 +29,11 @@ __all__ = ["SCHEMA_VERSION", "StageStats", "Toolchain"]
 
 #: Bump to invalidate every cached artifact (on-disk entries included)
 #: whenever a stage's output format changes incompatibly.
-SCHEMA_VERSION = "1"
+SCHEMA_VERSION = "2"  # "2": wire/BRISC containers grew version+CRC framing
+
+#: Failures that mean "this host cannot run a process pool at all"
+#: (sandboxes without semaphores, missing _multiprocessing, ...).
+_POOL_UNAVAILABLE = (OSError, PermissionError, ImportError)
 
 
 @dataclass
@@ -142,6 +148,7 @@ class Toolchain:
         workers: Optional[int] = None,
         stages: Optional[Sequence[str]] = None,
         config: Optional[PipelineConfig] = None,
+        timeout: Optional[float] = None,
     ) -> List[BatchItem]:
         """Compile ``(name, source)`` units, optionally in parallel.
 
@@ -152,60 +159,113 @@ class Toolchain:
         higher values use a :class:`ProcessPoolExecutor`, falling back to
         serial execution where process pools are unavailable.  Worker
         artifacts are folded back into this toolchain's cache and stats.
+
+        Resilience: ``timeout`` bounds the seconds one unit may take in a
+        worker — an overdue unit becomes an error item (``error_type``
+        ``"Timeout"``) instead of stalling the batch.  If the pool dies
+        underneath the batch (a worker killed by the OS), the unfinished
+        units get one fresh pool; after a second death they finish on the
+        serial path, which cannot enforce ``timeout``.
         """
         unit_list = [(str(name), source) for name, source in units]
         if workers is not None and workers > 1 and unit_list:
             try:
                 return self._compile_parallel(unit_list, workers, stages,
-                                              config)
-            except (OSError, PermissionError, ImportError):
+                                              config, timeout)
+            except _POOL_UNAVAILABLE:
                 pass  # no process support (sandbox, missing semaphores)
         return self._compile_serial(unit_list, stages, config)
 
-    def _compile_serial(self, unit_list, stages, config) -> List[BatchItem]:
-        items: List[BatchItem] = []
-        for i, (name, source) in enumerate(unit_list):
-            t0 = time.perf_counter()
-            try:
-                result = self.compile(source, name=name, stages=stages,
-                                      config=config)
-                items.append(BatchItem(index=i, unit=name, result=result,
-                                       seconds=time.perf_counter() - t0))
-            except CompileError as exc:
-                items.append(BatchItem(index=i, unit=name, error=str(exc),
-                                       error_type=type(exc).__name__,
-                                       seconds=time.perf_counter() - t0))
-        return items
+    def _compile_serial(self, unit_list, stages, config,
+                        start: int = 0) -> List[BatchItem]:
+        return [
+            self._serial_item(start + i, name, source, stages, config)
+            for i, (name, source) in enumerate(unit_list)
+        ]
 
-    def _compile_parallel(self, unit_list, workers, stages,
-                          config) -> List[BatchItem]:
+    def _serial_item(self, index, name, source, stages, config) -> BatchItem:
+        t0 = time.perf_counter()
+        try:
+            result = self.compile(source, name=name, stages=stages,
+                                  config=config)
+            return BatchItem(index=index, unit=name, result=result,
+                             seconds=time.perf_counter() - t0)
+        except CompileError as exc:
+            return BatchItem(index=index, unit=name, error=str(exc),
+                             error_type=type(exc).__name__,
+                             seconds=time.perf_counter() - t0)
+
+    def _compile_parallel(self, unit_list, workers, stages, config,
+                          timeout) -> List[BatchItem]:
         config = config or self.config
         stage_names = tuple(stages) if stages is not None else None
-        items: List[BatchItem] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_compile_worker, name, source, config, stage_names)
-                for name, source in unit_list
-            ]
-            for i, ((name, _), future) in enumerate(zip(unit_list, futures)):
-                outcome = future.result()
-                if outcome[0] == "ok":
-                    _, result, worker_stats, seconds = outcome
-                    for artifact in result.artifacts.values():
-                        self.cache.put(artifact.key, artifact)
-                    for stage_name, stat in worker_stats.items():
-                        mine = self._stats[stage_name]
-                        mine.runs += stat["runs"]
-                        mine.seconds += stat["seconds"]
-                        mine.bytes_out += stat["bytes"]
-                    items.append(BatchItem(index=i, unit=name, result=result,
-                                           seconds=seconds))
-                else:
-                    _, error_type, message, seconds = outcome
-                    items.append(BatchItem(index=i, unit=name, error=message,
-                                           error_type=error_type,
-                                           seconds=seconds))
-        return items
+        items: Dict[int, BatchItem] = {}
+        pending = list(enumerate(unit_list))
+        # First pool, plus one fresh pool after a transient worker death or
+        # a timed-out (possibly wedged) worker.
+        for _ in range(2):
+            if not pending:
+                break
+            pending = self._pool_pass(pending, workers, stage_names, config,
+                                      timeout, items)
+        for index, (name, source) in pending:  # degraded: finish serially
+            items[index] = self._serial_item(index, name, source, stage_names,
+                                             config)
+        return [items[index] for index in sorted(items)]
+
+    def _pool_pass(self, pending, workers, stage_names, config, timeout,
+                   items) -> List[Tuple[int, Tuple[str, str]]]:
+        """Run one pool over ``pending`` units, recording finished items.
+
+        Returns the units still owed a result because the pool broke or a
+        unit timed out (the timed-out unit itself is recorded as an error
+        and not returned — its worker may be wedged for good).
+        """
+        remaining = dict(pending)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {
+                index: pool.submit(_compile_worker, name, source, config,
+                                   stage_names)
+                for index, (name, source) in pending
+            }
+            for index, (name, _) in pending:
+                try:
+                    outcome = futures[index].result(timeout=timeout)
+                except FutureTimeout:
+                    items[index] = BatchItem(
+                        index=index, unit=name,
+                        error=f"unit exceeded the {timeout}s timeout",
+                        error_type="Timeout", seconds=float(timeout))
+                    del remaining[index]
+                    return sorted(remaining.items())
+                except BrokenProcessPool:
+                    return sorted(remaining.items())
+                self._fold_outcome(index, name, outcome, items)
+                del remaining[index]
+        except BrokenProcessPool:  # died during submission
+            return sorted(remaining.items())
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return []
+
+    def _fold_outcome(self, index, name, outcome, items) -> None:
+        """Record one worker outcome, folding artifacts into our cache."""
+        if outcome[0] == "ok":
+            _, result, worker_stats, seconds = outcome
+            for artifact in result.artifacts.values():
+                self.cache.put(artifact.key, artifact)
+            for stage_name, stat in worker_stats.items():
+                mine = self._stats[stage_name]
+                mine.runs += stat["runs"]
+                mine.seconds += stat["seconds"]
+                mine.bytes_out += stat["bytes"]
+            items[index] = BatchItem(index=index, unit=name, result=result,
+                                     seconds=seconds)
+        else:
+            _, error_type, message, seconds = outcome
+            items[index] = BatchItem(index=index, unit=name, error=message,
+                                     error_type=error_type, seconds=seconds)
 
     # -- stats ------------------------------------------------------------
 

@@ -3,12 +3,12 @@ transmission (wire/modem/LAN delivery) and memory (paging/working set)."""
 
 from .network import (
     DSL_1M, ISDN_128K, LAN_10M, MODEM_28_8, DeliveryResult, Link,
-    Representation, delivery_time,
+    Representation, RetryPolicy, delivery_time,
 )
 from .paging import PagingConfig, PagingResult, paging_run, working_set_pages
 
 __all__ = [
     "DSL_1M", "ISDN_128K", "LAN_10M", "MODEM_28_8", "DeliveryResult",
     "Link", "PagingConfig", "PagingResult", "Representation",
-    "delivery_time", "paging_run", "working_set_pages",
+    "RetryPolicy", "delivery_time", "paging_run", "working_set_pages",
 ]

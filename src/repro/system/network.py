@@ -11,6 +11,14 @@ and its preparation pipeline (decompress and/or JIT at measured rates), it
 computes time-to-first-useful-work over links from 28.8 kbaud modems to
 LANs, with optional overlap of download and preparation (streamed
 recompilation, which is what masks JIT time).
+
+Links may also be *lossy*: a per-chunk corruption probability models a
+noisy modem line, and a :class:`RetryPolicy` (bounded retries with
+exponential backoff) turns that loss rate into expected retransmissions,
+expected retry time, and an end-to-end delivery probability.  The CRC
+framing of the containers (see :mod:`repro.errors`) is what makes this
+model honest: a corrupted chunk is *detected* and re-requested rather
+than silently decoded.
 """
 
 from __future__ import annotations
@@ -18,23 +26,69 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-__all__ = ["Link", "Representation", "DeliveryResult", "delivery_time",
+__all__ = ["Link", "Representation", "RetryPolicy", "DeliveryResult",
+           "delivery_time",
            "MODEM_28_8", "ISDN_128K", "DSL_1M", "LAN_10M"]
 
 
 @dataclass(frozen=True)
 class Link:
-    """A transmission medium."""
+    """A transmission medium.
+
+    ``corruption_probability`` is the chance any one retransmission unit
+    (see :attr:`RetryPolicy.chunk_bytes`) arrives damaged and fails its
+    CRC; 0.0 models the original lossless link.
+    """
 
     name: str
     bytes_per_second: float
     latency_seconds: float = 0.0
+    corruption_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_second <= 0:
+            raise ValueError(
+                f"bytes_per_second must be positive, got {self.bytes_per_second}")
+        if self.latency_seconds < 0:
+            raise ValueError(
+                f"latency_seconds must be >= 0, got {self.latency_seconds}")
+        if not 0.0 <= self.corruption_probability < 1.0:
+            raise ValueError(
+                "corruption_probability must be in [0, 1), got "
+                f"{self.corruption_probability}")
 
 
 MODEM_28_8 = Link("28.8k modem", 28_800 / 8, 0.1)
 ISDN_128K = Link("128k ISDN", 128_000 / 8, 0.05)
 DSL_1M = Link("1M DSL", 1_000_000 / 8, 0.03)
 LAN_10M = Link("10M LAN", 10_000_000 / 8, 0.001)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded per-chunk retransmission with exponential backoff.
+
+    A chunk is attempted at most ``1 + max_retries`` times; retry *k*
+    (1-based) waits ``backoff_seconds * backoff_factor**(k - 1)`` before
+    re-requesting.
+    """
+
+    max_retries: int = 3
+    backoff_seconds: float = 0.5
+    backoff_factor: float = 2.0
+    chunk_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.chunk_bytes < 1:
+            raise ValueError(f"chunk_bytes must be >= 1, got {self.chunk_bytes}")
 
 
 @dataclass(frozen=True)
@@ -54,10 +108,26 @@ class Representation:
     jit_rate: Optional[float] = None
     native_bytes: int = 0
 
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+        if self.native_bytes < 0:
+            raise ValueError(
+                f"native_bytes must be >= 0, got {self.native_bytes}")
+        if self.decompress_rate is not None and self.decompress_rate <= 0:
+            raise ValueError(
+                f"decompress_rate must be positive, got {self.decompress_rate}")
+        if self.jit_rate is not None and self.jit_rate <= 0:
+            raise ValueError(f"jit_rate must be positive, got {self.jit_rate}")
+
 
 @dataclass
 class DeliveryResult:
-    """Latency breakdown for one (representation, link) pair."""
+    """Latency breakdown for one (representation, link) pair.
+
+    The retry fields are neutral (0 retransmissions, probability 1) over a
+    lossless link, so existing callers see the original arithmetic.
+    """
 
     representation: str
     link: str
@@ -65,18 +135,61 @@ class DeliveryResult:
     prepare_seconds: float
     total_seconds: float
     overlapped: bool
+    expected_retransmissions: float = 0.0
+    retry_seconds: float = 0.0
+    delivery_probability: float = 1.0
+
+
+def _retry_accounting(
+    rep: Representation, link: Link, policy: RetryPolicy
+) -> tuple:
+    """(expected retransmissions, expected retry seconds, P[delivered]).
+
+    Per chunk the attempt count follows a geometric distribution truncated
+    at ``1 + max_retries`` tries: with per-attempt corruption probability
+    *p*, the expected number of attempts consumed is
+    ``sum(p**k for k in 0..R) = (1 - p**(R+1)) / (1 - p)`` and the chunk
+    survives with probability ``1 - p**(R+1)``.
+    """
+    p = link.corruption_probability
+    if p == 0.0 or rep.size_bytes == 0:
+        return 0.0, 0.0, 1.0
+    chunks = -(-rep.size_bytes // policy.chunk_bytes)  # ceil division
+    attempts_allowed = policy.max_retries + 1
+    expected_attempts = (1.0 - p ** attempts_allowed) / (1.0 - p)
+    retrans_per_chunk = expected_attempts - 1.0
+    # Retry k happens iff the first k attempts all failed (prob p**k) and
+    # waits backoff * factor**(k-1) before the chunk goes out again.
+    backoff_per_chunk = sum(
+        (p ** k) * policy.backoff_seconds * policy.backoff_factor ** (k - 1)
+        for k in range(1, policy.max_retries + 1)
+    )
+    retransmissions = chunks * retrans_per_chunk
+    resend_seconds = (retransmissions * policy.chunk_bytes
+                      / link.bytes_per_second)
+    retry_seconds = resend_seconds + chunks * backoff_per_chunk
+    delivery_probability = (1.0 - p ** attempts_allowed) ** chunks
+    return retransmissions, retry_seconds, delivery_probability
 
 
 def delivery_time(
-    rep: Representation, link: Link, overlap: bool = True
+    rep: Representation,
+    link: Link,
+    overlap: bool = True,
+    retry: Optional[RetryPolicy] = None,
 ) -> DeliveryResult:
     """Time from request until the program can start running.
 
     With ``overlap`` the client pipelines preparation with the download
     (function-at-a-time decompression / streamed recompilation), so total
     time is ``latency + max(transfer, prepare) + epsilon``; without it the
-    phases serialize.
+    phases serialize.  Over a lossy link the expected retransmission and
+    backoff time is added to the transfer side of that race (retries
+    prolong the download, not the client-side preparation).
     """
+    policy = retry if retry is not None else RetryPolicy()
+    retransmissions, retry_seconds, delivered = _retry_accounting(
+        rep, link, policy)
     transfer = rep.size_bytes / link.bytes_per_second
     prepare = 0.0
     if rep.decompress_rate:
@@ -84,9 +197,9 @@ def delivery_time(
     if rep.jit_rate:
         prepare += rep.native_bytes / rep.jit_rate
     if overlap:
-        total = link.latency_seconds + max(transfer, prepare)
+        total = link.latency_seconds + max(transfer + retry_seconds, prepare)
     else:
-        total = link.latency_seconds + transfer + prepare
+        total = link.latency_seconds + transfer + retry_seconds + prepare
     return DeliveryResult(
         representation=rep.name,
         link=link.name,
@@ -94,4 +207,7 @@ def delivery_time(
         prepare_seconds=prepare,
         total_seconds=total,
         overlapped=overlap,
+        expected_retransmissions=retransmissions,
+        retry_seconds=retry_seconds,
+        delivery_probability=delivered,
     )

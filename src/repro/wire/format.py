@@ -18,12 +18,16 @@ the only — purely internal — renaming).
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..compress import huffman
-from ..compress.bitio import read_uvarint, write_uvarint
+from ..compress.bitio import read_uvarint, take_bytes, write_uvarint
 from ..compress.mtf import mtf_decode, mtf_encode
 from ..compress.streams import pack_streams, unpack_streams
+from ..errors import (
+    CorruptStreamError, DEFAULT_LIMITS, ResourceLimits,
+    TruncatedStreamError, UnsupportedFormatError, decode_guard,
+)
 from ..ir.ops import op
 from ..ir.tree import GlobalData, IRFunction, IRModule, PtrInit, ScalarInit
 from .patternize import (
@@ -33,7 +37,13 @@ from .patternize import (
 
 __all__ = ["encode_module", "decode_module", "wire_size", "stream_breakdown"]
 
-_MAGIC = b"WIR1"
+# The fourth magic byte is the container version: "WIR1" blobs (the seed
+# format) carry no checksums and remain readable; "WIR2" blobs checksum
+# every stream (CRC32, verified before decode).  Anything else is rejected
+# with UnsupportedFormatError.
+_MAGIC_PREFIX = b"WIR"
+_MAGIC_V1 = b"WIR1"
+_MAGIC = b"WIR2"
 
 
 # ---------------------------------------------------------------------------
@@ -49,6 +59,11 @@ def _pack_int_novels(values: List[int]) -> bytes:
 
 
 def _unpack_int_novels(data: bytes, count: int) -> List[int]:
+    # Each novel costs at least one byte, so the count cannot exceed the
+    # bytes available — reject forged counts before allocating.
+    if count > len(data):
+        raise TruncatedStreamError(
+            f"novel stream promises {count} ints, only {len(data)} bytes")
     values: List[int] = []
     pos = 0
     for _ in range(count):
@@ -67,12 +82,17 @@ def _pack_str_novels(values: List[str]) -> bytes:
 
 
 def _unpack_str_novels(data: bytes, count: int) -> List[str]:
+    if count > len(data):
+        raise TruncatedStreamError(
+            f"novel stream promises {count} strings, only {len(data)} bytes")
     values: List[str] = []
     pos = 0
     for _ in range(count):
         n, pos = read_uvarint(data, pos)
-        values.append(data[pos : pos + n].decode("utf-8"))
-        pos += n
+        DEFAULT_LIMITS.check("string novel length", n,
+                             DEFAULT_LIMITS.max_name_bytes)
+        raw, pos = take_bytes(data, pos, n, "string novel")
+        values.append(raw.decode("utf-8"))
     return values
 
 
@@ -81,6 +101,9 @@ def _pack_float_novels(values: List[float]) -> bytes:
 
 
 def _unpack_float_novels(data: bytes, count: int) -> List[float]:
+    if count * 8 > len(data):
+        raise TruncatedStreamError(
+            f"novel stream promises {count} doubles, only {len(data)} bytes")
     return [struct.unpack_from("<d", data, i * 8)[0] for i in range(count)]
 
 
@@ -107,20 +130,34 @@ def _pack_pattern_novels(patterns: List[Pattern]) -> bytes:
 def _unpack_pattern_novels(data: bytes, count: int) -> List[Pattern]:
     from ..ir.ops import OPS
 
+    if count > len(data):
+        raise TruncatedStreamError(
+            f"novel stream promises {count} patterns, only {len(data)} bytes")
     by_opcode = {o.opcode: o.name for o in OPS.values()}
     patterns: List[Pattern] = []
     pos = 0
     for _ in range(count):
         n, pos = read_uvarint(data, pos)
+        if n > len(data) - pos:
+            raise TruncatedStreamError(
+                f"pattern promises {n} operators, stream too short")
         syms = []
         for _ in range(n):
+            if pos >= len(data):
+                raise TruncatedStreamError("truncated pattern novel")
             byte = data[pos]
             pos += 1
+            opcode = byte & 0x7F
+            name = by_opcode.get(opcode)
+            if name is None:
+                raise CorruptStreamError(f"unknown opcode {opcode} in pattern")
             if byte & 0x80:
-                syms.append((by_opcode[byte & 0x7F], data[pos]))
+                if pos >= len(data):
+                    raise TruncatedStreamError("pattern missing width byte")
+                syms.append((name, data[pos]))
                 pos += 1
             else:
-                syms.append((by_opcode[byte], 0))
+                syms.append((name, 0))
         patterns.append(tuple(syms))
     return patterns
 
@@ -138,8 +175,10 @@ def _encode_mtf_stream(values: List) -> Tuple[bytes, List]:
     return packed, novels
 
 
-def _decode_mtf_stream(index_bytes: bytes, novels: List) -> List:
-    indices = huffman.decode_symbols(index_bytes)
+def _decode_mtf_stream(
+    index_bytes: bytes, novels: List, limits: Optional[ResourceLimits] = None
+) -> List:
+    indices = huffman.decode_symbols(index_bytes, limits)
     return mtf_decode(indices, novels)
 
 
@@ -193,49 +232,73 @@ def _pack_meta(module: IRModule, tree_counts: List[int]) -> bytes:
     return bytes(out)
 
 
-def _unpack_meta(data: bytes) -> Tuple[IRModule, List[int]]:
-    pos = 0
+def _read_name(data: bytes, pos: int, what: str) -> Tuple[str, int]:
     n, pos = read_uvarint(data, pos)
-    module = IRModule(data[pos : pos + n].decode("utf-8"))
-    pos += n
+    DEFAULT_LIMITS.check(f"{what} length", n, DEFAULT_LIMITS.max_name_bytes)
+    raw, pos = take_bytes(data, pos, n, what)
+    return raw.decode("utf-8"), pos
+
+
+def _read_byte(data: bytes, pos: int, what: str) -> Tuple[int, int]:
+    if pos >= len(data):
+        raise TruncatedStreamError(f"meta stream ends before {what}")
+    return data[pos], pos + 1
+
+
+def _unpack_meta(
+    data: bytes, limits: Optional[ResourceLimits] = None
+) -> Tuple[IRModule, List[int]]:
+    limits = limits or DEFAULT_LIMITS
+    name, pos = _read_name(data, 0, "module name")
+    module = IRModule(name)
     nglobals, pos = read_uvarint(data, pos)
+    if nglobals > len(data) - pos:  # every global costs several bytes
+        raise TruncatedStreamError(
+            f"meta promises {nglobals} globals, stream too short")
     for _ in range(nglobals):
-        n, pos = read_uvarint(data, pos)
-        name = data[pos : pos + n].decode("utf-8")
-        pos += n
+        name, pos = _read_name(data, pos, "global name")
         size, pos = read_uvarint(data, pos)
         align, pos = read_uvarint(data, pos)
-        is_string = bool(data[pos])
-        pos += 1
+        flag, pos = _read_byte(data, pos, "global flags")
+        is_string = bool(flag)
         nitems, pos = read_uvarint(data, pos)
+        if nitems > len(data) - pos:
+            raise TruncatedStreamError(
+                f"global {name!r} promises {nitems} items, stream too short")
         g = GlobalData(name, size, align, is_string=is_string)
         for _ in range(nitems):
-            tag = data[pos]
-            pos += 1
+            tag, pos = _read_byte(data, pos, "initializer tag")
             offset, pos = read_uvarint(data, pos)
             if tag == 0:
                 isize, pos = read_uvarint(data, pos)
                 z, pos = read_uvarint(data, pos)
                 g.items.append(ScalarInit(offset, isize, unzigzag(z)))
             elif tag == 1:
-                value = struct.unpack_from("<d", data, pos)[0]
-                pos += 8
-                g.items.append(ScalarInit(offset, 8, value))
+                raw, pos = take_bytes(data, pos, 8, "double initializer")
+                g.items.append(ScalarInit(offset, 8,
+                                          struct.unpack("<d", raw)[0]))
+            elif tag == 2:
+                symbol, pos = _read_name(data, pos, "pointer symbol")
+                g.items.append(PtrInit(offset, symbol))
             else:
-                n, pos = read_uvarint(data, pos)
-                g.items.append(PtrInit(offset, data[pos : pos + n].decode("utf-8")))
-                pos += n
+                raise CorruptStreamError(f"unknown initializer tag {tag}")
         module.globals.append(g)
     nfuncs, pos = read_uvarint(data, pos)
+    limits.check("function count", nfuncs, limits.max_functions)
+    if nfuncs > len(data) - pos:
+        raise TruncatedStreamError(
+            f"meta promises {nfuncs} functions, stream too short")
     tree_counts: List[int] = []
     for _ in range(nfuncs):
-        n, pos = read_uvarint(data, pos)
-        name = data[pos : pos + n].decode("utf-8")
-        pos += n
+        name, pos = _read_name(data, pos, "function name")
         frame_size, pos = read_uvarint(data, pos)
-        ret_suffix = chr(data[pos])
-        pos += 1
+        suffix_byte, pos = _read_byte(data, pos, "return suffix")
+        ret_suffix = chr(suffix_byte)
         nparams, pos = read_uvarint(data, pos)
+        if nparams > len(data) - pos:
+            raise TruncatedStreamError(
+                f"function {name!r} promises {nparams} params, "
+                "stream too short")
         params = []
         for _ in range(nparams):
             size, pos = read_uvarint(data, pos)
@@ -291,7 +354,7 @@ def _op_names():
 
 
 def encode_module(module: IRModule, compress: bool = True) -> bytes:
-    """Encode ``module`` into the wire format."""
+    """Encode ``module`` into the wire format (WIR2: per-stream CRC32)."""
     pattern_stream, literal_streams, tree_counts, normalized = (
         _collect_streams(module)
     )
@@ -340,53 +403,95 @@ def encode_module(module: IRModule, compress: bool = True) -> bytes:
     blob.extend(_pack_str_novels(symtab))
     streams["symtab"] = bytes(blob)
 
-    return _MAGIC + pack_streams(streams, compress=compress)
+    return _MAGIC + pack_streams(streams, compress=compress, checksums=True)
 
 
-def decode_module(blob: bytes) -> IRModule:
-    """Decode a wire blob back into an IR module."""
-    if blob[:4] != _MAGIC:
-        raise ValueError("not a wire-format blob")
-    streams = unpack_streams(blob[4:])
-    module, tree_counts = _unpack_meta(streams["meta"])
+def _container_streams(
+    blob: bytes, limits: Optional[ResourceLimits] = None
+) -> Dict[str, bytes]:
+    """Validate the magic/version and unpack the stream container.
 
-    novel_data = streams["patterns.new"]
-    count, pos = read_uvarint(novel_data, 0)
-    novel_patterns = _unpack_pattern_novels(novel_data[pos:], count)
-    pattern_stream = _decode_mtf_stream(streams["patterns.idx"], novel_patterns)
+    ``WIR1`` (the seed format, no checksums) and ``WIR2`` (per-stream
+    CRC32) both decode; any other magic or version raises
+    :class:`~repro.errors.UnsupportedFormatError`.
+    """
+    if len(blob) < 4 or blob[:3] != _MAGIC_PREFIX:
+        raise UnsupportedFormatError("not a wire-format blob")
+    if blob[3:4] not in (b"1", b"2"):
+        raise UnsupportedFormatError(
+            f"wire container version {blob[3:4]!r} is not supported")
+    return unpack_streams(blob[4:], limits=limits)
 
-    symtab_blob = streams["symtab"]
-    count, pos = read_uvarint(symtab_blob, 0)
-    symtab = _unpack_str_novels(symtab_blob[pos:], count)
 
-    literal_streams: Dict[str, List] = {}
-    for name in streams:
-        if not name.startswith("lit.") or not name.endswith(".idx"):
-            continue
-        key = name[4:-4]
-        kind = _stream_kind(key)
-        novel_blob = streams[f"lit.{key}.new"]
-        count, pos = read_uvarint(novel_blob, 0)
-        if kind in ("label", "int", "sym"):
-            novels: List = _unpack_int_novels(novel_blob[pos:], count)
-        else:
-            novels = _unpack_float_novels(novel_blob[pos:], count)
-        values = _decode_mtf_stream(streams[name], novels)
-        if kind == "label":
-            values = [str(v) for v in values]
-        elif kind == "sym":
-            values = [symtab[v] for v in values]
-        literal_streams[key] = values
+def _required_stream(streams: Dict[str, bytes], name: str) -> bytes:
+    data = streams.get(name)
+    if data is None:
+        raise CorruptStreamError(f"container is missing the {name!r} stream")
+    return data
 
-    source = _LiteralSource(literal_streams)
-    cursor = 0
-    for fn, count in zip(module.functions, tree_counts):
-        for _ in range(count):
-            fn.forest.append(rebuild_tree(pattern_stream[cursor], source))
-            cursor += 1
-    if cursor != len(pattern_stream):
-        raise ValueError("pattern stream has trailing patterns")
-    return module
+
+def decode_module(
+    blob: bytes, limits: Optional[ResourceLimits] = None
+) -> IRModule:
+    """Decode a wire blob back into an IR module.
+
+    Every count, index, and length is validated against the remaining
+    input and against ``limits``; malformed blobs raise a typed
+    :class:`~repro.errors.DecodeError` subclass, never an untyped
+    exception.
+    """
+    limits = limits or DEFAULT_LIMITS
+    streams = _container_streams(blob, limits)
+    with decode_guard("wire module"):
+        module, tree_counts = _unpack_meta(
+            _required_stream(streams, "meta"), limits)
+
+        novel_data = _required_stream(streams, "patterns.new")
+        count, pos = read_uvarint(novel_data, 0)
+        novel_patterns = _unpack_pattern_novels(novel_data[pos:], count)
+        pattern_stream = _decode_mtf_stream(
+            _required_stream(streams, "patterns.idx"), novel_patterns, limits)
+
+        symtab_blob = _required_stream(streams, "symtab")
+        count, pos = read_uvarint(symtab_blob, 0)
+        symtab = _unpack_str_novels(symtab_blob[pos:], count)
+
+        literal_streams: Dict[str, List] = {}
+        for name in streams:
+            if not name.startswith("lit.") or not name.endswith(".idx"):
+                continue
+            key = name[4:-4]
+            kind = _stream_kind(key)
+            novel_blob = _required_stream(streams, f"lit.{key}.new")
+            count, pos = read_uvarint(novel_blob, 0)
+            if kind in ("label", "int", "sym"):
+                novels: List = _unpack_int_novels(novel_blob[pos:], count)
+            else:
+                novels = _unpack_float_novels(novel_blob[pos:], count)
+            values = _decode_mtf_stream(streams[name], novels, limits)
+            if kind == "label":
+                values = [str(v) for v in values]
+            elif kind == "sym":
+                resolved = []
+                for v in values:
+                    if not isinstance(v, int) or not 0 <= v < len(symtab):
+                        raise CorruptStreamError(
+                            f"symbol index {v!r} outside the symbol table")
+                    resolved.append(symtab[v])
+                values = resolved
+            literal_streams[key] = values
+
+        if sum(tree_counts) != len(pattern_stream):
+            raise CorruptStreamError(
+                f"function headers promise {sum(tree_counts)} trees but the "
+                f"pattern stream holds {len(pattern_stream)}")
+        source = _LiteralSource(literal_streams)
+        cursor = 0
+        for fn, count in zip(module.functions, tree_counts):
+            for _ in range(count):
+                fn.forest.append(rebuild_tree(pattern_stream[cursor], source))
+                cursor += 1
+        return module
 
 
 def wire_size(module: IRModule, code_only: bool = False) -> int:
@@ -402,7 +507,8 @@ def wire_size(module: IRModule, code_only: bool = False) -> int:
         return len(blob)
     streams = unpack_streams(blob[4:])
     without_meta = pack_streams(
-        {k: v for k, v in streams.items() if k not in ("meta", "symtab")})
+        {k: v for k, v in streams.items() if k not in ("meta", "symtab")},
+        checksums=True)
     return 4 + len(without_meta)
 
 

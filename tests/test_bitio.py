@@ -152,3 +152,62 @@ def test_uvarint_rejects_negative():
 def test_uvarint_truncated_raises():
     with pytest.raises(EOFError):
         read_uvarint(b"\x80", 0)
+
+
+# ---------------------------------------------------------------------------
+# typed errors and the take_bytes helper
+# ---------------------------------------------------------------------------
+
+from repro.compress.bitio import take_bytes
+from repro.errors import (
+    CorruptStreamError, DecodeError, TruncatedStreamError,
+)
+
+
+def test_take_bytes_slices_and_advances():
+    chunk, pos = take_bytes(b"abcdef", 1, 3, "chunk")
+    assert chunk == b"bcd" and pos == 4
+
+
+def test_take_bytes_zero_length():
+    chunk, pos = take_bytes(b"ab", 2, 0, "empty tail")
+    assert chunk == b"" and pos == 2
+
+
+def test_take_bytes_refuses_silent_truncation():
+    with pytest.raises(TruncatedStreamError) as exc_info:
+        take_bytes(b"abc", 1, 10, "promised payload")
+    assert "promised payload" in str(exc_info.value)
+
+
+def test_take_bytes_rejects_negative_count():
+    with pytest.raises(CorruptStreamError):
+        take_bytes(b"abc", 0, -1, "negative")
+
+
+def test_reader_eof_is_typed():
+    with pytest.raises(TruncatedStreamError):
+        BitReader(b"").read_bits(8)
+    with pytest.raises(TruncatedStreamError):
+        BitReader(b"\xff").read_bytes(2)
+
+
+def test_uvarint_errors_are_typed():
+    with pytest.raises(TruncatedStreamError):
+        read_uvarint(b"\x80", 0)
+    # An unterminated 10-byte varint is corruption, not just truncation.
+    with pytest.raises(DecodeError):
+        read_uvarint(b"\x80" * 11, 0)
+
+
+def test_typed_errors_still_look_like_builtins():
+    """Compatibility: callers catching EOFError/ValueError keep working."""
+    assert issubclass(TruncatedStreamError, EOFError)
+    assert issubclass(CorruptStreamError, ValueError)
+
+
+def test_bits_remaining_property():
+    reader = BitReader(b"\xab\xcd")
+    assert reader.bits_remaining == 16
+    reader.read_bits(5)
+    assert reader.bits_remaining == 11

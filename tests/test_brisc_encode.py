@@ -131,3 +131,51 @@ class TestRandomAccess:
         for fn in image.functions:
             pattern, instrs, _ = decode_slot(image, fn, 0, CTX_ENTRY, names)
             assert instrs[0].name == "enter"
+
+
+class TestContainerIntegrity:
+    """BRI2 framing: version byte, whole-payload CRC, legacy decode."""
+
+    def test_new_images_are_bri2_with_crc(self):
+        import zlib
+
+        blob = compress(compile_sample("wc")).image.blob
+        assert blob[:4] == b"BRI2"
+        stored = int.from_bytes(blob[4:8], "little")
+        assert zlib.crc32(blob[8:]) == stored
+
+    def test_legacy_bri1_images_still_decode(self):
+        blob = compress(compile_sample("wc")).image.blob
+        legacy = b"BRI1" + blob[8:]  # strip the CRC, downgrade the magic
+        assert decompress(legacy) == decompress(blob)
+
+    def test_unknown_version_rejected(self):
+        from repro.errors import UnsupportedFormatError
+
+        blob = compress(compile_sample("wc")).image.blob
+        with pytest.raises(UnsupportedFormatError):
+            parse_image(b"BRI9" + blob[4:])
+
+    def test_crc_catches_payload_corruption(self):
+        from repro.errors import CorruptStreamError
+
+        blob = bytearray(compress(compile_sample("wc")).image.blob)
+        blob[len(blob) // 2] ^= 0x01
+        with pytest.raises(CorruptStreamError):
+            parse_image(bytes(blob))
+
+    def test_truncation_is_typed(self):
+        from repro.errors import DecodeError
+
+        blob = compress(compile_sample("wc")).image.blob
+        for cut in (2, 6, len(blob) // 2):
+            with pytest.raises(DecodeError):
+                parse_image(blob[:cut])
+
+    def test_legacy_image_still_runs(self):
+        from repro.brisc import run_image
+
+        cp = compress(compile_sample("wc"))
+        legacy = b"BRI1" + cp.image.blob[8:]
+        assert run_image(legacy, stdin="two words\n").output == \
+            run_image(cp.image.blob, stdin="two words\n").output

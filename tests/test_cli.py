@@ -82,7 +82,7 @@ def test_wire_output(hello_c, tmp_path, capsys):
     out_path = str(tmp_path / "out.wire")
     assert main(["wire", hello_c, "-o", out_path]) == 0
     blob = open(out_path, "rb").read()
-    assert blob[:4] == b"WIR1"
+    assert blob[:4] == b"WIR2"
 
 
 def test_brisc_roundtrip_via_cli(hello_c, tmp_path, capsys):
@@ -109,3 +109,63 @@ def test_run_exit_code_propagates(tmp_path):
     src = tmp_path / "exit3.c"
     src.write_text("int main(void) { return 3; }")
     assert main(["run", str(src)]) == 3
+
+
+# ---------------------------------------------------------------------------
+# verify / fuzz
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def wire_blob_path(hello_c, tmp_path, capsys):
+    out_path = str(tmp_path / "v.wire")
+    assert main(["wire", hello_c, "-o", out_path]) == 0
+    capsys.readouterr()
+    return out_path
+
+
+def test_verify_clean_wire(wire_blob_path, capsys):
+    assert main(["verify", wire_blob_path]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_verify_clean_brisc(hello_c, tmp_path, capsys):
+    image = str(tmp_path / "v.brisc")
+    assert main(["brisc", hello_c, "-o", image]) == 0
+    capsys.readouterr()
+    assert main(["verify", image]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_verify_corrupt_exits_1(wire_blob_path, capsys):
+    blob = bytearray(open(wire_blob_path, "rb").read())
+    blob[len(blob) // 2] ^= 0x20
+    open(wire_blob_path, "wb").write(bytes(blob))
+    assert main(["verify", wire_blob_path]) == 1
+    assert "corrupt" in capsys.readouterr().err
+
+
+def test_verify_unknown_magic_exits_2(tmp_path, capsys):
+    path = str(tmp_path / "mystery.bin")
+    open(path, "wb").write(b"GIF89a" + bytes(64))
+    assert main(["verify", path]) == 2
+    assert "unsupported" in capsys.readouterr().err
+
+
+def test_verify_future_version_exits_2(wire_blob_path, capsys):
+    blob = open(wire_blob_path, "rb").read()
+    open(wire_blob_path, "wb").write(b"WIR9" + blob[4:])
+    assert main(["verify", wire_blob_path]) == 2
+    assert "unsupported" in capsys.readouterr().err
+
+
+def test_fuzz_smoke(capsys):
+    assert main(["fuzz", "--seed", "5", "--mutations", "20",
+                 "--units", "wc", "--formats", "wire"]) == 0
+    out = capsys.readouterr().out
+    assert "wc.wire" in out and "0 contract violations" in out
+
+
+def test_fuzz_rejects_unknown_format(capsys):
+    assert main(["fuzz", "--formats", "tar"]) == 2
+    assert "unknown formats" in capsys.readouterr().err

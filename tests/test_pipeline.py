@@ -117,7 +117,7 @@ def test_disk_cache_roundtrip(tmp_path):
     assert total_runs(fresh) == 0
     # The artifacts decode to working payloads, not just equal metadata.
     assert vm_code_bytes(res.program)
-    assert res.wire_blob[:4] == b"WIR1"
+    assert res.wire_blob[:4] == b"WIR2"
 
 
 @pytest.mark.parametrize("garbage", [b"not a pickle", b"garbage\n", b""])
@@ -275,3 +275,166 @@ def test_stats_dict_shape():
     assert stats["cache"]["misses"] >= 3
     tc.reset_stats()
     assert total_runs(tc) == 0
+
+
+# ---------------------------------------------------------------------------
+# batch resilience: timeouts, worker death, degradation
+# ---------------------------------------------------------------------------
+
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.pipeline import toolchain as toolchain_mod
+
+
+class _FakeFuture:
+    def __init__(self, behaviour):
+        self._behaviour = behaviour
+
+    def result(self, timeout=None):
+        if isinstance(self._behaviour, Exception):
+            raise self._behaviour
+        return self._behaviour
+
+
+def _install_fake_pool(monkeypatch, scripts):
+    """Replace the process pool with scripted per-future behaviours.
+
+    ``scripts`` is one list per pool generation; each entry is either an
+    outcome tuple (returned from ``Future.result``) or an exception
+    instance (raised from it).
+    """
+    pools = []
+
+    class FakePool:
+        def __init__(self, max_workers=None):
+            if not scripts:
+                raise AssertionError("unexpected extra pool generation")
+            self._script = list(scripts.pop(0))
+            self._submitted = 0
+            self.shutdowns = []
+            pools.append(self)
+
+        def submit(self, fn, *args):
+            behaviour = self._script[self._submitted]
+            self._submitted += 1
+            return _FakeFuture(behaviour)
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            self.shutdowns.append((wait, cancel_futures))
+
+    monkeypatch.setattr(toolchain_mod, "ProcessPoolExecutor", FakePool)
+    return pools
+
+
+def _error_outcome(msg="boom"):
+    return ("error", "CompileError", msg, 0.01)
+
+
+def test_batch_timeout_isolates_unit_and_retries_rest(monkeypatch):
+    pools = _install_fake_pool(monkeypatch, [
+        [FutureTimeout(), _error_outcome("never read")],
+        [_error_outcome("b compiled in pool 2")],
+    ])
+    tc = Toolchain()
+    items = tc.compile_many([("a", SMALL), ("b", OTHER)], workers=2,
+                            timeout=0.5)
+    assert [it.unit for it in items] == ["a", "b"]
+    assert items[0].error_type == "Timeout"
+    assert "0.5" in items[0].error
+    assert items[1].error == "b compiled in pool 2"
+    assert len(pools) == 2  # the overdue pool was abandoned, a fresh one ran
+
+
+def test_batch_survives_one_pool_death(monkeypatch):
+    pools = _install_fake_pool(monkeypatch, [
+        [BrokenProcessPool("worker killed"), _error_outcome()],
+        [_error_outcome("a retried"), _error_outcome("b retried")],
+    ])
+    tc = Toolchain()
+    items = tc.compile_many([("a", SMALL), ("b", OTHER)], workers=2)
+    assert [it.error for it in items] == ["a retried", "b retried"]
+    assert len(pools) == 2
+
+
+def test_batch_degrades_to_serial_after_repeated_pool_death(monkeypatch):
+    pools = _install_fake_pool(monkeypatch, [
+        [BrokenProcessPool("gone"), BrokenProcessPool("gone")],
+        [BrokenProcessPool("gone again"), BrokenProcessPool("gone again")],
+    ])
+    tc = Toolchain()
+    items = tc.compile_many([("a", SMALL), ("b", OTHER)], workers=2,
+                            stages=CHEAP_STAGES)
+    # The serial path produced *real* results despite two dead pools.
+    assert len(pools) == 2
+    assert all(it.ok for it in items)
+    assert items[0].result.wire_blob[:4] == b"WIR2"
+
+
+def test_batch_falls_back_when_pool_cannot_start(monkeypatch):
+    class NoPool:
+        def __init__(self, max_workers=None):
+            raise OSError("no semaphores in this sandbox")
+
+    monkeypatch.setattr(toolchain_mod, "ProcessPoolExecutor", NoPool)
+    tc = Toolchain()
+    items = tc.compile_many([("a", SMALL)], workers=4, stages=("lower",))
+    assert items[0].ok
+
+
+# ---------------------------------------------------------------------------
+# disk cache: corrupt entries are misses, not crashes
+# ---------------------------------------------------------------------------
+
+import pickle
+
+from repro.errors import CorruptStreamError
+from repro.pipeline.cache import DiskCache
+
+
+def _raise_corrupt():
+    raise CorruptStreamError("cached container failed its CRC")
+
+
+class _DecodeBomb:
+    """Pickles fine; raises a typed DecodeError while materializing."""
+
+    def __reduce__(self):
+        return (_raise_corrupt, ())
+
+
+def test_disk_cache_decode_error_is_miss_and_removed(tmp_path):
+    cache = DiskCache(tmp_path)
+    tc = Toolchain(cache=cache)
+    tc.compile(SMALL, name="u", stages=("parse",))
+    pkls = list(tmp_path.rglob("*.pkl"))
+    assert pkls
+    for pkl in pkls:
+        pkl.write_bytes(pickle.dumps(_DecodeBomb()))
+    fresh = Toolchain(cache=DiskCache(tmp_path))
+    res = fresh.compile(SMALL, name="u", stages=("parse",))  # no crash
+    assert not res.artifact("parse").from_cache
+
+
+def test_disk_cache_drops_decode_error_entry_file(tmp_path):
+    from repro.pipeline.artifacts import Artifact
+
+    cache = DiskCache(tmp_path)
+    art = Artifact(stage="parse", unit="u", key="k" * 64, payload=b"x",
+                   size=1, seconds=0.0, meta={})
+    cache.put(art.key, art)
+    path = cache._path(art.key)
+    path.write_bytes(pickle.dumps(_DecodeBomb()))
+    assert cache.get(art.key) is None
+    assert not path.exists()  # poisoned entry removed for good
+    assert cache.misses == 1
+
+
+def test_disk_cache_rejects_non_artifact_pickles(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = "a" * 64
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps({"not": "an artifact"}))
+    assert cache.get(key) is None
+    assert not path.exists()

@@ -4,6 +4,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compress.streams import pack_streams, stream_sizes, unpack_streams
+from repro.errors import (
+    CorruptStreamError, DecodeError, ResourceLimitError, ResourceLimits,
+)
 
 
 def test_roundtrip_basic():
@@ -63,3 +66,60 @@ def test_stream_sizes_reports_both():
 @settings(max_examples=40, deadline=None)
 def test_roundtrip_property(streams):
     assert unpack_streams(pack_streams(streams)) == streams
+
+# ---------------------------------------------------------------------------
+# integrity checking and typed errors
+# ---------------------------------------------------------------------------
+
+
+def test_checksummed_roundtrip():
+    streams = {"ops": b"abc" * 100, "lits": bytes(range(64))}
+    blob = pack_streams(streams, checksums=True)
+    assert unpack_streams(blob) == streams
+    # Checksums cost exactly 4 bytes per stream over the unchecked form.
+    assert len(blob) == len(pack_streams(streams)) + 4 * len(streams)
+
+
+def test_crc_mismatch_detected():
+    blob = bytearray(pack_streams({"s": b"payload bytes here"},
+                                  checksums=True))
+    blob[-3] ^= 0x40  # flip a payload bit, not the CRC itself
+    with pytest.raises(CorruptStreamError):
+        unpack_streams(bytes(blob))
+
+
+def test_legacy_entries_without_crc_still_decode():
+    streams = {"s": b"old format data" * 10}
+    assert unpack_streams(pack_streams(streams, checksums=False)) == streams
+
+
+def test_unknown_flags_rejected():
+    blob = bytearray(pack_streams({"s": b"x"}))
+    # The flag byte follows count(1) + name_len(1) + name(1).
+    assert blob[3] in (0, 1)
+    blob[3] |= 0x80
+    with pytest.raises(CorruptStreamError):
+        unpack_streams(bytes(blob))
+
+
+def test_forged_stream_count_hits_limit_not_memory():
+    blob = bytearray(pack_streams({"s": b"x"}))
+    forged = b"\xff\xff\xff\xff\x7f" + bytes(blob[1:])  # count = 2^34-ish
+    with pytest.raises(ResourceLimitError):
+        unpack_streams(bytes(forged))
+
+
+def test_custom_limits_enforced():
+    streams = {f"s{i}": b"x" for i in range(8)}
+    blob = pack_streams(streams)
+    with pytest.raises(ResourceLimitError):
+        unpack_streams(blob, limits=ResourceLimits(max_streams=4))
+
+
+def test_errors_are_decode_errors():
+    try:
+        unpack_streams(pack_streams({"a": b"hello world"})[:-3])
+    except DecodeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected a DecodeError subclass")

@@ -109,3 +109,92 @@ class TestPaging:
             assert r.pages_faulted > 0
             assert r.total_seconds == pytest.approx(
                 r.fault_seconds + r.cpu_seconds)
+
+
+class TestLinkValidation:
+    def test_zero_or_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Link("dead", 0)
+        with pytest.raises(ValueError):
+            Link("anti", -100.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Link("tachyon", 1000.0, latency_seconds=-0.1)
+
+    def test_corruption_probability_range(self):
+        with pytest.raises(ValueError):
+            Link("noisy", 1000.0, corruption_probability=1.0)
+        with pytest.raises(ValueError):
+            Link("noisy", 1000.0, corruption_probability=-0.01)
+        assert Link("ok", 1000.0, corruption_probability=0.5)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Representation("neg", -1)
+        with pytest.raises(ValueError):
+            Representation("neg", 10, native_bytes=-5)
+        with pytest.raises(ValueError):
+            Representation("neg", 10, decompress_rate=0.0)
+        with pytest.raises(ValueError):
+            Representation("neg", 10, jit_rate=-1.0)
+
+
+class TestLossyDelivery:
+    from repro.system import RetryPolicy
+
+    def test_lossless_link_is_neutral(self):
+        rep = Representation("wire", 80_000)
+        res = delivery_time(rep, MODEM_28_8)
+        assert res.expected_retransmissions == 0.0
+        assert res.retry_seconds == 0.0
+        assert res.delivery_probability == 1.0
+
+    def test_known_arithmetic_single_chunk(self):
+        from repro.system import RetryPolicy
+
+        # One 1024-byte chunk, p=0.5, one retry allowed:
+        # E[attempts] = 1 + 0.5 = 1.5 -> 0.5 expected retransmissions;
+        # P[delivered] = 1 - 0.5**2 = 0.75;
+        # expected backoff = 0.5 (failure prob) * 0.5s = 0.25s.
+        link = Link("noisy", 1024.0, corruption_probability=0.5)
+        policy = RetryPolicy(max_retries=1, backoff_seconds=0.5,
+                             backoff_factor=2.0, chunk_bytes=1024)
+        res = delivery_time(Representation("r", 1024), link, overlap=False,
+                            retry=policy)
+        assert res.expected_retransmissions == pytest.approx(0.5)
+        assert res.delivery_probability == pytest.approx(0.75)
+        # retry time = 0.5 resends * 1s/chunk + 0.25s backoff
+        assert res.retry_seconds == pytest.approx(0.5 + 0.25)
+        assert res.total_seconds == pytest.approx(
+            link.latency_seconds + 1.0 + res.retry_seconds)
+
+    def test_more_retries_raise_delivery_probability(self):
+        from repro.system import RetryPolicy
+
+        link = Link("noisy", 10_000.0, corruption_probability=0.2)
+        rep = Representation("wire", 50_000)
+        few = delivery_time(rep, link,
+                            retry=RetryPolicy(max_retries=1)).delivery_probability
+        many = delivery_time(rep, link,
+                             retry=RetryPolicy(max_retries=6)).delivery_probability
+        assert many > few
+
+    def test_lossy_link_extends_total(self):
+        link = Link("noisy", 3_600.0, corruption_probability=0.1)
+        clean = Link("clean", 3_600.0)
+        rep = Representation("wire", 80_000)
+        assert delivery_time(rep, link).total_seconds > \
+            delivery_time(rep, clean).total_seconds
+
+    def test_policy_validation(self):
+        from repro.system import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_seconds=-0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(chunk_bytes=0)

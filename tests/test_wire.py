@@ -154,3 +154,59 @@ class TestSizes:
         mod = IRModule("empty")
         back = decode_module(encode_module(mod))
         assert back.functions == [] and back.globals == []
+
+
+class TestContainerIntegrity:
+    """WIR2 framing: version byte, per-stream CRCs, legacy decode."""
+
+    def test_new_blobs_are_wir2(self):
+        blob = encode_module(lower(SAMPLES["calc"]))
+        assert blob[:4] == b"WIR2"
+
+    def test_legacy_wir1_blobs_still_decode(self):
+        from repro.compress.streams import pack_streams, unpack_streams
+        from repro.ir import dump_module
+
+        mod = lower(SAMPLES["calc"], "calc")
+        blob = encode_module(mod)
+        # Rebuild the same container the seed format would have written:
+        # identical streams, no CRCs, WIR1 magic.
+        streams = unpack_streams(blob[4:])
+        legacy = b"WIR1" + pack_streams(streams, checksums=False)
+        assert dump_module(decode_module(legacy)) == \
+            dump_module(decode_module(blob))
+
+    def test_unknown_version_rejected(self):
+        from repro.errors import UnsupportedFormatError
+
+        blob = encode_module(lower("int f(void) { return 1; }"))
+        with pytest.raises(UnsupportedFormatError):
+            decode_module(b"WIR9" + blob[4:])
+
+    def test_wrong_magic_rejected_typed(self):
+        from repro.errors import UnsupportedFormatError
+
+        with pytest.raises(UnsupportedFormatError):
+            decode_module(b"ELF\x7f" + bytes(32))
+
+    def test_payload_corruption_caught_by_stream_crc(self):
+        from repro.errors import DecodeError
+
+        blob = bytearray(encode_module(lower(SAMPLES["calc"])))
+        hits = 0
+        for pos in range(4, len(blob), 97):  # sample positions
+            mutant = bytearray(blob)
+            mutant[pos] ^= 0x10
+            try:
+                decode_module(bytes(mutant))
+            except DecodeError:
+                hits += 1
+        assert hits > 0  # corruption is reported, not absorbed silently
+
+    def test_truncation_is_typed(self):
+        from repro.errors import DecodeError
+
+        blob = encode_module(lower(SAMPLES["calc"]))
+        for cut in (5, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(DecodeError):
+                decode_module(blob[:cut])
