@@ -1,0 +1,74 @@
+"""Dictionary-builder timing: serial vs. sharded scan on the largest unit.
+
+The greedy builder's candidate scan is embarrassingly parallel across
+functions (per-function savings merge by addition; the admission heap's
+tie-break is a total order), so any worker count must produce the same
+dictionary.  This bench times both variants on the suite's largest unit,
+asserts the outputs are identical, and records the wall clock — rows land
+in ``benchmarks/results/pipeline_stats.txt`` via the session fixture.
+
+The seed-baseline row is the same measurement taken at commit a75e623,
+before the scan was parallelized and the pattern cost model was cached;
+it is what the current numbers should be compared against.  The workers
+row is labelled with the host's CPU count: on a single-CPU host the
+sharded scan cannot win (it pays per-pass pickling with no extra core to
+spend it on) — the cost-model caching is what carries such hosts, and
+the dictionary is identical either way.
+"""
+
+import os
+import time
+
+from conftest import save_table
+
+from repro.bench import render_table
+
+#: Serial builder wall clock at commit a75e623 on this suite (seconds).
+SEED_BASELINE = {"lcc": 33.35, "gcc": 152.83}
+
+
+def _timed_build(program, **kwargs):
+    from repro.brisc.builder import build_dictionary
+
+    start = time.perf_counter()
+    result = build_dictionary(program, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _fingerprint(result):
+    slots = [
+        [(str(s.pattern), s.insns) for s in fn.slots]
+        for fn in result.slots.functions
+    ]
+    return ([str(p) for p in result.dictionary], slots,
+            result.candidates_tested, result.passes)
+
+
+def test_builder_parallel_timing(results_dir, builder_timings):
+    from repro.corpus import SUITE_SIZES, build_input
+
+    unit = max(SUITE_SIZES, key=SUITE_SIZES.get)  # largest suite unit
+    program = build_input(unit).program
+
+    serial, t_serial = _timed_build(program)
+    parallel, t_parallel = _timed_build(program, workers=2)
+
+    # Worker count must be invisible in the output.
+    assert _fingerprint(serial) == _fingerprint(parallel)
+
+    rows = [
+        (unit, "seed a75e623", SEED_BASELINE[unit],
+         serial.passes, serial.dictionary_size),
+        (unit, "serial", t_serial, serial.passes, serial.dictionary_size),
+        (unit, f"workers=2 ({os.cpu_count()} cpu)", t_parallel,
+         parallel.passes, parallel.dictionary_size),
+    ]
+    builder_timings.extend(rows)
+    text = render_table(
+        ["unit", "variant", "seconds", "passes", "dict"],
+        [[u, v, f"{s:8.2f}", str(p), str(d)] for u, v, s, p, d in rows],
+    )
+    save_table(results_dir, "builder_parallel", text)
+
+    # The cached cost model must beat the seed baseline outright.
+    assert t_serial < SEED_BASELINE[unit]

@@ -12,7 +12,6 @@ on those axes using our own pipeline:
 * Markov-context opcode bytes vs a flat 1-byte opcode space for BRISC.
 """
 
-import pytest
 
 from conftest import save_table
 from repro.bench import compressed_suite, render_table, vm_code_bytes

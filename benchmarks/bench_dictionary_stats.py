@@ -7,7 +7,6 @@ instruction set.  This bench regenerates those statistics for our suite
 and checks their magnitudes and monotonicity.
 """
 
-import pytest
 
 from conftest import save_table
 from repro.bench import compressed_suite, render_table

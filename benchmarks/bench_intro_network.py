@@ -12,11 +12,9 @@ This bench builds the three representations of the lcc suite input (native,
 wire, BRISC) with *measured* sizes and JIT rate, then sweeps links.
 """
 
-import pytest
 
 from conftest import save_table
 from repro.bench import compressed_suite, render_table, wire_row
-from repro.bench.measure import vm_code_bytes
 from repro.corpus import build_input
 from repro.jit import jit_compile
 from repro.native import PentiumLike

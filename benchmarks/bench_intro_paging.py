@@ -12,7 +12,6 @@ suite input and the measured interpretation slowdown, then locates the
 crossovers.
 """
 
-import pytest
 
 from conftest import save_table
 from repro.bench import compressed_suite, render_table

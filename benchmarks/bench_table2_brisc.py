@@ -19,7 +19,6 @@ from conftest import save_table
 from repro.bench import brisc_row, brisc_table, compressed_suite
 from repro.bench.measure import interp_overhead
 from repro.brisc import run_image
-from repro.corpus import build_input
 from repro.jit import jit_compile
 
 SUITE = ["wc", "lcc"]

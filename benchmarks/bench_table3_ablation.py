@@ -16,7 +16,6 @@ the four ratios are close together (within a handful of points) and the
 full-featured machine is never materially worse than the de-tuned ones.
 """
 
-import pytest
 
 from conftest import save_table
 from repro.bench import ablation_rows, ablation_table

@@ -29,14 +29,32 @@ def toolchain():
     return default_toolchain()
 
 
+#: Rows appended by builder benchmarks: (unit, variant, seconds, passes,
+#: dictionary size).  Rendered into pipeline_stats.txt at session end so
+#: the dictionary-builder wall clock is recorded alongside stage stats.
+_BUILDER_TIMINGS = []
+
+
+@pytest.fixture(scope="session")
+def builder_timings():
+    """Collector for per-variant dictionary-builder wall-clock rows."""
+    return _BUILDER_TIMINGS
+
+
 @pytest.fixture(scope="session", autouse=True)
 def pipeline_stats_report(results_dir):
     """Write the session's per-stage pipeline stats next to the tables."""
     yield
-    from repro.bench.tables import toolchain_stats_table
+    from repro.bench.tables import render_table, toolchain_stats_table
     from repro.pipeline import default_toolchain
 
     text = toolchain_stats_table(default_toolchain().stats())
+    if _BUILDER_TIMINGS:
+        text += "\n\n" + render_table(
+            ["builder timing", "variant", "seconds", "passes", "dict"],
+            [[unit, variant, f"{seconds:8.2f}", str(passes), str(size)]
+             for unit, variant, seconds, passes, size in _BUILDER_TIMINGS],
+        )
     save_table(results_dir, "pipeline_stats", text)
 
 

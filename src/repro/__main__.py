@@ -10,6 +10,8 @@ Usage::
     python -m repro stats prog.c               # per-stage timing/size stats
     python -m repro wire prog.c -o prog.wire   # emit the wire format
     python -m repro brisc prog.c -o prog.brisc # emit a BRISC image
+    python -m repro --workers 4 brisc prog.c -o prog.brisc
+                                               # parallel dictionary builder
     python -m repro exec-brisc prog.brisc      # interpret an image in place
     python -m repro verify prog.wire           # integrity-check a container
     python -m repro fuzz --seed 1 --mutations 500   # fault-injection sweep
@@ -36,8 +38,14 @@ from .vm import format_function, run_program
 
 def _toolchain(args) -> Toolchain:
     if getattr(args, "disk_cache", False) or getattr(args, "cache_dir", None):
-        return Toolchain(disk_cache=args.disk_cache, cache_dir=args.cache_dir)
-    return default_toolchain()
+        toolchain = Toolchain(disk_cache=args.disk_cache,
+                              cache_dir=args.cache_dir)
+    else:
+        toolchain = default_toolchain()
+    workers = getattr(args, "workers", None)
+    if workers and workers > 1:
+        toolchain.config = toolchain.config.with_brisc(workers=workers)
+    return toolchain
 
 
 def cmd_run(args) -> int:
@@ -127,7 +135,7 @@ def cmd_wire(args) -> int:
 
 def cmd_brisc(args) -> int:
     toolchain = _toolchain(args)
-    config = toolchain.config.with_brisc(k=args.k)
+    config = toolchain.config.with_brisc(k=args.k, workers=args.workers)
     res = toolchain.compile_file(args.file, stages=("brisc",), config=config)
     cp = res.brisc
     with open(args.output, "wb") as f:
@@ -234,6 +242,10 @@ def main(argv=None) -> int:
                         help="persist pipeline artifacts under ~/.cache/repro")
     parser.add_argument("--cache-dir", default=None,
                         help="artifact cache directory (implies --disk-cache)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for the BRISC dictionary builder's "
+                             "candidate scan (output is byte-identical for "
+                             "any worker count; default 1)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("run", help="compile a C file and execute it")

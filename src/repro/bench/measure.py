@@ -11,20 +11,17 @@ from recompiling anything.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..brisc import CompressedProgram, run_image
-from ..brisc.interp import BriscInterpreter
 from ..codegen import ABLATION_VARIANTS
 from ..compress import deflate
 from ..corpus import build_input, suite_source
-from ..jit import BriscJIT, jit_compile
-from ..native import PPCLike, PentiumLike, SparcLike
+from ..jit import jit_compile
+from ..native import PentiumLike, SparcLike
 from ..pipeline import default_toolchain, vm_code_bytes
-from ..vm import Interpreter, run_program
-from ..vm.instr import VMProgram
-from ..vm.isa import ISA
+from ..vm import run_program
 
 __all__ = [
     "WireRow", "BriscRow", "AblationRow", "wire_row", "brisc_row",
@@ -154,9 +151,6 @@ def brisc_row(name: str, k: int = 20, measure_interp: bool = True) -> BriscRow:
     cp = compressed_suite(name, k)
     target = PentiumLike()
     native = target.program_size(inp.program)
-    native_bytes = b"".join(
-        target.encode_function(fn) for fn in inp.program.functions
-    )
     gzip_rel = len(deflate.compress(vm_code_bytes(inp.program))) / native
     brisc_rel = cp.image.code_segment_size / native
 

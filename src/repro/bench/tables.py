@@ -85,9 +85,10 @@ def toolchain_stats_table(stats: dict) -> str:
     """Lifetime per-stage stats of a :class:`repro.pipeline.Toolchain`.
 
     ``stats`` is :meth:`Toolchain.stats` output; renders the ``stages``
-    section (runs, cache hits, cumulative seconds, bytes produced).
+    section (runs, cache hits, cumulative seconds, bytes produced) plus,
+    when any BRISC build ran, the builder's aggregated per-pass counters.
     """
-    return render_table(
+    table = render_table(
         ["stage", "runs", "cache hits", "seconds", "bytes"],
         [
             [name, str(s["runs"]), str(s["cache_hits"]),
@@ -95,3 +96,13 @@ def toolchain_stats_table(stats: dict) -> str:
             for name, s in stats["stages"].items()
         ],
     )
+    builder = stats.get("brisc_builder")
+    if builder and builder.get("builds"):
+        table += "\n\n" + render_table(
+            ["brisc builder", "builds", "passes", "candidates", "admitted",
+             "seconds"],
+            [["totals", str(builder["builds"]), str(builder["passes"]),
+              str(builder["candidates"]), str(builder["admitted"]),
+              f"{builder['seconds']:8.3f}"]],
+        )
+    return table

@@ -11,9 +11,10 @@ Public API::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..vm.instr import VMProgram
-from .builder import BuildResult, build_dictionary
+from .builder import BuildResult, PassStats, build_dictionary
 from .encode import BriscImage, decode_image, encode_image
 from .interp import BriscInterpreter, run_image
 from .markov import MarkovModel
@@ -22,7 +23,7 @@ from .slots import SlotProgram, build_slots
 
 __all__ = [
     "BriscImage", "BriscInterpreter", "BuildResult", "CompressedProgram",
-    "DictPattern", "InsnPattern", "MarkovModel", "SlotProgram",
+    "DictPattern", "InsnPattern", "MarkovModel", "PassStats", "SlotProgram",
     "build_dictionary", "build_slots", "compress", "decompress",
     "pattern_of_instr", "run_image",
 ]
@@ -56,10 +57,15 @@ def compress(
     k: int = 20,
     abundant_memory: bool = False,
     max_passes: int = 40,
+    workers: Optional[int] = None,
 ) -> CompressedProgram:
-    """Compress a VM program into BRISC (K best candidates per pass)."""
+    """Compress a VM program into BRISC (K best candidates per pass).
+
+    ``workers`` shards the builder's candidate scan over a process pool;
+    the compressed image is byte-identical for any worker count.
+    """
     build = build_dictionary(program, k=k, abundant_memory=abundant_memory,
-                             max_passes=max_passes)
+                             max_passes=max_passes, workers=workers)
     image, model = encode_image(build.slots, program.globals)
     return CompressedProgram(image=image, build=build, model=model)
 

@@ -13,25 +13,52 @@ The paper's algorithm:
    then any instruction that a new pattern represents more compactly;
 5. stop after a pass yielding fewer than ``K`` candidates with positive B.
 
+The candidate scan (step 2) is embarrassingly parallel across functions:
+each function contributes an independent per-candidate savings total, and
+totals merge by addition.  ``workers > 1`` shards the scan over a process
+pool; the merged savings map is identical to the serial one, and every
+downstream decision (benefit heap, tie-breaking, admission order) runs in
+the parent on the merged map, so the admitted dictionary is byte-identical
+to the serial builder's.
+
 The returned :class:`BuildResult` carries the final slot program, the
-dictionary in admission order, and the statistics the paper reports
-(candidates tested, dictionary size).
+dictionary in admission order, per-pass statistics, and the counters the
+paper reports (candidates tested, dictionary size).
 """
 
 from __future__ import annotations
 
 import heapq
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..vm.instr import VMProgram
+from ..vm.instr import Instr, VMProgram
 from .cost import CostModel
-from .pattern import DictPattern, InsnPattern, pattern_of_instr
+from .pattern import DictPattern
 from .slots import Slot, SlotFunction, SlotProgram, build_slots
 
-__all__ = ["BuildResult", "BriscBuilder", "build_dictionary"]
+__all__ = ["BuildResult", "BriscBuilder", "PassStats", "build_dictionary"]
 
 _MAX_PARTS = 4
+
+#: Failures that mean "this host cannot run a process pool at all"
+#: (sandboxes without semaphores, missing _multiprocessing, ...).
+_POOL_UNAVAILABLE = (OSError, PermissionError, ImportError)
+
+#: Cache type for memoized augmented sets: (pattern, insns) -> patterns.
+_AugCache = Dict[Tuple[DictPattern, Tuple[Instr, ...]], List[DictPattern]]
+
+
+@dataclass
+class PassStats:
+    """One greedy pass: scan size, admissions, and wall time."""
+
+    candidates: int
+    admitted: int
+    seconds: float
 
 
 @dataclass
@@ -43,14 +70,116 @@ class BuildResult:
     candidates_tested: int
     passes: int
     base_patterns: int
+    pass_stats: List[PassStats] = field(default_factory=list)
+    workers: int = 1
 
     @property
     def dictionary_size(self) -> int:
         return len(self.dictionary)
 
+    @property
+    def seconds(self) -> float:
+        return sum(p.seconds for p in self.pass_stats)
+
+
+def _augmented_set(
+    slot: Slot, cache: _AugCache
+) -> List[DictPattern]:
+    """The slot's pattern plus its one-field specializations (the paper's
+    "augmented operand-specialized set"), memoized per (pattern, insns).
+
+    Memoization pays because a slot is rescanned on every pass (up to
+    ``max_passes`` times) and because many slots share a pattern/insns
+    pair after specialization converges.
+    """
+    key = (slot.pattern, slot.insns)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    out = [slot.pattern]
+    for pi, (part, instr) in enumerate(zip(slot.pattern.parts, slot.insns)):
+        for spec in part.specializations(instr):
+            parts = list(slot.pattern.parts)
+            parts[pi] = spec
+            out.append(DictPattern(tuple(parts)))
+    cache[key] = out
+    return out
+
+
+def _scan_slots(
+    slots: List[Slot],
+    savings: Dict[DictPattern, int],
+    cache: _AugCache,
+) -> None:
+    """Accumulate one function's raw candidate savings into ``savings``.
+
+    Raw means pre-filter: every candidate whose occurrence saves bytes is
+    summed, including patterns already in the dictionary — the caller
+    filters those out.  Keeping the scan filter-free is what lets worker
+    processes run it without a copy of the (growing) dictionary set.
+    """
+    for i, slot in enumerate(slots):
+        cur_size = slot.size
+        # Operand specialization, one field at a time.
+        for cand in _augmented_set(slot, cache)[1:]:
+            saved = cur_size - cand.encoded_size()
+            if saved > 0:
+                savings[cand] = savings.get(cand, 0) + saved
+        # Opcode combination with the right neighbour.
+        if i + 1 >= len(slots):
+            continue
+        nxt = slots[i + 1]
+        if nxt.is_block_start:
+            continue
+        if len(slot.insns) + len(nxt.insns) > _MAX_PARTS:
+            continue
+        pair_size = cur_size + nxt.size
+        for a in _augmented_set(slot, cache):
+            for b in _augmented_set(nxt, cache):
+                cand = DictPattern(a.parts + b.parts)
+                if not cand.is_control_ok():
+                    continue
+                saved = pair_size - cand.encoded_size()
+                if saved > 0:
+                    savings[cand] = savings.get(cand, 0) + saved
+
+
+def _scan_worker(functions: List[SlotFunction]) -> Dict[DictPattern, int]:
+    """Process-pool entry: raw savings for one shard of functions."""
+    savings: Dict[DictPattern, int] = {}
+    cache: _AugCache = {}
+    for fn in functions:
+        _scan_slots(fn.slots, savings, cache)
+    return savings
+
+
+def _shard_functions(
+    functions: List[SlotFunction], shards: int
+) -> List[List[SlotFunction]]:
+    """Split functions into ``shards`` groups balanced by slot count.
+
+    Greedy longest-processing-time assignment; merge order is irrelevant
+    (savings totals are summed), so balance is all that matters.
+    """
+    buckets: List[List[SlotFunction]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    order = sorted(range(len(functions)),
+                   key=lambda i: len(functions[i].slots), reverse=True)
+    for i in order:
+        target = loads.index(min(loads))
+        buckets[target].append(functions[i])
+        loads[target] += len(functions[i].slots)
+    return [b for b in buckets if b]
+
 
 class BriscBuilder:
-    """Runs the greedy construction over one program."""
+    """Runs the greedy construction over one program.
+
+    ``workers > 1`` parallelizes the per-pass candidate scan over a
+    process pool; results are deterministic and byte-identical to the
+    serial builder (``workers=1``, the default).  Hosts without process
+    support degrade to the serial scan transparently.
+    """
 
     def __init__(
         self,
@@ -58,16 +187,21 @@ class BriscBuilder:
         k: int = 20,
         abundant_memory: bool = False,
         max_passes: int = 40,
+        workers: Optional[int] = None,
     ) -> None:
         self.slots = build_slots(program)
         self.k = k
         self.cost = CostModel(abundant_memory)
         self.max_passes = max_passes
-        self.seen: Set[DictPattern] = set()
+        self.workers = max(1, workers or 1)
+        self.seen: set = set()
         self.dictionary: List[DictPattern] = []
-        self.in_dictionary: Set[DictPattern] = set()
+        self.in_dictionary: set = set()
         self.candidates_tested = 0
         self.passes = 0
+        self.pass_stats: List[PassStats] = []
+        self._aug_cache: _AugCache = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
         self._seed_base_patterns()
         self.base_patterns = len(self.dictionary)
 
@@ -84,51 +218,53 @@ class BriscBuilder:
     # -- candidate generation ----------------------------------------------
 
     def _augmented_set(self, slot: Slot) -> List[DictPattern]:
-        """The slot's pattern plus its one-field specializations (the
-        paper's "augmented operand-specialized set")."""
-        out = [slot.pattern]
-        for pi, (part, instr) in enumerate(zip(slot.pattern.parts, slot.insns)):
-            for spec in part.specializations(instr):
-                parts = list(slot.pattern.parts)
-                parts[pi] = spec
-                out.append(DictPattern(tuple(parts)))
-        return out
+        """The slot's augmented operand-specialization set (memoized)."""
+        return _augmented_set(slot, self._aug_cache)
+
+    def _raw_savings(self) -> Dict[DictPattern, int]:
+        """One scan over every function: candidate -> summed bytes saved."""
+        if self.workers > 1 and len(self.slots.functions) > 1:
+            merged = self._parallel_scan()
+            if merged is not None:
+                return merged
+        savings: Dict[DictPattern, int] = {}
+        for fn in self.slots.functions:
+            _scan_slots(fn.slots, savings, self._aug_cache)
+        return savings
+
+    def _parallel_scan(self) -> Optional[Dict[DictPattern, int]]:
+        """Sharded scan over the pool; None when the host has no pools.
+
+        Savings merge by addition, which is commutative, so shard order
+        cannot change the merged map.
+        """
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            shards = _shard_functions(self.slots.functions, self.workers)
+            futures = [self._pool.submit(_scan_worker, s) for s in shards]
+            merged: Dict[DictPattern, int] = {}
+            for future in futures:
+                for cand, saved in future.result().items():
+                    merged[cand] = merged.get(cand, 0) + saved
+            return merged
+        except _POOL_UNAVAILABLE + (BrokenProcessPool,):
+            self._shutdown_pool()
+            self.workers = 1  # degrade for the remaining passes
+            return None
 
     def _gather_candidates(self) -> Dict[DictPattern, int]:
         """One scan: candidate pattern -> total bytes saved (pre-dictionary
-        cost).  Occurrence savings are summed greedily."""
+        cost), filtered to patterns not already admitted.  Occurrence
+        savings are summed greedily."""
         savings: Dict[DictPattern, int] = {}
-
-        def account(cand: DictPattern, saved: int) -> None:
-            if cand in self.in_dictionary or saved <= 0:
-                return
-            if cand not in savings and cand not in self.seen:
+        for cand, saved in self._raw_savings().items():
+            if cand in self.in_dictionary:
+                continue
+            if cand not in self.seen:
                 self.candidates_tested += 1
                 self.seen.add(cand)
-            savings[cand] = savings.get(cand, 0) + saved
-
-        for fn in self.slots.functions:
-            slots = fn.slots
-            for i, slot in enumerate(slots):
-                cur_size = slot.size
-                # Operand specialization, one field at a time.
-                for cand in self._augmented_set(slot)[1:]:
-                    account(cand, cur_size - cand.encoded_size())
-                # Opcode combination with the right neighbour.
-                if i + 1 >= len(slots):
-                    continue
-                nxt = slots[i + 1]
-                if nxt.is_block_start:
-                    continue
-                if len(slot.insns) + len(nxt.insns) > _MAX_PARTS:
-                    continue
-                pair_size = cur_size + nxt.size
-                for a in self._augmented_set(slot):
-                    for b in self._augmented_set(nxt):
-                        cand = DictPattern(a.parts + b.parts)
-                        if not cand.is_control_ok():
-                            continue
-                        account(cand, pair_size - cand.encoded_size())
+            savings[cand] = saved
         return savings
 
     # -- rewriting -----------------------------------------------------------
@@ -207,31 +343,48 @@ class BriscBuilder:
 
     # -- driver ------------------------------------------------------------
 
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
     def run(self) -> BuildResult:
-        while self.passes < self.max_passes:
-            self.passes += 1
-            savings = self._gather_candidates()
-            heap = []
-            for cand, saved in savings.items():
-                benefit = self.cost.benefit(cand, saved)
-                if benefit > 0:
-                    heap.append((-benefit, cand.dictionary_size(), str(cand), cand))
-            heapq.heapify(heap)
-            admitted: List[DictPattern] = []
-            while heap and len(admitted) < self.k:
-                _, _, _, cand = heapq.heappop(heap)
-                admitted.append(cand)
-                self._admit(cand)
-            if admitted:
-                self._apply_patterns(admitted)
-            if len(admitted) < self.k:
-                break
+        try:
+            while self.passes < self.max_passes:
+                self.passes += 1
+                t0 = time.perf_counter()
+                savings = self._gather_candidates()
+                heap = []
+                for cand, saved in savings.items():
+                    benefit = self.cost.benefit(cand, saved)
+                    if benefit > 0:
+                        heap.append(
+                            (-benefit, cand.dictionary_size(), str(cand), cand))
+                heapq.heapify(heap)
+                admitted: List[DictPattern] = []
+                while heap and len(admitted) < self.k:
+                    _, _, _, cand = heapq.heappop(heap)
+                    admitted.append(cand)
+                    self._admit(cand)
+                if admitted:
+                    self._apply_patterns(admitted)
+                self.pass_stats.append(PassStats(
+                    candidates=len(savings),
+                    admitted=len(admitted),
+                    seconds=time.perf_counter() - t0,
+                ))
+                if len(admitted) < self.k:
+                    break
+        finally:
+            self._shutdown_pool()
         return BuildResult(
             slots=self.slots,
             dictionary=self.dictionary,
             candidates_tested=self.candidates_tested,
             passes=self.passes,
             base_patterns=self.base_patterns,
+            pass_stats=self.pass_stats,
+            workers=self.workers,
         )
 
 
@@ -240,6 +393,13 @@ def build_dictionary(
     k: int = 20,
     abundant_memory: bool = False,
     max_passes: int = 40,
+    workers: Optional[int] = None,
 ) -> BuildResult:
-    """Run greedy BRISC dictionary construction over ``program``."""
-    return BriscBuilder(program, k, abundant_memory, max_passes).run()
+    """Run greedy BRISC dictionary construction over ``program``.
+
+    ``workers`` shards the per-pass candidate scan over a process pool;
+    the result is byte-identical to the serial builder regardless of the
+    worker count.
+    """
+    return BriscBuilder(program, k, abundant_memory, max_passes,
+                        workers=workers).run()

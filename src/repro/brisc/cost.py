@@ -13,12 +13,12 @@ paper sets ``B = P``; the ``abundant_memory`` flag reproduces that.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from ..native.targets import PPCLike, PentiumLike
 from ..vm.instr import Instr
 from ..vm.isa import Operand, SPEC
-from .pattern import Burned, DictPattern, InsnPattern, Wildcard
+from .pattern import Burned, DictPattern, InsnPattern
 
 __all__ = ["CostModel", "representative_instr"]
 

@@ -21,10 +21,10 @@ from ..errors import (
 )
 from ..ir.tree import GlobalData, PtrInit, ScalarInit
 from ..vm.instr import Instr, VMFunction, VMProgram
-from ..vm.isa import Operand, SPEC
+from ..vm.isa import Operand
 from .markov import CTX_BB, CTX_ENTRY, ESCAPE, MarkovModel, build_markov
 from .pattern import (
-    Burned, DictPattern, Wildcard, deserialize_pattern, serialize_pattern,
+    Burned, DictPattern, deserialize_pattern, serialize_pattern,
 )
 from .slots import SlotProgram
 
@@ -120,12 +120,14 @@ def _slot_bytes(
     return bytes(out)
 
 
-def _opcode_for(model_table: List[int], pid: int) -> bytes:
-    """The context-relative opcode byte (with 2-byte escape if needed)."""
-    try:
-        idx = model_table.index(pid)
-    except ValueError:
-        idx = ESCAPE
+def _opcode_for(reverse_table: Dict[int, int], pid: int) -> bytes:
+    """The context-relative opcode byte (with 2-byte escape if needed).
+
+    ``reverse_table`` maps pattern id -> table index (first occurrence),
+    precomputed once per context so the per-slot lookup is O(1) instead
+    of an O(n) ``list.index`` scan.
+    """
+    idx = reverse_table.get(pid, ESCAPE)
     if idx < ESCAPE:
         return bytes([idx])
     return bytes([ESCAPE]) + pid.to_bytes(2, "little")
@@ -216,6 +218,13 @@ def encode_image(
     model, fn_ids = build_markov(slots)
     # Trim stored tables to 255 entries (escape covers the tail).
     stored_tables = {ctx: t[:ESCAPE] for ctx, t in model.tables.items()}
+    # Per-context reverse maps (pid -> first index) for O(1) opcode lookup.
+    reverse_tables: Dict[int, Dict[int, int]] = {}
+    for ctx, table in stored_tables.items():
+        reverse: Dict[int, int] = {}
+        for i, pid in enumerate(table):
+            reverse.setdefault(pid, i)
+        reverse_tables[ctx] = reverse
     symbol_ids: Dict[str, int] = {}
     for fn in slots.functions:
         symbol_ids[fn.name] = len(symbol_ids)
@@ -267,7 +276,7 @@ def encode_image(
             else:
                 assert prev is not None
                 ctx = prev
-            opcode = _opcode_for(stored_tables.get(ctx, []), ids[i])
+            opcode = _opcode_for(reverse_tables.get(ctx, {}), ids[i])
             opcodes.append(opcode)
             offsets.append(cursor)
             cursor += len(opcode) + slot.pattern.operand_bytes()

@@ -21,9 +21,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import CorruptStreamError
 from ..vm.instr import VMFunction, VMProgram
-from ..vm.interp import FUNC_ADDR_BASE, Interpreter, VMError
+from ..vm.interp import Interpreter, VMError
 from ..vm.isa import Operand
-from .encode import DecodedImage, decode_slot, parse_image, symbol_names
+from .encode import decode_slot, parse_image, symbol_names
 from .markov import CTX_BB, CTX_ENTRY, ESCAPE
 
 __all__ = ["BriscInterpreter", "run_image"]

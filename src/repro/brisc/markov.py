@@ -40,19 +40,38 @@ class MarkovModel:
     # context key (pattern id, CTX_ENTRY, or CTX_BB) -> ordered pattern ids.
     tables: Dict[int, List[int]] = field(default_factory=dict)
     splits: int = 0
+    # pattern -> canonical id (first-use order, assigned during build).
+    # Split clones alias an existing pattern, so a cloned pattern maps to
+    # its original (pre-split) id.
+    ids: Dict[DictPattern, int] = field(default_factory=dict)
 
     def pattern_id(self, pattern: DictPattern) -> int:
-        raise NotImplementedError  # ids are assigned during build
+        """The canonical id assigned to ``pattern`` during build.
+
+        Raises ``KeyError`` for a pattern the model has never seen.
+        """
+        return self.ids[pattern]
 
     def index_of(self, ctx: int, pid: int) -> Optional[int]:
-        """Index of ``pid`` in the context table (None when absent)."""
+        """Index of ``pid`` in the context table (None when absent).
+
+        Backed by a per-context reverse map (pid -> first index) so the
+        encode hot path pays O(1) per lookup instead of an O(n)
+        ``list.index`` scan; the map is rebuilt transparently if the
+        table is replaced or grows.
+        """
         table = self.tables.get(ctx)
         if table is None:
             return None
-        try:
-            return table.index(pid)
-        except ValueError:
-            return None
+        rindex = self.__dict__.setdefault("_rindex", {})
+        cached = rindex.get(ctx)
+        if cached is None or cached[0] is not table or cached[1] != len(table):
+            reverse: Dict[int, int] = {}
+            for i, entry in enumerate(table):
+                reverse.setdefault(entry, i)
+            cached = (table, len(table), reverse)
+            rindex[ctx] = cached
+        return cached[2].get(pid)
 
     def table_sizes(self) -> Dict[int, int]:
         return {ctx: len(t) for ctx, t in self.tables.items()}
@@ -63,10 +82,7 @@ class MarkovModel:
 
     def serialized_size(self) -> int:
         """Bytes the tables occupy in the image (2 per entry + headers)."""
-        total = 0
-        for ctx, table in self.tables.items():
-            total += 4 + 2 * len(table)
-        return total
+        return sum(4 + 2 * len(table) for table in self.tables.values())
 
 
 def _context_stream(fn: SlotFunction, ids: List[int]) -> List[Tuple[int, int]]:
@@ -109,7 +125,7 @@ def build_markov(slots: SlotProgram) -> Tuple[MarkovModel, Dict[int, List[int]]]
             ids.append(pid)
         fn_ids[fi] = ids
 
-    model = MarkovModel(patterns=patterns)
+    model = MarkovModel(patterns=patterns, ids=dict(id_of))
 
     # Iteratively build tables and split over-full pattern contexts.
     for _round in range(64):

@@ -19,7 +19,7 @@ keeps BRISC randomly addressable and directly interpretable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Sequence, Tuple, Union
 
 from ..compress.bitio import read_uvarint, take_bytes, write_uvarint
 from ..errors import CorruptStreamError, TruncatedStreamError
@@ -97,6 +97,21 @@ class InsnPattern:
     name: str
     fields: Tuple[Field, ...]
 
+    # The generated dataclass __hash__ re-hashes the whole field tree on
+    # every dict/set lookup; the greedy builder performs millions of such
+    # lookups against long-lived pattern instances, so memoize per
+    # instance.  The cache never crosses process boundaries (see
+    # __getstate__): str hashes are salted per interpreter.
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.name, self.fields))
+            self.__dict__["_hash"] = h
+        return h
+
+    def __getstate__(self) -> dict:
+        return {"name": self.name, "fields": self.fields}
+
     def matches(self, instr: Instr) -> bool:
         """Does ``instr`` fit this pattern (burned fields equal, wildcards
         wide enough)?"""
@@ -169,6 +184,15 @@ def pattern_of_instr(instr: Instr) -> InsnPattern:
     return InsnPattern(instr.name, fields)
 
 
+# Value-keyed caches shared by every DictPattern instance: the greedy
+# builder re-creates equal patterns constantly (one per candidate
+# occurrence), so instance-level caching alone would miss the hot loop.
+# Keys are the (frozen, hashable) patterns themselves; both caches are
+# process-lifetime, bounded by the number of distinct patterns seen.
+_ENCODED_SIZE_CACHE: dict = {}
+_DICT_SIZE_CACHE: dict = {}
+
+
 @dataclass(frozen=True)
 class DictPattern:
     """A dictionary entry: one or more (possibly specialized) parts.
@@ -180,6 +204,18 @@ class DictPattern:
 
     parts: Tuple[InsnPattern, ...]
 
+    # Same per-instance hash memoization as InsnPattern: equal patterns
+    # are re-looked-up constantly by the builder's value-keyed caches.
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.parts,))
+            self.__dict__["_hash"] = h
+        return h
+
+    def __getstate__(self) -> dict:
+        return {"parts": self.parts}
+
     def matches(self, insns: Sequence[Instr]) -> bool:
         """Does the concrete instruction sequence fit this pattern?"""
         if len(insns) != len(self.parts):
@@ -187,24 +223,42 @@ class DictPattern:
         return all(p.matches(i) for p, i in zip(self.parts, insns))
 
     def operand_layout(self) -> Tuple[int, List[str]]:
-        """Encoded operand size in bytes and the flat wildcard class list."""
-        classes = [
-            f.cls
-            for part in self.parts
-            for f in part.fields
-            if isinstance(f, Wildcard)
-        ]
-        nibbles = sum(1 for c in classes if c in _NIBBLE_CLASSES)
-        whole = sum(_BYTE_SIZES[c] for c in classes if c not in _NIBBLE_CLASSES)
-        return (nibbles + 1) // 2 + whole, classes
+        """Encoded operand size in bytes and the flat wildcard class list.
+
+        Cached per instance (the pattern is frozen, so the layout never
+        changes); callers must not mutate the returned class list.
+        """
+        cached = self.__dict__.get("_layout")
+        if cached is None:
+            classes = [
+                f.cls
+                for part in self.parts
+                for f in part.fields
+                if isinstance(f, Wildcard)
+            ]
+            nibbles = sum(1 for c in classes if c in _NIBBLE_CLASSES)
+            whole = sum(
+                _BYTE_SIZES[c] for c in classes if c not in _NIBBLE_CLASSES)
+            cached = ((nibbles + 1) // 2 + whole, classes)
+            self.__dict__["_layout"] = cached
+        return cached
 
     def operand_bytes(self) -> int:
         """Encoded operand size in bytes."""
         return self.operand_layout()[0]
 
     def encoded_size(self) -> int:
-        """Size of one occurrence: opcode byte + operand bytes."""
-        return 1 + self.operand_bytes()
+        """Size of one occurrence: opcode byte + operand bytes.
+
+        Value-cached across instances: the builder's pair loop constructs
+        a fresh ``DictPattern`` per candidate occurrence, and the same
+        candidate recurs at many sites and across passes.
+        """
+        size = _ENCODED_SIZE_CACHE.get(self)
+        if size is None:
+            size = 1 + self.operand_layout()[0]
+            _ENCODED_SIZE_CACHE[self] = size
+        return size
 
     def wildcard_values(self, insns: Sequence[Instr]) -> List[Tuple[str, FieldValue]]:
         out: List[Tuple[str, FieldValue]] = []
@@ -222,8 +276,16 @@ class DictPattern:
         return True
 
     def dictionary_size(self) -> int:
-        """Bytes this entry occupies in the transmitted dictionary."""
-        return len(serialize_pattern(self))
+        """Bytes this entry occupies in the transmitted dictionary.
+
+        Value-cached like :meth:`encoded_size` (serialization is by far
+        the most expensive per-candidate computation in the builder).
+        """
+        size = _DICT_SIZE_CACHE.get(self)
+        if size is None:
+            size = len(serialize_pattern(self))
+            _DICT_SIZE_CACHE[self] = size
+        return size
 
     def __str__(self) -> str:
         if len(self.parts) == 1:

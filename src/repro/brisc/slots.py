@@ -14,10 +14,10 @@ fused pattern).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
-from ..vm.instr import Instr, VMFunction, VMProgram
-from .pattern import DictPattern, InsnPattern, pattern_of_instr
+from ..vm.instr import Instr, VMProgram
+from .pattern import DictPattern, pattern_of_instr
 
 __all__ = ["Slot", "SlotFunction", "SlotProgram", "build_slots"]
 

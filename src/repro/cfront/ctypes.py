@@ -9,8 +9,8 @@ conversion matrix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 __all__ = [
     "CType", "VoidType", "IntType", "FloatType", "PointerType", "ArrayType",

@@ -25,7 +25,7 @@ from .astnodes import (
 from .ctypes import (
     ArrayType, CType, FunctionType, PointerType, StructMember, StructType,
 )
-from .errors import CompileError, Location
+from .errors import CompileError
 from .lexer import tokenize
 from .symbols import Scope, Storage, Symbol
 from .tokens import Token, TokenKind as TK
@@ -335,7 +335,6 @@ class Parser:
     # -- external declarations -------------------------------------------
 
     def _external_declaration(self) -> None:
-        loc = self._peek().location
         is_typedef = bool(self._accept(TK.KW_TYPEDEF))
         is_static = bool(self._accept(TK.KW_STATIC))
         is_extern = bool(self._accept(TK.KW_EXTERN))

@@ -19,14 +19,14 @@ from .astnodes import (
     Assign, Binary, Block, Break, Call, Case, Cast, Conditional, Continue,
     DeclStmt, DoWhile, EmptyStmt, Expr, ExprStmt, FloatLit, For, FunctionDef,
     If, ImplicitCast, IncDec, Index, InitList, Initializer, IntLit, Member,
-    NameRef, ParamDecl, Return, SizeofType, Stmt, StringLit, Switch,
+    NameRef, Return, SizeofType, Stmt, StringLit, Switch,
     TranslationUnit, Unary, VarDecl, While,
 )
 from .ctypes import (
     ArrayType, CType, FloatType, FunctionType, IntType, PointerType,
     StructType, VoidType,
 )
-from .errors import CompileError, Diagnostics, Location
+from .errors import CompileError, Location
 from .symbols import Scope, Storage, Symbol
 
 __all__ = ["analyze", "is_lvalue", "BUILTIN_FUNCTIONS"]

@@ -9,8 +9,8 @@ example relies on).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from .ctypes import CType, FunctionType, StructType
 from .errors import CompileError, Location

@@ -17,10 +17,9 @@ indices are remapped after deletions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..vm.instr import Instr, VMFunction
-from ..vm.isa import REG_SP
 
 __all__ = ["peephole_function", "INVERTED_BRANCH"]
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
-from ..ir.ops import Op
 from ..ir.tree import IRFunction, IRModule, Tree
 from ..vm.instr import Instr, VMFunction, VMProgram
 from ..vm.isa import ISA, REG_RA, REG_SP, SYSCALL_BY_NAME

@@ -12,7 +12,7 @@ The coder follows Witten, Neal & Cleary (CACM 1987), the paper's citation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from .bitio import BitReader, BitWriter
 

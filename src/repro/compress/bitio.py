@@ -11,7 +11,7 @@ stream containers use for lengths and counts.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import List
 
 from ..errors import CorruptStreamError, TruncatedStreamError
 

@@ -14,7 +14,6 @@ header encoding of lengths stays fixed-width.
 from __future__ import annotations
 
 import heapq
-from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import (

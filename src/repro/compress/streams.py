@@ -23,7 +23,7 @@ checksummed and legacy (CRC-less) entries.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import (
     CorruptStreamError, DEFAULT_LIMITS, ResourceLimits, TruncatedStreamError,

@@ -16,7 +16,7 @@ the literal's value (see :mod:`repro.wire.patternize`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 __all__ = ["Op", "OPS", "op"]
 

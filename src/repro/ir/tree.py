@@ -9,7 +9,7 @@ paper's examples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Tuple, Union
 
 from .ops import Op, op
 

@@ -17,7 +17,7 @@ compile throughput are exactly what the paper's Table 2 measures.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..native.base import NativeTarget

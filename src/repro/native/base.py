@@ -20,7 +20,6 @@ measurement the paper makes, which is all its evaluation uses them for.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from ..vm.instr import Instr, VMFunction, VMProgram
 

@@ -33,14 +33,14 @@ from .cache import (
 )
 from .config import PipelineConfig
 from .stages import STAGE_NAMES, STAGES, Stage, resolve_stages, vm_code_bytes
-from .toolchain import SCHEMA_VERSION, StageStats, Toolchain
+from .toolchain import SCHEMA_VERSION, BuilderStats, StageStats, Toolchain
 
 __all__ = [
-    "Artifact", "ArtifactCache", "BatchItem", "CompilationResult",
-    "DiskCache", "MemoryCache", "PipelineConfig", "SCHEMA_VERSION",
-    "STAGES", "STAGE_NAMES", "Stage", "StageStats", "TieredCache",
-    "Toolchain", "default_cache_dir", "default_toolchain", "resolve_stages",
-    "vm_code_bytes",
+    "Artifact", "ArtifactCache", "BatchItem", "BuilderStats",
+    "CompilationResult", "DiskCache", "MemoryCache", "PipelineConfig",
+    "SCHEMA_VERSION", "STAGES", "STAGE_NAMES", "Stage", "StageStats",
+    "TieredCache", "Toolchain", "default_cache_dir", "default_toolchain",
+    "resolve_stages", "vm_code_bytes",
 ]
 
 _DEFAULT: Optional[Toolchain] = None

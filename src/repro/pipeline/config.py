@@ -21,12 +21,18 @@ class PipelineConfig:
     ``isa`` selects the abstract machine (the ablation variants de-tune
     it); ``brisc_*`` mirror :func:`repro.brisc.compress`'s parameters;
     ``wire_compress`` mirrors :func:`repro.wire.encode_module`'s flag.
+
+    ``brisc_workers`` parallelizes the builder's candidate scan.  It is
+    deliberately *excluded* from the brisc stage's cache-key fragment:
+    the parallel builder is byte-identical to the serial one, so two
+    compiles differing only in worker count share artifacts.
     """
 
     isa: ISA = field(default_factory=ISA)
     brisc_k: int = 20
     brisc_abundant_memory: bool = False
     brisc_max_passes: int = 40
+    brisc_workers: int = 1
     wire_compress: bool = True
 
     def with_isa(self, isa: Optional[ISA]) -> "PipelineConfig":
@@ -35,7 +41,8 @@ class PipelineConfig:
 
     def with_brisc(self, k: Optional[int] = None,
                    abundant_memory: Optional[bool] = None,
-                   max_passes: Optional[int] = None) -> "PipelineConfig":
+                   max_passes: Optional[int] = None,
+                   workers: Optional[int] = None) -> "PipelineConfig":
         """A copy with the given BRISC knobs overridden."""
         return replace(
             self,
@@ -45,4 +52,6 @@ class PipelineConfig:
                                    else abundant_memory),
             brisc_max_passes=(self.brisc_max_passes
                               if max_passes is None else max_passes),
+            brisc_workers=(self.brisc_workers
+                           if workers is None else workers),
         )

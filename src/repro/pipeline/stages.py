@@ -141,6 +141,9 @@ class BriscStage(Stage):
     requires = "codegen"
 
     def config_fragment(self, config):
+        # brisc_workers is intentionally absent: the parallel builder is
+        # byte-identical to the serial one, so changing the worker count
+        # must not invalidate cached artifacts.
         return (f"k={config.brisc_k};abundant={config.brisc_abundant_memory};"
                 f"passes={config.brisc_max_passes}")
 
@@ -149,12 +152,20 @@ class BriscStage(Stage):
 
         cp = compress(value, k=config.brisc_k,
                       abundant_memory=config.brisc_abundant_memory,
-                      max_passes=config.brisc_max_passes)
+                      max_passes=config.brisc_max_passes,
+                      workers=config.brisc_workers)
         meta = {
             "code_segment": cp.image.code_segment_size,
             "patterns": cp.image.pattern_count,
             "passes": cp.build.passes,
             "candidates_tested": cp.build.candidates_tested,
+            "builder_workers": cp.build.workers,
+            "builder_seconds": round(cp.build.seconds, 6),
+            "builder_passes": [
+                {"candidates": p.candidates, "admitted": p.admitted,
+                 "seconds": round(p.seconds, 6)}
+                for p in cp.build.pass_stats
+            ],
         }
         return cp, cp.image.size, meta
 

@@ -25,7 +25,7 @@ from .cache import ArtifactCache, DiskCache, MemoryCache, TieredCache
 from .config import PipelineConfig
 from .stages import STAGES, resolve_stages
 
-__all__ = ["SCHEMA_VERSION", "StageStats", "Toolchain"]
+__all__ = ["SCHEMA_VERSION", "BuilderStats", "StageStats", "Toolchain"]
 
 #: Bump to invalidate every cached artifact (on-disk entries included)
 #: whenever a stage's output format changes incompatibly.
@@ -48,6 +48,36 @@ class StageStats:
     def as_dict(self) -> Dict[str, Any]:
         return {"runs": self.runs, "cache_hits": self.cache_hits,
                 "seconds": self.seconds, "bytes": self.bytes_out}
+
+
+@dataclass
+class BuilderStats:
+    """BRISC dictionary-builder accounting across a toolchain's lifetime.
+
+    Aggregated from the per-pass counters the brisc stage records in its
+    artifact meta (cache hits contribute nothing — no build ran).
+    """
+
+    builds: int = 0
+    passes: int = 0
+    candidates: int = 0
+    admitted: int = 0
+    seconds: float = 0.0
+
+    def note(self, meta: Dict[str, Any]) -> None:
+        pass_rows = meta.get("builder_passes")
+        if pass_rows is None:  # artifact predates the per-pass counters
+            return
+        self.builds += 1
+        self.passes += len(pass_rows)
+        self.candidates += sum(p["candidates"] for p in pass_rows)
+        self.admitted += sum(p["admitted"] for p in pass_rows)
+        self.seconds += meta.get("builder_seconds", 0.0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"builds": self.builds, "passes": self.passes,
+                "candidates": self.candidates, "admitted": self.admitted,
+                "seconds": self.seconds}
 
 
 def _digest(text: str) -> str:
@@ -81,6 +111,7 @@ class Toolchain:
         self._stats: Dict[str, StageStats] = {
             s.name: StageStats() for s in STAGES
         }
+        self._builder_stats = BuilderStats()
 
     # -- single-unit compilation ------------------------------------------
 
@@ -125,6 +156,8 @@ class Toolchain:
             stats.runs += 1
             stats.seconds += dt
             stats.bytes_out += size
+            if stage.name == "brisc":
+                self._builder_stats.note(meta)
             self.cache.put(key, artifact)
             artifacts[stage.name] = artifact
         return CompilationResult(unit=name, source=source, artifacts=artifacts)
@@ -254,6 +287,8 @@ class Toolchain:
         if outcome[0] == "ok":
             _, result, worker_stats, seconds = outcome
             for artifact in result.artifacts.values():
+                if artifact.stage == "brisc" and not artifact.from_cache:
+                    self._builder_stats.note(artifact.meta)
                 self.cache.put(artifact.key, artifact)
             for stage_name, stat in worker_stats.items():
                 mine = self._stats[stage_name]
@@ -270,15 +305,18 @@ class Toolchain:
     # -- stats ------------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        """Per-stage runs/hits/seconds/bytes plus cache hit counters."""
+        """Per-stage runs/hits/seconds/bytes plus cache hit counters and
+        the BRISC builder's aggregated per-pass accounting."""
         return {
             "stages": {name: s.as_dict() for name, s in self._stats.items()},
             "cache": self.cache.stats(),
+            "brisc_builder": self._builder_stats.as_dict(),
         }
 
     def reset_stats(self) -> None:
         for name in self._stats:
             self._stats[name] = StageStats()
+        self._builder_stats = BuilderStats()
 
 
 def _compile_worker(name: str, source: str, config: PipelineConfig,

@@ -24,7 +24,7 @@ than silently decoded.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Optional
 
 __all__ = ["Link", "Representation", "RetryPolicy", "DeliveryResult",
            "delivery_time",

@@ -16,7 +16,7 @@ them as ``$name``.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from .instr import Instr, VMFunction
 from .isa import FREG_NAMES, Operand, REG_NAMES, SPEC

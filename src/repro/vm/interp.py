@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.tree import PtrInit, ScalarInit
-from .instr import Instr, VMFunction, VMProgram
+from .instr import VMFunction, VMProgram
 from .isa import NUM_FREGS, NUM_IREGS, Operand, REG_RA, REG_SP, SYSCALLS
 
 __all__ = ["VMError", "ExecutionResult", "Interpreter", "run_program",

@@ -18,7 +18,7 @@ the only — purely internal — renaming).
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from ..compress import huffman
 from ..compress.bitio import read_uvarint, take_bytes, write_uvarint

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple, Union
 
-from ..ir.ops import OPS, Op, op
+from ..ir.ops import op
 from ..ir.tree import IRFunction, Tree
 
 __all__ = [

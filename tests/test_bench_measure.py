@@ -1,9 +1,8 @@
 """Measurement-runner tests (on the small suite input, for speed)."""
 
-import pytest
 
 from repro.bench import (
-    ablation_rows, ablation_table, brisc_table, render_table, vm_code_bytes,
+    ablation_table, brisc_table, render_table, vm_code_bytes,
     wire_row, wire_table,
 )
 from repro.bench.measure import WireRow, BriscRow, AblationRow

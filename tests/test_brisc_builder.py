@@ -1,7 +1,6 @@
 """Greedy BRISC dictionary construction tests, including the paper's
 worked cost-benefit example."""
 
-import pytest
 
 import repro
 from repro.brisc.builder import build_dictionary
@@ -154,3 +153,60 @@ class TestGreedyConstruction:
         prog = self._compile("int main(void) { return 3; }")
         result = build_dictionary(prog, k=20, max_passes=1)
         assert result.passes == 1
+
+
+class TestParallelDeterminism:
+    """The sharded scan must admit the same dictionary, in the same order,
+    as the serial builder: per-function savings merge by addition and the
+    admission heap's tie-break is a total order, so worker count is
+    invisible in the output."""
+
+    @staticmethod
+    def _fingerprint(result):
+        slots = [
+            [(str(s.pattern), s.insns) for s in fn.slots]
+            for fn in result.slots.functions
+        ]
+        return ([str(p) for p in result.dictionary], slots,
+                result.candidates_tested, result.passes,
+                result.base_patterns)
+
+    def test_workers_match_serial_on_corpus_units(self):
+        from repro.corpus.samples import SAMPLES
+
+        for name in ("wc", "sort"):
+            prog = repro.compile_c(SAMPLES[name], name)
+            serial = build_dictionary(prog)
+            parallel = build_dictionary(prog, workers=2)
+            assert self._fingerprint(serial) == self._fingerprint(parallel)
+
+    def test_workers_recorded_in_result(self):
+        from repro.corpus.samples import SAMPLES
+
+        prog = repro.compile_c(SAMPLES["wc"], "wc")
+        result = build_dictionary(prog, workers=2)
+        assert result.workers == 2
+        assert build_dictionary(prog).workers == 1
+
+    def test_pass_stats_cover_every_pass(self):
+        from repro.corpus.samples import SAMPLES
+
+        prog = repro.compile_c(SAMPLES["wc"], "wc")
+        result = build_dictionary(prog)
+        assert len(result.pass_stats) == result.passes
+        assert all(p.seconds >= 0 for p in result.pass_stats)
+        # Pass counters reconcile with the build totals.
+        assert sum(p.candidates for p in result.pass_stats) \
+            == result.candidates_tested
+        admitted = sum(p.admitted for p in result.pass_stats)
+        assert admitted == result.dictionary_size - result.base_patterns
+        assert result.seconds == sum(p.seconds for p in result.pass_stats)
+
+    def test_invalid_worker_counts_clamp_to_serial(self):
+        prog = self._small()
+        assert build_dictionary(prog, workers=0).workers == 1
+        assert build_dictionary(prog, workers=-3).workers == 1
+
+    @staticmethod
+    def _small():
+        return repro.compile_c("int main(void) { return 3; }")

@@ -7,7 +7,6 @@ pattern id behind the 0xFF escape byte.  These tests build such an image
 synthetically and prove it decodes and executes.
 """
 
-import pytest
 
 from repro.brisc.encode import decode_image, encode_image, parse_image
 from repro.brisc.markov import ESCAPE
@@ -76,7 +75,7 @@ def test_escaped_image_interprets_in_place():
 
 def test_no_escape_below_limit():
     image, _ = encode_image(_build_overflow_program(100), [])
-    parsed = parse_image(image.blob)
+    parse_image(image.blob)
     # With 101 block patterns the stored bb table holds them all; the only
     # 0xFF bytes possible are operand payload, so decode must still work.
     program = decode_image(image.blob)

@@ -6,9 +6,8 @@ split path is exercised with a synthetic slot program engineered to give
 one pattern more than 255 distinct successors.
 """
 
-import pytest
 
-from repro.brisc.markov import CTX_BB, CTX_ENTRY, MarkovModel, build_markov
+from repro.brisc.markov import CTX_BB, CTX_ENTRY, build_markov
 from repro.brisc.pattern import DictPattern, pattern_of_instr
 from repro.brisc.slots import Slot, SlotFunction, SlotProgram
 from repro.vm.instr import Instr
@@ -114,3 +113,94 @@ class TestSerializationCost:
         model, _ = build_markov(_make_program(slots))
         assert model.serialized_size() >= sum(
             2 * len(t) for t in model.tables.values())
+
+
+class TestPatternIds:
+    def _program(self):
+        slots = [
+            _slot(Instr("li", (0, 1))),
+            _slot(Instr("mov.i", (1, 0))),
+            _slot(Instr("li", (0, 1))),
+            _slot(Instr("hlt", ())),
+        ]
+        return _make_program(slots)
+
+    def test_pattern_id_matches_build_assignment(self):
+        program = self._program()
+        model, fn_ids = build_markov(program)
+        for fi, fn in enumerate(program.functions):
+            for i, slot in enumerate(fn.slots):
+                assert model.pattern_id(slot.pattern) == fn_ids[fi][i]
+
+    def test_pattern_id_unknown_pattern_raises(self):
+        model, _ = build_markov(self._program())
+        insn = Instr("mov.i", (3, 2))
+        burned = pattern_of_instr(insn).specializations(insn)[0]
+        unseen = DictPattern((burned,))
+        try:
+            model.pattern_id(unseen)
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError for unseen pattern")
+
+    def test_split_clone_maps_to_original_id(self):
+        """A split clone aliases its original pattern, so pattern_id keeps
+        returning the canonical (pre-split) id."""
+        hub = Instr("mov.i", (0, 0))
+        slots = []
+        for i in range(300):
+            slots.append(_slot(hub))
+            target = Instr("li", (1, 1000 + i))
+            p = pattern_of_instr(target)
+            for _ in range(2):
+                p = p.specializations(target)[0]
+            slots.append(Slot(insns=(target,), pattern=DictPattern((p,))))
+        slots.append(_slot(Instr("hlt", ())))
+        program = _make_program(slots)
+        model, fn_ids = build_markov(program)
+        assert model.splits >= 1
+        hub_pattern = program.functions[0].slots[0].pattern
+        canonical = model.pattern_id(hub_pattern)
+        # The clone id appears in the relabelled stream but pattern_id
+        # still resolves the pattern to its first-use id.
+        assert canonical == min(
+            fn_ids[0][i] for i in range(0, len(fn_ids[0]) - 1, 2)
+        )
+
+
+class TestIndexOf:
+    def test_matches_list_index_semantics(self):
+        """Regression for the reverse-map rewrite: index_of must agree
+        with the old O(n) ``list.index`` scan on every (ctx, pid)."""
+        slots = [_slot(Instr("li", (0, i))) for i in range(10)]
+        slots.append(_slot(Instr("hlt", ())))
+        model, _ = build_markov(_make_program(slots))
+        all_pids = range(len(model.patterns) + 2)  # includes absent ids
+        for ctx, table in model.tables.items():
+            for pid in all_pids:
+                expected = table.index(pid) if pid in table else None
+                assert model.index_of(ctx, pid) == expected
+
+    def test_unknown_context_is_none(self):
+        model, _ = build_markov(_make_program(
+            [_slot(Instr("hlt", ()))]))
+        assert model.index_of(12345, 0) is None
+
+    def test_reverse_map_tracks_table_growth(self):
+        """Mutating a table in place (or replacing it) must not serve a
+        stale reverse map."""
+        slots = [
+            _slot(Instr("li", (0, 1))),
+            _slot(Instr("mov.i", (1, 0))),
+            _slot(Instr("hlt", ())),
+        ]
+        model, _ = build_markov(_make_program(slots))
+        ctx = CTX_ENTRY
+        table = model.tables[ctx]
+        probe = len(model.patterns) + 7
+        assert model.index_of(ctx, probe) is None  # primes the cache
+        table.append(probe)
+        assert model.index_of(ctx, probe) == len(table) - 1
+        model.tables[ctx] = [probe]
+        assert model.index_of(ctx, probe) == 0

@@ -1,9 +1,8 @@
 """BRISC pattern machinery tests."""
 
-import pytest
 
 from repro.brisc.pattern import (
-    Burned, DictPattern, InsnPattern, Wildcard, deserialize_pattern,
+    Burned, DictPattern, deserialize_pattern,
     imm_class, pattern_of_instr, serialize_pattern,
 )
 from repro.vm.instr import Instr

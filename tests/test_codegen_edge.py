@@ -1,11 +1,8 @@
 """Edge-case code generation tests: compound assignment through memory,
 increment/decrement variants, register pressure, mixed-type corners."""
 
-import pytest
 
 import repro
-from repro.codegen import CodegenError
-from repro.vm import run_program
 
 
 def returns(src, **kwargs):
@@ -145,9 +142,8 @@ class TestIncDec:
 
 class TestRegisterPressure:
     def test_deep_expression_tree(self):
-        # A balanced tree of depth ~5 (needs ~6 registers with SU order).
-        expr = "((1+2)*(3+4)) + ((5+6)*(7+8)) + ((1+2)*(3+4)) * 2"
-        # Defeat constant folding with variables.
+        # A balanced tree of depth ~5 (needs ~6 registers with SU
+        # order); variables defeat constant folding.
         decls = "; ".join(f"int v{i} = {i}" for i in range(1, 9)) + ";"
         deep = ("((v1+v2)*(v3+v4)) + ((v5+v6)*(v7+v8)) "
                 "+ ((v1+v2)*(v3+v4)) * v2")

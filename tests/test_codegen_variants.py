@@ -11,7 +11,7 @@ from repro.codegen import ABLATION_VARIANTS, generate_program
 from repro.corpus.samples import SAMPLES
 from repro.ir import lower_unit
 from repro.vm import run_program
-from repro.vm.isa import ISA, SPEC
+from repro.vm.isa import SPEC
 
 
 def build(src, isa, name="m"):

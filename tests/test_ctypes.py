@@ -1,6 +1,5 @@
 """Type-system tests: layout, promotions, compatibility."""
 
-import pytest
 
 from repro.cfront import ctypes as ct
 from repro.cfront.ctypes import (

@@ -22,7 +22,7 @@ from repro.codegen import generate_program
 from repro.corpus import sample_names, get_sample
 from repro.errors import CorruptStreamError, DecodeError
 from repro.faults import (
-    MUTATION_KINDS, FuzzReport, apply_mutation, fuzz_decoder,
+    MUTATION_KINDS, apply_mutation, fuzz_decoder,
 )
 from repro.ir import dump_module, lower_unit
 from repro.wire import decode_module, encode_module

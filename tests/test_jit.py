@@ -1,6 +1,5 @@
 """BRISC JIT tests: template splicing, determinism, throughput."""
 
-import pytest
 
 import repro
 from repro.brisc import compress

@@ -1,6 +1,5 @@
 """Synthetic native target tests."""
 
-import pytest
 
 import repro
 from repro.native import PPCLike, PentiumLike, SparcLike

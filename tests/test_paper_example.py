@@ -10,7 +10,6 @@ import pytest
 import repro
 from repro.brisc import compress
 from repro.brisc.pattern import pattern_of_instr
-from repro.brisc.slots import build_slots
 from repro.cfront import compile_to_ast
 from repro.ir import dump_function, lower_unit
 

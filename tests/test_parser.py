@@ -5,8 +5,7 @@ import pytest
 from repro.cfront import ctypes as ct
 from repro.cfront.astnodes import (
     Assign, Binary, Block, Call, Case, Conditional, DeclStmt, DoWhile,
-    ExprStmt, For, FunctionDef, If, IncDec, Index, IntLit, Member, NameRef,
-    Return, Switch, Unary, VarDecl, While,
+    For, If, IncDec, Index, Member, Return, Switch, Unary, While,
 )
 from repro.cfront.ctypes import ArrayType, FunctionType, PointerType, StructType
 from repro.cfront.errors import CompileError

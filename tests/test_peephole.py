@@ -5,7 +5,6 @@ import pytest
 import repro
 from repro.codegen.peephole import INVERTED_BRANCH, peephole_function
 from repro.vm.asm import parse_function
-from repro.vm.instr import Instr, VMProgram
 from repro.vm.interp import run_program
 
 

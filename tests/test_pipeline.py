@@ -21,7 +21,7 @@ from repro.codegen import generate_program
 from repro.corpus import suite_names, suite_source
 from repro.ir import dump_module, lower_unit
 from repro.pipeline import (
-    MemoryCache, PipelineConfig, STAGE_NAMES, Toolchain, resolve_stages,
+    MemoryCache, STAGE_NAMES, Toolchain, resolve_stages,
     vm_code_bytes,
 )
 from repro.wire import encode_module
@@ -89,6 +89,51 @@ def test_config_changes_invalidate_downstream_only():
         assert stages[name]["runs"] == base_runs[name]
     # ...but the brisc stage re-ran under the new knobs.
     assert stages["brisc"]["runs"] == base_runs["brisc"] + 1
+
+
+def test_brisc_workers_do_not_churn_the_cache_key():
+    """The builder's output is byte-identical for any worker count, so
+    ``brisc_workers`` must stay out of the stage's cache key: switching
+    worker counts on the same unit serves the brisc artifact from cache."""
+    tc = Toolchain()
+    tc.compile(SMALL, name="u", stages=("brisc",))
+    base_runs = tc.stats()["stages"]["brisc"]["runs"]
+    config = tc.config.with_brisc(workers=2)
+    assert config.brisc_workers == 2
+    res = tc.compile(SMALL, name="u", stages=("brisc",), config=config)
+    assert res.artifact("brisc").from_cache
+    assert tc.stats()["stages"]["brisc"]["runs"] == base_runs
+
+
+def test_with_brisc_keeps_unrelated_knobs():
+    tc = Toolchain()
+    config = tc.config.with_brisc(k=7).with_brisc(workers=3)
+    assert config.brisc_k == 7 and config.brisc_workers == 3
+    # Omitting workers leaves the current value in place.
+    assert config.with_brisc(k=9).brisc_workers == 3
+
+
+def test_brisc_meta_records_builder_pass_stats():
+    tc = Toolchain()
+    res = tc.compile(SMALL, name="u", stages=("brisc",))
+    meta = res.artifact("brisc").meta
+    assert meta["builder_workers"] == 1
+    assert meta["builder_seconds"] >= 0
+    passes = meta["builder_passes"]
+    assert len(passes) == res.brisc.build.passes
+    assert all(set(p) == {"candidates", "admitted", "seconds"}
+               for p in passes)
+
+
+def test_toolchain_aggregates_builder_stats():
+    tc = Toolchain()
+    tc.compile(SMALL, name="u", stages=("brisc",))
+    builder = tc.stats()["brisc_builder"]
+    assert builder["builds"] == 1
+    assert builder["passes"] >= 1
+    # A cache hit must not double-count the build.
+    tc.compile(SMALL, name="u", stages=("brisc",))
+    assert tc.stats()["brisc_builder"]["builds"] == 1
 
 
 def test_unit_name_is_part_of_the_key():
@@ -270,9 +315,14 @@ def test_stats_dict_shape():
     tc = Toolchain()
     tc.compile(SMALL, name="u", stages=("codegen",))
     stats = tc.stats()
-    assert set(stats) == {"stages", "cache"}
+    assert set(stats) == {"stages", "cache", "brisc_builder"}
     assert set(stats["stages"]) == set(STAGE_NAMES)
     assert stats["cache"]["misses"] >= 3
+    # No BRISC stage ran, so the builder section is all zeros.
+    assert stats["brisc_builder"] == {
+        "builds": 0, "passes": 0, "candidates": 0, "admitted": 0,
+        "seconds": 0.0,
+    }
     tc.reset_stats()
     assert total_runs(tc) == 0
 

@@ -9,13 +9,12 @@ Two families:
 * random IR forests — the wire format must round-trip them exactly.
 """
 
-import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 import repro
-from repro.ir import T, Tree
+from repro.ir import T
 from repro.ir.tree import IRFunction, IRModule
-from repro.vm import VMError, run_program
+from repro.vm import run_program
 from repro.wire import decode_module, encode_module
 
 

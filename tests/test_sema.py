@@ -5,7 +5,7 @@ import pytest
 from repro.cfront import compile_to_ast
 from repro.cfront import ctypes as ct
 from repro.cfront.astnodes import (
-    Binary, ExprStmt, ImplicitCast, IntLit, Return,
+    ImplicitCast, IntLit, Return,
 )
 from repro.cfront.ctypes import PointerType
 from repro.cfront.errors import CompileError

@@ -5,7 +5,7 @@ import pytest
 from repro.ir.tree import GlobalData, PtrInit, ScalarInit
 from repro.vm.asm import parse_function
 from repro.vm.instr import VMProgram
-from repro.vm.interp import Interpreter, VMError, run_program
+from repro.vm.interp import VMError, run_program
 
 
 def run_asm(body, globals_=None, entry="main", args=(), **kwargs):

@@ -4,7 +4,6 @@ import pytest
 
 import repro
 from repro.cfront import compile_to_ast
-from repro.compress import deflate
 from repro.corpus.samples import SAMPLES
 from repro.ir import T, lower_unit
 from repro.ir.tree import IRModule

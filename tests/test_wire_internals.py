@@ -1,7 +1,6 @@
 """Wire-format internals: novel-value codecs, symbol table, size metrics."""
 
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.cfront import compile_to_ast
 from repro.compress.streams import unpack_streams
