@@ -15,6 +15,10 @@ Usage::
     python -m repro exec-brisc prog.brisc      # interpret an image in place
     python -m repro verify prog.wire           # integrity-check a container
     python -m repro fuzz --seed 1 --mutations 500   # fault-injection sweep
+    python -m repro serve --port 7117 --disk-cache  # long-lived service
+    python -m repro client --port 7117 compile prog.c   # talk to it
+    python -m repro chaos --port 7117          # fault-inject a live server
+    python -m repro cache --prune --max-bytes 100000000  # bound the store
 
 Every command compiles through :mod:`repro.pipeline`, so artifacts shared
 between representations (parse, lower, codegen) are produced once per
@@ -233,6 +237,140 @@ def cmd_fuzz(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the resilient service front end until SIGTERM/SIGINT, then
+    drain gracefully and exit 0."""
+    import asyncio
+    import signal
+
+    from .service import CompressionService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.concurrency,
+        max_queue=args.queue,
+        default_deadline=args.deadline,
+        idle_timeout=args.idle_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        drain_timeout=args.drain_timeout,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+    service = CompressionService(toolchain=_toolchain(args), config=config)
+
+    async def amain() -> None:
+        await service.start()
+        loop = asyncio.get_running_loop()
+
+        def drain() -> None:
+            asyncio.ensure_future(service.shutdown())
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, drain)
+            except NotImplementedError:  # platforms without loop signals
+                signal.signal(sig, lambda *_: service._request_shutdown())
+        print(f"repro-service listening on {service.config.host}:"
+              f"{service.port}", flush=True)
+        await service.wait_stopped()
+        print("repro-service drained cleanly", flush=True)
+
+    asyncio.run(amain())
+    return 0
+
+
+def cmd_client(args) -> int:
+    """One request against a running service; structured errors exit 1
+    (or 75, EX_TEMPFAIL, when the server says the request is retryable)."""
+    from .errors import DecodeError, ServiceError
+    from .service import ServiceClient
+
+    op = args.op
+    try:
+        with ServiceClient(args.host, args.port,
+                           timeout=args.timeout) as client:
+            if op in ("compile", "wire", "brisc"):
+                if not args.file:
+                    print(f"error: {op} needs a source file", file=sys.stderr)
+                    return 2
+                with open(args.file) as f:
+                    source = f.read()
+                if op == "compile":
+                    result = client.compile(source, name=args.file,
+                                            deadline=args.deadline)
+                    print(json.dumps(result, indent=2, sort_keys=True))
+                else:
+                    blob = (client.wire if op == "wire" else client.brisc)(
+                        source, name=args.file, deadline=args.deadline)
+                    if args.output:
+                        with open(args.output, "wb") as f:
+                            f.write(blob)
+                        print(f"wrote {len(blob)} bytes to {args.output}")
+                    else:
+                        print(f"received {len(blob)} bytes "
+                              f"(use -o to write them)")
+            elif op == "verify":
+                if not args.file:
+                    print("error: verify needs a container file",
+                          file=sys.stderr)
+                    return 2
+                with open(args.file, "rb") as f:
+                    blob = f.read()
+                result = client.verify(blob, deadline=args.deadline)
+                print(json.dumps(result, indent=2, sort_keys=True))
+            else:  # ping / ready / stats / shutdown
+                result = client.request(op, deadline=args.deadline)
+                print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 75 if getattr(exc, "retryable", False) else 1
+    except DecodeError as exc:
+        print(f"error: transport: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
+def cmd_chaos(args) -> int:
+    """Chaos sweep against a live server; exit 0 iff the robustness
+    contract held for every injected fault."""
+    from .faults import chaos_probe
+
+    report = chaos_probe(args.host, args.port, rounds=args.rounds,
+                         seed=args.seed, timeout=args.timeout,
+                         stall_seconds=args.stall_seconds)
+    print(report.summary())
+    for failure in report.failures:
+        print(f"FAIL {failure.scenario} #{failure.index}: {failure.detail}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def cmd_cache(args) -> int:
+    """Inspect — and with ``--prune`` bound — the on-disk artifact cache."""
+    from .pipeline.cache import DiskCache
+
+    cache = DiskCache(args.cache_dir)
+    usage = cache.usage()
+    print(f"cache dir : {cache.root}")
+    print(f"entries   : {usage['entries']}")
+    print(f"bytes     : {usage['bytes']}")
+    if args.prune:
+        if args.max_bytes is None:
+            print("error: --prune requires --max-bytes", file=sys.stderr)
+            return 2
+        result = cache.prune(args.max_bytes)
+        print(f"pruned    : {result['removed_entries']} entries "
+              f"({result['removed_bytes']} bytes) evicted, "
+              f"{result['kept_entries']} entries "
+              f"({result['kept_bytes']} bytes) kept")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -307,6 +445,69 @@ def main(argv=None) -> int:
     p.add_argument("--formats", default="wire,brisc",
                    help="container kinds to fuzz (default: wire,brisc)")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser("serve",
+                       help="run the resilient service front end")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7117,
+                   help="TCP port (0 picks an ephemeral one; default 7117)")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="pipeline requests running at once (default 4)")
+    p.add_argument("--queue", type=int, default=16,
+                   help="admitted-but-waiting bound before load shedding "
+                        "(default 16)")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="default per-request deadline in seconds "
+                        "(default 30)")
+    p.add_argument("--idle-timeout", type=float, default=300.0,
+                   help="reap connections idle/stalled this long "
+                        "(default 300)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive unit failures that trip the circuit "
+                        "breaker (default 5)")
+    p.add_argument("--breaker-reset", type=float, default=5.0,
+                   help="seconds until an open breaker half-opens "
+                        "(default 5)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="grace for in-flight work at shutdown (default 10)")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   help="prune the disk cache to this bound at drain")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("client",
+                       help="send one request to a running service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7117)
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="socket timeout in seconds (default 30)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline passed to the server")
+    p.add_argument("op", choices=["ping", "ready", "stats", "shutdown",
+                                  "compile", "wire", "brisc", "verify"])
+    p.add_argument("file", nargs="?",
+                   help="source file (compile/wire/brisc) or container "
+                        "(verify)")
+    p.add_argument("-o", "--output", default=None,
+                   help="where wire/brisc write the received blob")
+    p.set_defaults(fn=cmd_client)
+
+    p = sub.add_parser("chaos",
+                       help="fault-inject a live service (corrupt frames, "
+                            "stalls, disconnects)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7117)
+    p.add_argument("--rounds", type=int, default=15)
+    p.add_argument("--seed", type=int, default=1997)
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.add_argument("--stall-seconds", type=float, default=0.2)
+    p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("cache",
+                       help="inspect or prune the on-disk artifact cache")
+    p.add_argument("--prune", action="store_true",
+                   help="evict oldest-mtime entries down to --max-bytes")
+    p.add_argument("--max-bytes", type=int, default=None)
+    p.set_defaults(fn=cmd_cache)
 
     args = parser.parse_args(argv)
     try:

@@ -34,6 +34,11 @@ __all__ = [
     "ResourceLimits",
     "DEFAULT_LIMITS",
     "decode_guard",
+    "ServiceError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "CircuitOpenError",
+    "CancelledWorkError",
 ]
 
 
@@ -96,6 +101,68 @@ class ResourceLimits:
 
 
 DEFAULT_LIMITS = ResourceLimits()
+
+
+# ---------------------------------------------------------------------------
+# Service-side taxonomy
+# ---------------------------------------------------------------------------
+#
+# The long-lived front end (:mod:`repro.service`) replies to every failed
+# request with a structured error naming one of these classes (or one of
+# the decode classes above, for corrupt frames and containers).  They
+# mirror the decode taxonomy's design: typed, catchable at one root, and
+# carrying enough machine-readable state (``retryable``, ``retry_after``)
+# for a client to act sensibly without parsing message strings.
+
+
+class ServiceError(Exception):
+    """Root of the service-side error taxonomy.
+
+    ``retryable`` tells a client whether re-sending the same request later
+    can succeed; ``retry_after`` (seconds, optional) is the server's hint
+    for how long to wait first.
+    """
+
+    retryable: bool = False
+    retry_after: "float | None" = None
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline elapsed before the pipeline finished; the
+    in-flight work was cancelled.  Not retryable as-is — the same request
+    with the same deadline will most likely time out again."""
+
+
+class OverloadedError(ServiceError):
+    """Load shedding: the admission queue was full, so the request was
+    rejected *before* consuming pipeline resources.  Always retryable."""
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(ServiceError):
+    """The per-unit circuit breaker is open after repeated failures;
+    the request was rejected without running.  Retryable once the breaker
+    half-opens (``retry_after`` seconds)."""
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CancelledWorkError(ServiceError):
+    """Cooperative cancellation fired between pipeline stages — the
+    request's deadline passed or the server began draining while the
+    unit was still compiling.  Retryable: finished stages stay cached,
+    so a retry resumes where the cancelled attempt stopped."""
+
+    retryable = True
 
 # Exceptions a decode boundary converts into the typed taxonomy.  TypeError
 # and arithmetic errors are included deliberately: a malformed blob can

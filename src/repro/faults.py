@@ -29,11 +29,24 @@ decoder does with each mutant:
 All randomness comes from a seeded :class:`random.Random`, so a failing
 mutation index reproduces exactly; there is no wall-clock randomness
 anywhere.  The CLI front end lives in ``python -m repro fuzz``.
+
+The second harness here is *chaos mode* (:func:`chaos_probe`): the same
+philosophy aimed at a **live service front end** (:mod:`repro.service`)
+instead of an in-process decoder.  It opens raw sockets against a
+running server and injects the transport-level failure shapes — corrupt
+frames, garbage bytes, mid-frame disconnects, stalls, forged length
+fields — asserting after every injection that the server (a) answered
+with a structured typed error where the protocol allows one, and (b) is
+still alive and serving (a clean ping round-trip succeeds).  The CLI
+front end is ``python -m repro chaos``.
 """
 
 from __future__ import annotations
 
+import socket
+import struct
 import threading
+import time
 from dataclasses import dataclass, field
 from random import Random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -41,10 +54,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from .errors import DecodeError
 
 __all__ = [
+    "CHAOS_SCENARIOS",
     "MUTATION_KINDS",
+    "ChaosFailure",
+    "ChaosReport",
+    "apply_mutation",
+    "chaos_probe",
     "FuzzFailure",
     "FuzzReport",
-    "apply_mutation",
     "fuzz_decoder",
 ]
 
@@ -209,4 +226,224 @@ def fuzz_decoder(
                 report.failures.append(FuzzFailure(
                     target, kind, index, "wrong_answer",
                     "decode succeeded with a different artifact"))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Chaos mode: fault injection against a live service front end
+# ---------------------------------------------------------------------------
+
+CHAOS_SCENARIOS = (
+    "corrupt_frame",        # valid framing, flipped payload bit (CRC trips)
+    "garbage",              # random bytes that are not a frame at all
+    "truncate_disconnect",  # a frame cut off mid-send, then hang up
+    "stall",                # a partial frame held open, then hang up
+    "oversize_length",      # a header promising an absurd payload length
+)
+
+
+@dataclass(frozen=True)
+class ChaosFailure:
+    """One robustness-contract violation observed against the server."""
+
+    scenario: str
+    index: int      # round ordinal: re-runs with the seed reproduce it
+    detail: str
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run against one live server."""
+
+    host: str
+    port: int
+    seed: int
+    rounds: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    failures: List[ChaosFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        parts = ", ".join(f"{name}={count}"
+                          for name, count in sorted(self.counts.items()))
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (f"{self.host}:{self.port}: {self.rounds} chaos rounds "
+                f"(seed {self.seed}): {parts} -> {status}")
+
+
+def _chaos_message(message: dict) -> bytes:
+    from .service import protocol
+
+    return protocol.encode_message(message)
+
+
+def _chaos_read_reply(sock: socket.socket) -> Optional[dict]:
+    """One framed reply, or ``None`` when the server closed instead."""
+    from .service import protocol
+
+    try:
+        payload = protocol.read_frame_sync(sock)
+    except DecodeError:
+        return None
+    if payload is None:
+        return None
+    return protocol.decode_message(payload)
+
+
+def _chaos_ping(host: str, port: int, timeout: float,
+                sock: Optional[socket.socket] = None) -> Tuple[bool, str]:
+    """A clean ping round-trip; on ``sock`` when given, else a fresh
+    connection.  Returns (alive, detail)."""
+    own = sock is None
+    try:
+        if own:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        assert sock is not None
+        sock.sendall(_chaos_message({"id": 0, "op": "ping"}))
+        reply = _chaos_read_reply(sock)
+    except OSError as exc:
+        return False, f"ping failed: {type(exc).__name__}: {exc}"
+    finally:
+        if own and sock is not None:
+            sock.close()
+    if reply is None:
+        return False, "ping got no reply (connection closed)"
+    if not reply.get("ok") or not reply.get("result", {}).get("pong"):
+        return False, f"ping got unexpected reply {reply!r}"
+    return True, "pong"
+
+
+def chaos_probe(
+    host: str,
+    port: int,
+    *,
+    rounds: int = 15,
+    seed: int = 0,
+    timeout: float = 5.0,
+    stall_seconds: float = 0.2,
+    scenarios: Sequence[str] = CHAOS_SCENARIOS,
+) -> ChaosReport:
+    """Inject ``rounds`` transport faults into a live server.
+
+    Scenarios cycle round-robin (like fuzz mutation kinds).  The contract
+    checked per round:
+
+    * ``corrupt_frame`` — the server must reply with a structured
+      decode-taxonomy error **on the same connection**, and that
+      connection must still serve a clean ping afterwards (the frame was
+      consumed in full, so the stream is in sync);
+    * ``garbage`` / ``oversize_length`` — the server must send a
+      structured error reply and may then close (the stream cannot be
+      resynchronized);
+    * ``truncate_disconnect`` / ``stall`` — no reply owed; the
+      connection just dies or dawdles;
+    * after **every** round, a fresh-connection ping must succeed — no
+      injected fault may take the server down.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+    if not scenarios:
+        raise ValueError("at least one scenario required")
+    unknown = set(scenarios) - set(CHAOS_SCENARIOS)
+    if unknown:
+        raise ValueError(f"unknown chaos scenarios {sorted(unknown)}")
+    rng = Random(seed)
+    report = ChaosReport(host=host, port=port, seed=seed, rounds=rounds)
+
+    def bump(outcome: str) -> None:
+        report.counts[outcome] = report.counts.get(outcome, 0) + 1
+
+    def fail(scenario: str, index: int, detail: str) -> None:
+        bump("violation")
+        report.failures.append(ChaosFailure(scenario, index, detail))
+
+    for index in range(rounds):
+        scenario = scenarios[index % len(scenarios)]
+        frame = _chaos_message({"id": index + 1, "op": "ping"})
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            fail(scenario, index, f"could not connect: {exc}")
+            break
+        try:
+            if scenario == "corrupt_frame":
+                # Flip one bit inside the payload: length and magic stay
+                # valid, the CRC trips, and the stream stays in sync.
+                payload_at = 8 + rng.randrange(len(frame) - 12)
+                bad = (frame[:payload_at]
+                       + bytes([frame[payload_at] ^ (1 << rng.randrange(8))])
+                       + frame[payload_at + 1:])
+                sock.sendall(bad)
+                reply = _chaos_read_reply(sock)
+                if reply is None:
+                    fail(scenario, index,
+                         "no structured reply to a corrupt frame")
+                elif (reply.get("ok")
+                      or reply.get("error", {}).get("taxonomy") != "decode"):
+                    fail(scenario, index,
+                         f"expected a decode-taxonomy error, got {reply!r}")
+                else:
+                    bump("structured_reply")
+                    alive, detail = _chaos_ping(host, port, timeout,
+                                                sock=sock)
+                    if not alive:
+                        fail(scenario, index,
+                             f"connection did not survive the corrupt "
+                             f"frame: {detail}")
+                    else:
+                        bump("connection_survived")
+            elif scenario == "garbage":
+                blob = bytes([0x00]) + bytes(
+                    rng.getrandbits(8) for _ in range(rng.randrange(15, 63)))
+                sock.sendall(blob)
+                reply = _chaos_read_reply(sock)
+                if reply is None or reply.get("ok"):
+                    fail(scenario, index,
+                         f"expected a structured error reply, got {reply!r}")
+                else:
+                    bump("structured_reply")
+            elif scenario == "oversize_length":
+                from .service import protocol
+
+                header = struct.pack(">4sI", protocol.MAGIC, 0xFFFFFFFF)
+                sock.sendall(header)
+                reply = _chaos_read_reply(sock)
+                if reply is None or reply.get("ok"):
+                    fail(scenario, index,
+                         f"expected a structured error reply, got {reply!r}")
+                elif reply.get("error", {}).get("type") \
+                        != "ResourceLimitError":
+                    fail(scenario, index,
+                         f"expected ResourceLimitError, got {reply!r}")
+                else:
+                    bump("structured_reply")
+            elif scenario == "truncate_disconnect":
+                cut = rng.randrange(1, len(frame))
+                sock.sendall(frame[:cut])
+                bump("disconnected")
+            else:  # stall
+                cut = rng.randrange(1, len(frame))
+                sock.sendall(frame[:cut])
+                time.sleep(stall_seconds)
+                bump("stalled")
+        except OSError as exc:
+            # The server may slam the connection mid-scenario; that is
+            # within contract for everything but corrupt_frame (handled
+            # above via its reply checks).
+            bump("connection_reset")
+            if scenario == "corrupt_frame":
+                fail(scenario, index,
+                     f"connection error instead of a structured reply: "
+                     f"{exc}")
+        finally:
+            sock.close()
+        alive, detail = _chaos_ping(host, port, timeout)
+        if alive:
+            bump("alive_after")
+        else:
+            fail(scenario, index, f"server not alive after {scenario}: "
+                                  f"{detail}")
     return report

@@ -12,14 +12,18 @@ pool with deterministic result ordering and per-unit error isolation.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
 
 from ..cfront import CompileError
+from ..errors import CancelledWorkError
 from .artifacts import Artifact, BatchItem, CompilationResult
 from .cache import ArtifactCache, DiskCache, MemoryCache, TieredCache
 from .config import PipelineConfig
@@ -112,6 +116,10 @@ class Toolchain:
             s.name: StageStats() for s in STAGES
         }
         self._builder_stats = BuilderStats()
+        # Stats mutation happens on whichever thread runs the compile —
+        # the service front end shares one toolchain across concurrent
+        # request threads, so every counter update takes this lock.
+        self._stats_lock = threading.Lock()
 
     # -- single-unit compilation ------------------------------------------
 
@@ -121,12 +129,21 @@ class Toolchain:
         name: str = "<input>",
         stages: Optional[Sequence[str]] = None,
         config: Optional[PipelineConfig] = None,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> CompilationResult:
         """Run ``source`` through the selected stages (all by default).
 
         Upstream dependencies of a requested stage run (or hit cache)
         automatically.  Raises :class:`repro.cfront.CompileError` on
         front-end errors.
+
+        ``cancel``, when given, is polled before each stage; once it
+        returns true the compile raises
+        :class:`repro.errors.CancelledWorkError` instead of starting the
+        next stage.  This is how the service front end makes a deadline
+        actually stop pipeline work instead of merely abandoning the
+        thread (already-finished stages stay cached, so a retry resumes
+        where the cancelled attempt left off).
         """
         config = config or self.config
         selected = resolve_stages(stages)
@@ -134,6 +151,10 @@ class Toolchain:
         keys: Dict[str, str] = {}
         artifacts: Dict[str, Artifact] = {}
         for stage in selected:
+            if cancel is not None and cancel():
+                raise CancelledWorkError(
+                    f"compile of {name!r} cancelled before stage "
+                    f"{stage.name!r}")
             parent = base_key if stage.requires is None else keys[stage.requires]
             key = _digest(
                 f"{parent}|{stage.name}|{stage.config_fragment(config)}"
@@ -142,7 +163,8 @@ class Toolchain:
             stats = self._stats[stage.name]
             cached = self.cache.get(key)
             if cached is not None:
-                stats.cache_hits += 1
+                with self._stats_lock:
+                    stats.cache_hits += 1
                 artifacts[stage.name] = replace(cached, from_cache=True)
                 continue
             upstream = (source if stage.requires is None
@@ -153,11 +175,12 @@ class Toolchain:
             artifact = Artifact(stage=stage.name, unit=name, key=key,
                                 payload=payload, size=size, seconds=dt,
                                 meta=meta)
-            stats.runs += 1
-            stats.seconds += dt
-            stats.bytes_out += size
-            if stage.name == "brisc":
-                self._builder_stats.note(meta)
+            with self._stats_lock:
+                stats.runs += 1
+                stats.seconds += dt
+                stats.bytes_out += size
+                if stage.name == "brisc":
+                    self._builder_stats.note(meta)
             self.cache.put(key, artifact)
             artifacts[stage.name] = artifact
         return CompilationResult(unit=name, source=source, artifacts=artifacts)
@@ -288,13 +311,15 @@ class Toolchain:
             _, result, worker_stats, seconds = outcome
             for artifact in result.artifacts.values():
                 if artifact.stage == "brisc" and not artifact.from_cache:
-                    self._builder_stats.note(artifact.meta)
+                    with self._stats_lock:
+                        self._builder_stats.note(artifact.meta)
                 self.cache.put(artifact.key, artifact)
-            for stage_name, stat in worker_stats.items():
-                mine = self._stats[stage_name]
-                mine.runs += stat["runs"]
-                mine.seconds += stat["seconds"]
-                mine.bytes_out += stat["bytes"]
+            with self._stats_lock:
+                for stage_name, stat in worker_stats.items():
+                    mine = self._stats[stage_name]
+                    mine.runs += stat["runs"]
+                    mine.seconds += stat["seconds"]
+                    mine.bytes_out += stat["bytes"]
             items[index] = BatchItem(index=index, unit=name, result=result,
                                      seconds=seconds)
         else:
@@ -307,16 +332,20 @@ class Toolchain:
     def stats(self) -> Dict[str, Any]:
         """Per-stage runs/hits/seconds/bytes plus cache hit counters and
         the BRISC builder's aggregated per-pass accounting."""
-        return {
-            "stages": {name: s.as_dict() for name, s in self._stats.items()},
-            "cache": self.cache.stats(),
-            "brisc_builder": self._builder_stats.as_dict(),
-        }
+        with self._stats_lock:
+            return {
+                "stages": {
+                    name: s.as_dict() for name, s in self._stats.items()
+                },
+                "cache": self.cache.stats(),
+                "brisc_builder": self._builder_stats.as_dict(),
+            }
 
     def reset_stats(self) -> None:
-        for name in self._stats:
-            self._stats[name] = StageStats()
-        self._builder_stats = BuilderStats()
+        with self._stats_lock:
+            for name in self._stats:
+                self._stats[name] = StageStats()
+            self._builder_stats = BuilderStats()
 
 
 def _compile_worker(name: str, source: str, config: PipelineConfig,

@@ -1,0 +1,33 @@
+"""The resilient service front end over the compression pipeline.
+
+A long-lived asyncio server (:class:`CompressionService`) exposes
+compile / wire / brisc / verify requests over a length-prefixed,
+CRC-framed protocol (:mod:`repro.service.protocol`), backed by one
+shared :class:`repro.pipeline.Toolchain` whose tiered cache is the warm
+store.  The interesting part is the robustness layer: per-request
+deadlines that cancel pipeline work, a bounded admission queue with
+load shedding, per-unit circuit breakers, liveness/readiness probes,
+and graceful drain.  :class:`ServiceClient` is the small blocking
+client; ``python -m repro serve`` / ``python -m repro client`` are the
+CLI pair.
+"""
+
+from .client import RemoteServiceError, ServiceClient
+from .protocol import (
+    MAX_FRAME_BYTES, decode_message, encode_message, error_payload,
+    read_frame_sync,
+)
+from .server import BackgroundService, CompressionService, ServiceConfig
+
+__all__ = [
+    "BackgroundService",
+    "CompressionService",
+    "MAX_FRAME_BYTES",
+    "RemoteServiceError",
+    "ServiceClient",
+    "ServiceConfig",
+    "decode_message",
+    "encode_message",
+    "error_payload",
+    "read_frame_sync",
+]

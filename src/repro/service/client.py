@@ -1,0 +1,142 @@
+"""The small blocking client for the service front end.
+
+One :class:`ServiceClient` holds one connection and issues framed JSON
+requests sequentially (open several clients for concurrency).  A failed
+request raises :class:`RemoteServiceError`, which re-exposes the
+server's structured error — class name, taxonomy, ``retryable`` and
+``retry_after`` — so callers branch on fields, not message strings.
+"""
+
+from __future__ import annotations
+
+import base64
+import socket
+from typing import Any, Dict, List, Optional
+
+from ..errors import ServiceError
+from . import protocol
+
+__all__ = ["RemoteServiceError", "ServiceClient"]
+
+
+class RemoteServiceError(ServiceError):
+    """A structured error reply from the server.
+
+    ``error_type`` is the server-side exception class name (e.g.
+    ``"DeadlineExceededError"``, ``"CorruptStreamError"``), ``taxonomy``
+    the family (``service`` / ``decode`` / ``compile`` / ``internal``).
+    """
+
+    def __init__(self, error: Dict[str, Any]) -> None:
+        super().__init__(error.get("message", "service error"))
+        self.error_type = str(error.get("type", "unknown"))
+        self.taxonomy = str(error.get("taxonomy", "unknown"))
+        self.retryable = bool(error.get("retryable", False))
+        self.retry_after = error.get("retry_after")
+
+    def __str__(self) -> str:
+        hint = " (retryable)" if self.retryable else ""
+        return f"{self.error_type}: {super().__str__()}{hint}"
+
+
+class ServiceClient:
+    """Blocking, single-connection client; usable as a context manager."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7117,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def connect(self) -> None:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    # -- request plumbing --------------------------------------------------
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request; return the reply's ``result`` object.
+
+        Raises :class:`RemoteServiceError` on a structured error reply
+        and :class:`repro.errors.DecodeError` when the transport itself
+        misbehaves (corrupt reply frame, connection cut mid-reply).
+        """
+        self.connect()
+        assert self._sock is not None
+        self._next_id += 1
+        message = {"id": self._next_id, "op": op}
+        message.update({k: v for k, v in fields.items() if v is not None})
+        self._sock.sendall(protocol.encode_message(message))
+        payload = protocol.read_frame_sync(self._sock)
+        if payload is None:
+            # The server closed instead of replying: surface as a
+            # truncated exchange so retry logic can treat it uniformly.
+            from ..errors import TruncatedStreamError
+
+            raise TruncatedStreamError(
+                f"connection closed before a reply to {op!r}")
+        reply = protocol.decode_message(payload)
+        if reply.get("ok"):
+            return reply.get("result", {})
+        raise RemoteServiceError(reply.get("error", {}))
+
+    # -- convenience ops ---------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def ready(self) -> Dict[str, Any]:
+        return self.request("ready")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    def sleep(self, seconds: float,
+              deadline: Optional[float] = None,
+              name: Optional[str] = None) -> Dict[str, Any]:
+        return self.request("sleep", seconds=seconds, deadline=deadline,
+                            name=name)
+
+    def compile(self, source: str, name: str = "<client>",
+                stages: Optional[List[str]] = None,
+                deadline: Optional[float] = None) -> Dict[str, Any]:
+        return self.request("compile", source=source, name=name,
+                            stages=stages, deadline=deadline)
+
+    def wire(self, source: str, name: str = "<client>",
+             deadline: Optional[float] = None) -> bytes:
+        result = self.request("wire", source=source, name=name,
+                              deadline=deadline)
+        return base64.b64decode(result["blob_b64"])
+
+    def brisc(self, source: str, name: str = "<client>",
+              deadline: Optional[float] = None) -> bytes:
+        result = self.request("brisc", source=source, name=name,
+                              deadline=deadline)
+        return base64.b64decode(result["blob_b64"])
+
+    def verify(self, blob: bytes,
+               deadline: Optional[float] = None) -> Dict[str, Any]:
+        return self.request(
+            "verify", blob_b64=base64.b64encode(blob).decode("ascii"),
+            deadline=deadline)

@@ -180,3 +180,25 @@ def test_fuzz_smoke(capsys):
 def test_fuzz_rejects_unknown_format(capsys):
     assert main(["fuzz", "--formats", "tar"]) == 2
     assert "unknown formats" in capsys.readouterr().err
+
+
+def test_cache_inspect_and_prune(hello_c, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    # Warm the store through a disk-cached compile.
+    assert main(["--cache-dir", cache_dir, "sizes", hello_c]) == 0
+    capsys.readouterr()
+    assert main(["--cache-dir", cache_dir, "cache"]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and " 0\n" not in out.split("entries")[1][:12]
+    # Prune to zero evicts everything.
+    assert main(["--cache-dir", cache_dir, "cache", "--prune",
+                 "--max-bytes", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned" in out
+    assert main(["--cache-dir", cache_dir, "cache"]) == 0
+    assert "entries   : 0" in capsys.readouterr().out
+
+
+def test_cache_prune_requires_max_bytes(tmp_path, capsys):
+    assert main(["--cache-dir", str(tmp_path), "cache", "--prune"]) == 2
+    assert "--max-bytes" in capsys.readouterr().err

@@ -488,3 +488,176 @@ def test_disk_cache_rejects_non_artifact_pickles(tmp_path):
     path.write_bytes(pickle.dumps({"not": "an artifact"}))
     assert cache.get(key) is None
     assert not path.exists()
+
+
+# ---------------------------------------------------------------------------
+# tiered-cache degraded paths, disk bounds, thread safety
+# ---------------------------------------------------------------------------
+
+import os
+import threading
+
+from repro.pipeline import TieredCache
+
+
+def _tiered(tmp_path, capacity=64):
+    return TieredCache(MemoryCache(capacity), DiskCache(tmp_path))
+
+
+def test_tiered_corrupt_disk_entry_is_miss_removed_and_recompiled(tmp_path):
+    tc = Toolchain(cache=_tiered(tmp_path))
+    tc.compile(SMALL, name="u", stages=("parse",))
+    pkls = list(tmp_path.rglob("*.pkl"))
+    assert pkls
+    for pkl in pkls:
+        pkl.write_bytes(b"\x00garbage, not a pickle at all")
+    # Fresh memory tier: every lookup falls through to the corrupt disk.
+    fresh = Toolchain(cache=_tiered(tmp_path))
+    res = fresh.compile(SMALL, name="u", stages=("parse",))
+    assert not res.artifact("parse").from_cache  # recompiled, no crash
+    # The poisoned entries were dropped and replaced with good ones...
+    third = Toolchain(cache=_tiered(tmp_path))
+    res = third.compile(SMALL, name="u", stages=("parse",))
+    assert res.artifact("parse").from_cache  # ...so the next reader hits
+
+
+def test_put_into_unwritable_cache_dir_never_fails_a_compile(tmp_path):
+    # A regular *file* where the cache root should be: every mkdir/write
+    # under it fails with OSError, which DiskCache.put must swallow.
+    blocked = tmp_path / "blocked"
+    blocked.write_text("not a directory")
+    cache = _tiered(tmp_path / "blocked")
+    tc = Toolchain(cache=cache)
+    res = tc.compile(SMALL, name="u", stages=("parse",))  # must not raise
+    assert res.artifact("parse").payload is not None
+    # Disk writes went nowhere; lookups are misses, not errors.
+    assert cache.disk.get(res.artifact("parse").key) is None
+    assert cache.disk.usage() == {"entries": 0, "bytes": 0}
+
+
+def test_disk_cache_prune_evicts_oldest_mtime_first(tmp_path):
+    from repro.pipeline.artifacts import Artifact
+
+    cache = DiskCache(tmp_path)
+    keys = [f"{i:02x}" + "a" * 62 for i in range(4)]
+    for i, key in enumerate(keys):
+        cache.put(key, Artifact(stage="parse", unit=f"u{i}", key=key,
+                                payload=b"x" * 100, size=100))
+        os.utime(cache._path(key), (1000 + i, 1000 + i))
+    total = cache.usage()["bytes"]
+    per_entry = total // 4
+    # Keep room for roughly two entries: the two oldest must go.
+    result = cache.prune(per_entry * 2 + 1)
+    assert result["removed_entries"] == 2
+    assert cache.get(keys[0]) is None and cache.get(keys[1]) is None
+    assert cache.get(keys[2]) is not None and cache.get(keys[3]) is not None
+    assert cache.usage()["entries"] == 2
+
+
+def test_disk_cache_prune_to_zero_and_validation(tmp_path):
+    from repro.pipeline.artifacts import Artifact
+
+    cache = DiskCache(tmp_path)
+    cache.put("b" * 64, Artifact(stage="parse", unit="u", key="b" * 64,
+                                 payload=b"x", size=1))
+    with pytest.raises(ValueError):
+        cache.prune(-1)
+    result = cache.prune(0)
+    assert result["removed_entries"] == 1 and result["kept_entries"] == 0
+    assert cache.usage() == {"entries": 0, "bytes": 0}
+    assert cache.prune(0)["removed_entries"] == 0  # idempotent
+
+
+def test_memory_cache_is_thread_safe_under_contention():
+    from repro.pipeline.artifacts import Artifact
+
+    cache = MemoryCache(capacity=16)
+    gets_per_thread = 300
+    threads = 8
+    errors = []
+
+    def hammer(tid):
+        try:
+            for i in range(gets_per_thread):
+                key = f"k{(tid * 7 + i) % 40}"
+                if cache.get(key) is None:
+                    cache.put(key, Artifact(stage="parse", unit=key,
+                                            key=key, payload=i))
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append(exc)
+
+    workers = [threading.Thread(target=hammer, args=(t,))
+               for t in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert not errors
+    assert len(cache) <= 16  # LRU bound held under contention
+    stats = cache.stats()
+    assert stats["hits"] + stats["misses"] == threads * gets_per_thread
+
+
+def test_toolchain_shared_across_threads_compiles_consistently():
+    tc = Toolchain()
+    results = {}
+    errors = []
+
+    def compile_unit(tag, source):
+        try:
+            res = tc.compile(source, name=tag, stages=("codegen",))
+            results[tag] = vm_code_bytes(res.program)
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append(exc)
+
+    workers = []
+    for round_no in range(3):
+        for tag, source in (("small", SMALL), ("other", OTHER)):
+            workers.append(threading.Thread(
+                target=compile_unit, args=(f"{tag}", source)))
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert not errors
+    # Same artifacts as a serial compile, and the stats ledger is sane.
+    serial = Toolchain()
+    for tag, source in (("small", SMALL), ("other", OTHER)):
+        expect = vm_code_bytes(
+            serial.compile(source, name=tag, stages=("codegen",)).program)
+        assert results[tag] == expect
+    stats = tc.stats()["stages"]
+    for stage in ("parse", "lower", "codegen"):
+        assert stats[stage]["runs"] + stats[stage]["cache_hits"] == 6
+
+
+def test_compile_cancel_hook_raises_typed_error():
+    from repro.errors import CancelledWorkError
+
+    tc = Toolchain()
+    with pytest.raises(CancelledWorkError):
+        tc.compile(SMALL, name="u", cancel=lambda: True)
+    # A cancel that never fires changes nothing.
+    res = tc.compile(SMALL, name="u", stages=("parse",),
+                     cancel=lambda: False)
+    assert res.artifact("parse").payload is not None
+
+
+def test_compile_cancel_mid_pipeline_keeps_finished_stages(tmp_path):
+    tc = Toolchain()
+    fired = {"calls": 0}
+
+    def cancel_after_two():
+        fired["calls"] += 1
+        return fired["calls"] > 2  # parse and lower run, codegen does not
+
+    from repro.errors import CancelledWorkError
+
+    with pytest.raises(CancelledWorkError):
+        tc.compile(SMALL, name="u", stages=("codegen",),
+                   cancel=cancel_after_two)
+    # The finished prefix stayed cached: the retry hits it.
+    res = tc.compile(SMALL, name="u", stages=("codegen",))
+    assert res.artifact("parse").from_cache
+    assert res.artifact("lower").from_cache
+    assert not res.artifact("codegen").from_cache
