@@ -1,18 +1,54 @@
 """Micro-benchmarks of the compression substrate kernels.
 
 Not a paper table — these track the throughput of the from-scratch
-primitives (deflate, Huffman, MTF, arithmetic coding) that every pipeline
-stage rests on, so regressions in the substrate are visible.
+primitives (bit I/O, LZ77, Huffman, MTF, deflate, arithmetic coding) that
+every pipeline stage rests on, so regressions in the substrate are
+visible.
+
+Each case records the payload size it processes; a session fixture turns
+the measured means into a MB/s column and writes
+``benchmarks/results/compress_kernels.txt`` next to the paper tables,
+with the seed-commit throughput (measured at d16ace2, before the
+table-driven kernel rewrite) alongside for the speedup column.
 """
 
 import random
 
 import pytest
 
+from conftest import save_table
+from repro.bench import render_table
 from repro.compress import arith, deflate
+from repro.compress.bitio import BitReader, BitWriter
 from repro.compress.huffman import decode_symbols, encode_symbols
 from repro.compress.lz77 import detokenize, tokenize
-from repro.compress.mtf import mtf_decode, mtf_encode
+from repro.compress.mtf import MoveToFront, mtf_decode, mtf_encode
+
+#: MB/s measured for each case at the seed commit (d16ace2), i.e. with the
+#: per-bit/per-symbol kernels, on the same host that wrote the results
+#: table.  (Symbol-stream cases count items rather than bytes; the ratio
+#: column is what matters.)
+SEED_MBS = {
+    "bitio_write_bits": 4.148,
+    "bitio_read_bits": 1.074,
+    "bitio_bulk_unaligned": 0.710,
+    "lz77_tokenize": 0.624,
+    "lz77_detokenize": 13.880,
+    "huffman_encode": 2.168,
+    "huffman_decode": 0.836,
+    "huffman_roundtrip": 0.622,
+    "mtf_encode": 1.150,
+    "mtf_decode": 5.009,
+    "mtf_roundtrip": 1.468,
+    "mtf_fixed_alphabet": 1.081,
+    "deflate_compress": 0.715,
+    "deflate_decompress": 4.788,
+    "arith_order1": 0.082,
+}
+
+
+def _mbs(nbytes: int, seconds: float) -> float:
+    return nbytes / seconds / 1e6
 
 
 @pytest.fixture(scope="module")
@@ -24,50 +60,243 @@ def code_like_data():
     )
 
 
+# ---------------------------------------------------------------------------
+# bitio
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bit_pairs():
+    rng = random.Random(11)
+    return [(rng.randrange(1 << 11), 11) for _ in range(40_000)]
+
+
+def test_bitio_write_bits(benchmark, bit_pairs):
+    benchmark.extra_info["bytes"] = len(bit_pairs) * 11 // 8
+
+    def write():
+        w = BitWriter()
+        wb = w.write_bits
+        for value, nbits in bit_pairs:
+            wb(value, nbits)
+        return w.getvalue()
+
+    blob = benchmark(write)
+    assert len(blob) == (len(bit_pairs) * 11 + 7) // 8
+
+
+def test_bitio_read_bits(benchmark, bit_pairs):
+    w = BitWriter()
+    for value, nbits in bit_pairs:
+        w.write_bits(value, nbits)
+    blob = w.getvalue()
+    benchmark.extra_info["bytes"] = len(blob)
+
+    def read():
+        r = BitReader(blob)
+        rb = r.read_bits
+        return [rb(11) for _ in range(len(bit_pairs))]
+
+    out = benchmark(read)
+    assert out == [v for v, _ in bit_pairs]
+
+
+def test_bitio_bulk_unaligned(benchmark):
+    """write_bytes/read_bytes across a bit boundary (the container hot
+    path when a bit header precedes a byte payload)."""
+    payload = bytes(range(256)) * 256  # 64 KiB
+    benchmark.extra_info["bytes"] = len(payload)
+
+    def roundtrip():
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_bytes(payload)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(3) == 0b101
+        return r.read_bytes(len(payload))
+
+    assert benchmark(roundtrip) == payload
+
+
+# ---------------------------------------------------------------------------
+# LZ77
+# ---------------------------------------------------------------------------
+
+
+def test_lz77_tokenize(benchmark, code_like_data):
+    benchmark.extra_info["bytes"] = len(code_like_data)
+    tokens = benchmark(lambda: tokenize(code_like_data))
+    assert detokenize(tokens) == code_like_data
+
+
+def test_lz77_detokenize(benchmark, code_like_data):
+    tokens = tokenize(code_like_data)
+    benchmark.extra_info["bytes"] = len(code_like_data)
+    out = benchmark(lambda: detokenize(tokens))
+    assert out == code_like_data
+
+
+# ---------------------------------------------------------------------------
+# Huffman
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def huffman_symbols():
+    rng = random.Random(3)
+    return [min(63, int(rng.expovariate(0.2))) for _ in range(20_000)]
+
+
+def test_huffman_encode(benchmark, huffman_symbols):
+    benchmark.extra_info["bytes"] = len(huffman_symbols)
+    blob = benchmark(lambda: encode_symbols(huffman_symbols, 64))
+    assert decode_symbols(blob) == huffman_symbols
+
+
+def test_huffman_decode(benchmark, huffman_symbols):
+    blob = encode_symbols(huffman_symbols, 64)
+    benchmark.extra_info["bytes"] = len(huffman_symbols)
+    out = benchmark(lambda: decode_symbols(blob))
+    assert out == huffman_symbols
+
+
+def test_huffman_roundtrip(benchmark, huffman_symbols):
+    benchmark.extra_info["bytes"] = len(huffman_symbols)
+
+    def roundtrip():
+        blob = encode_symbols(huffman_symbols, 64)
+        return decode_symbols(blob)
+
+    out = benchmark(roundtrip)
+    assert out == huffman_symbols
+
+
+# ---------------------------------------------------------------------------
+# MTF
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def mtf_stream():
+    rng = random.Random(5)
+    return [rng.choice([4, 8, 12, 16, 20, 24]) for _ in range(20_000)]
+
+
+def test_mtf_encode(benchmark, mtf_stream):
+    benchmark.extra_info["bytes"] = len(mtf_stream)
+    indices, novel = benchmark(lambda: mtf_encode(mtf_stream))
+    assert mtf_decode(indices, novel) == mtf_stream
+
+
+def test_mtf_decode(benchmark, mtf_stream):
+    indices, novel = mtf_encode(mtf_stream)
+    benchmark.extra_info["bytes"] = len(mtf_stream)
+    out = benchmark(lambda: mtf_decode(indices, novel))
+    assert out == mtf_stream
+
+
+def test_mtf_roundtrip(benchmark, mtf_stream):
+    benchmark.extra_info["bytes"] = len(mtf_stream)
+
+    def roundtrip():
+        indices, novel = mtf_encode(mtf_stream)
+        return mtf_decode(indices, novel)
+
+    assert benchmark(roundtrip) == mtf_stream
+
+
+def test_mtf_fixed_alphabet(benchmark, code_like_data):
+    """The classic 0-based transform over the byte alphabet."""
+    coder = MoveToFront(256)
+    benchmark.extra_info["bytes"] = len(code_like_data)
+
+    def roundtrip():
+        return coder.decode(coder.encode(code_like_data))
+
+    assert bytes(benchmark(roundtrip)) == code_like_data
+
+
+# ---------------------------------------------------------------------------
+# deflate + arithmetic coding (whole-container kernels)
+# ---------------------------------------------------------------------------
+
+
 def test_deflate_compress(benchmark, code_like_data):
+    benchmark.extra_info["bytes"] = len(code_like_data)
     blob = benchmark(lambda: deflate.compress(code_like_data))
     assert deflate.decompress(blob) == code_like_data
 
 
 def test_deflate_decompress(benchmark, code_like_data):
     blob = deflate.compress(code_like_data)
+    benchmark.extra_info["bytes"] = len(code_like_data)
     out = benchmark(lambda: deflate.decompress(blob))
     assert out == code_like_data
 
 
-def test_lz77_tokenize(benchmark, code_like_data):
-    tokens = benchmark(lambda: tokenize(code_like_data))
-    assert detokenize(tokens) == code_like_data
-
-
-def test_huffman_roundtrip(benchmark):
-    rng = random.Random(3)
-    symbols = [min(63, int(rng.expovariate(0.2))) for _ in range(20_000)]
-
-    def roundtrip():
-        blob = encode_symbols(symbols, 64)
-        return decode_symbols(blob)
-
-    out = benchmark(roundtrip)
-    assert out == symbols
-
-
-def test_mtf_roundtrip(benchmark):
-    rng = random.Random(5)
-    stream = [rng.choice([4, 8, 12, 16, 20, 24]) for _ in range(20_000)]
-
-    def roundtrip():
-        indices, novel = mtf_encode(stream)
-        return mtf_decode(indices, novel)
-
-    assert benchmark(roundtrip) == stream
-
-
 def test_arith_order1(benchmark):
     data = b"the quick brown fox " * 100
+    benchmark.extra_info["bytes"] = len(data)
 
     def roundtrip():
         blob = arith.compress(data, order=1)
         return arith.decompress(blob, order=1)
 
     assert benchmark.pedantic(roundtrip, rounds=1, iterations=1) == data
+
+
+# ---------------------------------------------------------------------------
+# results table
+# ---------------------------------------------------------------------------
+
+_AGGREGATE_KERNELS = ("bitio", "lz77", "huffman", "mtf")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def kernel_throughput_table(request, results_dir):
+    """Persist a MB/s before/after table for every case that ran.
+
+    The "before" column is the seed-commit measurement (:data:`SEED_MBS`);
+    the aggregate row is the ratio of summed seed time to summed current
+    time over the bitio/LZ77/Huffman/MTF kernels — the acceptance metric
+    for the table-driven rewrite.
+    """
+    yield
+    session = getattr(request.config, "_benchmarksession", None)
+    if session is None or not session.benchmarks:
+        return  # --benchmark-disable smoke runs have nothing to report
+    rows = []
+    agg_before = agg_after = 0.0
+    agg_complete = True
+    for bench in session.benchmarks:
+        nbytes = (bench.extra_info or {}).get("bytes")
+        mean = getattr(getattr(bench, "stats", None), "mean", None)
+        if not nbytes or not mean:
+            continue
+        name = bench.name.replace("test_", "", 1)
+        after = _mbs(nbytes, mean)
+        before = SEED_MBS.get(name)
+        kernel = name.split("_")[0]
+        if kernel in _AGGREGATE_KERNELS:
+            if before:
+                agg_before += nbytes / (before * 1e6)
+                agg_after += mean
+            else:
+                agg_complete = False
+        rows.append([
+            name,
+            str(nbytes),
+            f"{before:10.2f}" if before else "-",
+            f"{after:10.2f}",
+            f"{after / before:7.1f}x" if before else "-",
+        ])
+    if not rows:
+        return
+    text = render_table(
+        ["kernel case", "payload", "seed MB/s", "MB/s", "speedup"], rows)
+    if agg_before and agg_complete:
+        text += (f"\n\naggregate ({'/'.join(_AGGREGATE_KERNELS)}): "
+                 f"{agg_before / agg_after:.1f}x throughput vs seed "
+                 f"(summed kernel time {agg_before:.3f}s -> "
+                 f"{agg_after:.3f}s per round)")
+    save_table(results_dir, "compress_kernels", text)

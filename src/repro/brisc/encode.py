@@ -120,6 +120,11 @@ def _slot_bytes(
     return bytes(out)
 
 
+#: Interned single-byte opcodes, so the per-slot fast path allocates
+#: nothing (escapes still build their 3-byte form).
+_OPCODE_BYTES = [bytes([i]) for i in range(256)]
+
+
 def _opcode_for(reverse_table: Dict[int, int], pid: int) -> bytes:
     """The context-relative opcode byte (with 2-byte escape if needed).
 
@@ -129,8 +134,8 @@ def _opcode_for(reverse_table: Dict[int, int], pid: int) -> bytes:
     """
     idx = reverse_table.get(pid, ESCAPE)
     if idx < ESCAPE:
-        return bytes([idx])
-    return bytes([ESCAPE]) + pid.to_bytes(2, "little")
+        return _OPCODE_BYTES[idx]
+    return _OPCODE_BYTES[ESCAPE] + pid.to_bytes(2, "little")
 
 
 def _pack_globals(out: bytearray, globals_: List[GlobalData]) -> None:

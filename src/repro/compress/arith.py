@@ -8,6 +8,11 @@ coder with adaptive frequency models so the design-space benchmark
 (`benchmarks/bench_design_space.py`) can place that extreme on the curve.
 
 The coder follows Witten, Neal & Cleary (CACM 1987), the paper's citation.
+The model keeps its cumulative counts in a Fenwick tree, so the two
+cumulative lookups per symbol are O(log size) instead of an O(size) list
+sum, and the decoder's symbol search is a binary-indexed descend instead
+of a linear scan.  The counts themselves are integers updated exactly as
+before, so the coded bitstream is unchanged.
 """
 
 from __future__ import annotations
@@ -32,27 +37,61 @@ class AdaptiveModel:
 
     Frequencies start at 1 (Laplace smoothing) and increment on use; when
     the total exceeds ``_MAX_TOTAL`` all counts are halved, which also
-    gives the model mild recency weighting.
+    gives the model mild recency weighting.  ``freq`` stays a plain list
+    of per-symbol counts; a Fenwick tree over the same counts serves the
+    cumulative queries.
     """
 
     def __init__(self, size: int) -> None:
         self.size = size
         self.freq = [1] * size
         self.total = size
+        # Highest power of two <= size, for the find() descend.
+        self._topbit = 1 << (size.bit_length() - 1) if size else 0
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Recompute the Fenwick tree from ``freq`` (init and halving)."""
+        size = self.size
+        tree = [0] * (size + 1)
+        for i, f in enumerate(self.freq):
+            j = i + 1
+            while j <= size:
+                tree[j] += f
+                j += j & -j
+        self._tree = tree
+
+    def _prefix(self, count: int) -> int:
+        """Sum of the first ``count`` frequencies."""
+        tree = self._tree
+        acc = 0
+        while count:
+            acc += tree[count]
+            count &= count - 1
+        return acc
 
     def cumulative(self, symbol: int) -> "tuple[int, int, int]":
         """Return (low, high, total) cumulative counts for ``symbol``."""
-        low = sum(self.freq[:symbol])
+        low = self._prefix(symbol)
         return low, low + self.freq[symbol], self.total
 
     def find(self, scaled: int) -> int:
         """Return the symbol whose cumulative range contains ``scaled``."""
-        acc = 0
-        for sym, f in enumerate(self.freq):
-            acc += f
-            if scaled < acc:
-                return sym
-        raise ValueError("scaled value outside model total")
+        if scaled >= self.total:
+            raise ValueError("scaled value outside model total")
+        # Largest sym with prefix(sym) <= scaled: descend the tree.
+        tree = self._tree
+        pos = 0
+        rem = scaled
+        mask = self._topbit
+        size = self.size
+        while mask:
+            nxt = pos + mask
+            if nxt <= size and tree[nxt] <= rem:
+                rem -= tree[nxt]
+                pos = nxt
+            mask >>= 1
+        return pos
 
     def update(self, symbol: int) -> None:
         """Record one occurrence of ``symbol``."""
@@ -63,6 +102,14 @@ class AdaptiveModel:
             for i, f in enumerate(self.freq):
                 self.freq[i] = (f + 1) // 2
                 self.total += self.freq[i]
+            self._rebuild()
+        else:
+            tree = self._tree
+            size = self.size
+            j = symbol + 1
+            while j <= size:
+                tree[j] += 32
+                j += j & -j
 
 
 class ArithmeticEncoder:
@@ -75,10 +122,15 @@ class ArithmeticEncoder:
         self.pending = 0
 
     def _emit(self, bit: int) -> None:
-        self.writer.write_bit(bit)
-        while self.pending:
-            self.writer.write_bit(1 - bit)
-            self.pending -= 1
+        # One batched write: the decided bit, then ``pending`` opposite
+        # bits — e.g. pending=3, bit=1 emits 1000, bit=0 emits 0111.
+        pending = self.pending
+        if pending:
+            value = (1 << pending) if bit else ((1 << pending) - 1)
+            self.writer.write_bits(value, pending + 1)
+            self.pending = 0
+        else:
+            self.writer.write_bit(bit)
 
     def encode(self, model: AdaptiveModel, symbol: int) -> None:
         """Encode ``symbol`` under ``model`` and update the model."""
@@ -120,14 +172,20 @@ class ArithmeticDecoder:
         self.low = 0
         self.high = _TOP
         self.code = 0
+        self._exhausted = False
         for _ in range(_CODE_BITS):
             self.code = (self.code << 1) | self._read_bit()
 
     def _read_bit(self) -> int:
+        if self._exhausted:
+            return 0
         try:
             return self.reader.read_bit()
         except EOFError:
-            return 0  # trailing zeros are implicit after the final flush
+            # Trailing zeros are implicit after the final flush; remember
+            # EOF so the tail doesn't pay an exception per bit.
+            self._exhausted = True
+            return 0
 
     def decode(self, model: AdaptiveModel) -> int:
         """Decode one symbol under ``model`` and update the model."""

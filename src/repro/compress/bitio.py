@@ -5,13 +5,19 @@ stage, and the arithmetic-coding design point) all need to read and write
 individual bits.  Bits are packed MSB-first within each byte, which makes
 canonical Huffman codes decode by simple left-to-right accumulation.
 
+Both endpoints are *word-buffered*: bits accumulate in a single Python
+int and move to/from the byte buffer in whole-byte chunks
+(``int.to_bytes``/``int.from_bytes``), so the per-call cost is a couple
+of shifts instead of a Python-level loop per bit.  Aligned bulk
+``write_bytes``/``read_bytes`` degenerate to plain slicing; unaligned
+bulk transfers go through one big-int shift rather than an 8×-per-byte
+bit loop.  The bit-for-bit output format is unchanged.
+
 The module also provides the small variable-length integer encodings the
 stream containers use for lengths and counts.
 """
 
 from __future__ import annotations
-
-from typing import List
 
 from ..errors import CorruptStreamError, TruncatedStreamError
 
@@ -23,6 +29,11 @@ __all__ = [
     "take_bytes",
     "uvarint",
 ]
+
+#: Flush the writer's accumulator once it holds this many bits.  Small
+#: enough that every shift stays a few machine words; large enough that
+#: ``to_bytes`` amortizes over dozens of calls.
+_FLUSH_BITS = 256
 
 
 class BitWriter:
@@ -36,62 +47,75 @@ class BitWriter:
     """
 
     def __init__(self) -> None:
-        self._chunks: List[int] = []
+        self._buf = bytearray()  # flushed whole bytes
         self._acc = 0  # bit accumulator, MSB side filled first
         self._nbits = 0  # number of valid bits in _acc
+
+    def _flush(self) -> None:
+        """Move every complete byte from the accumulator to the buffer."""
+        rem = self._nbits & 7
+        nbytes = self._nbits >> 3
+        if nbytes:
+            self._buf += (self._acc >> rem).to_bytes(nbytes, "big")
+            self._acc &= (1 << rem) - 1
+            self._nbits = rem
 
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
         self._acc = (self._acc << 1) | (bit & 1)
         self._nbits += 1
-        if self._nbits == 8:
-            self._chunks.append(self._acc)
-            self._acc = 0
-            self._nbits = 0
+        if self._nbits >= _FLUSH_BITS:
+            self._flush()
 
     def write_bits(self, value: int, nbits: int) -> None:
         """Append the low ``nbits`` bits of ``value``, most significant first."""
-        if nbits < 0:
-            raise ValueError("nbits must be non-negative")
-        if nbits == 0:
-            return
-        if value < 0 or value >> nbits:
+        # A negative value stays negative under >>, so one shift test
+        # catches both out-of-range cases; nbits <= 0 guards the shift.
+        if nbits <= 0 or value >> nbits:
+            # Slow path; ordering preserves the original error behaviour.
+            if nbits < 0:
+                raise ValueError("nbits must be non-negative")
+            if nbits == 0:
+                return
             raise ValueError(f"value {value} does not fit in {nbits} bits")
-        # Fast path: merge into accumulator in chunks of whole bytes.
-        acc = (self._acc << nbits) | value
+        self._acc = (self._acc << nbits) | value
         total = self._nbits + nbits
-        while total >= 8:
-            total -= 8
-            self._chunks.append((acc >> total) & 0xFF)
-        self._acc = acc & ((1 << total) - 1)
         self._nbits = total
+        if total >= _FLUSH_BITS:
+            self._flush()
 
     def write_bytes(self, data: bytes) -> None:
-        """Append whole bytes (bit-aligned only when the writer is aligned)."""
-        if self._nbits == 0:
-            self._chunks.extend(data)
+        """Append whole bytes (a plain slice append when bit-aligned)."""
+        if self._nbits & 7 == 0:
+            self._flush()
+            self._buf += data
         else:
-            for b in data:
-                self.write_bits(b, 8)
+            nbits = len(data) * 8
+            self._acc = (self._acc << nbits) | int.from_bytes(data, "big")
+            self._nbits += nbits
+            self._flush()
 
     def align(self) -> None:
         """Pad with zero bits to the next byte boundary."""
-        if self._nbits:
-            self._chunks.append(self._acc << (8 - self._nbits) & 0xFF)
-            self._acc = 0
-            self._nbits = 0
+        rem = self._nbits & 7
+        if rem:
+            self._acc <<= 8 - rem
+            self._nbits += 8 - rem
+        self._flush()
 
     @property
     def bit_length(self) -> int:
         """Total number of bits written so far."""
-        return len(self._chunks) * 8 + self._nbits
+        return len(self._buf) * 8 + self._nbits
 
     def getvalue(self) -> bytes:
         """Return everything written, zero-padding the final partial byte."""
-        out = bytearray(self._chunks)
-        if self._nbits:
-            out.append((self._acc << (8 - self._nbits)) & 0xFF)
-        return bytes(out)
+        self._flush()
+        out = bytes(self._buf)
+        rem = self._nbits  # < 8 after a flush
+        if rem:
+            out += bytes([(self._acc << (8 - rem)) & 0xFF])
+        return out
 
 
 class BitReader:
@@ -101,59 +125,102 @@ class BitReader:
     :class:`~repro.errors.TruncatedStreamError` (an ``EOFError`` subclass);
     entropy decoders treat that as a corrupt-stream condition rather than
     silently yielding zeros.
+
+    Invariant: the low ``_nbits`` bits of ``_acc`` are the next unread
+    bits (MSB first); bits above that are stale garbage from already
+    consumed reads, masked off lazily — on refill and on extraction —
+    rather than after every read.  ``_pos`` is the index of the next byte
+    to load.  The Huffman batch decoder borrows this state directly.
     """
 
     def __init__(self, data: bytes) -> None:
         self._data = data
-        self._pos = 0  # byte position
+        self._len = len(data)
+        self._pos = 0  # next byte to load into the accumulator
         self._acc = 0
         self._nbits = 0
 
+    def _fill(self, need: int) -> None:
+        """Load bytes until at least ``need`` bits are buffered.
+
+        Refills greedily (up to 32 bytes at a time) so a run of small
+        reads touches the byte buffer once every ~30 calls instead of on
+        nearly every call; the extra buffered bits are invisible to
+        callers because every cursor query derives from ``_pos``/``_nbits``.
+        """
+        take = (need - self._nbits + 7) >> 3
+        if take < 32:
+            take = 32
+        chunk = self._data[self._pos : self._pos + take]
+        got = len(chunk)
+        if got:
+            self._acc = (((self._acc & ((1 << self._nbits) - 1)) << (got * 8))
+                         | int.from_bytes(chunk, "big"))
+            self._nbits += got * 8
+            self._pos += got
+        if self._nbits < need:
+            raise TruncatedStreamError("bit stream exhausted")
+
     def read_bit(self) -> int:
         """Read and return a single bit."""
-        if self._nbits == 0:
-            if self._pos >= len(self._data):
+        nbits = self._nbits
+        if nbits == 0:
+            pos = self._pos
+            chunk = self._data[pos : pos + 32]
+            if not chunk:
                 raise TruncatedStreamError("bit stream exhausted")
-            self._acc = self._data[self._pos]
-            self._pos += 1
-            self._nbits = 8
-        self._nbits -= 1
-        return (self._acc >> self._nbits) & 1
+            nbits = len(chunk) * 8
+            self._acc = int.from_bytes(chunk, "big")
+            self._pos = pos + len(chunk)
+        nbits -= 1
+        self._nbits = nbits
+        return (self._acc >> nbits) & 1
 
     def read_bits(self, nbits: int) -> int:
         """Read ``nbits`` bits, returning them as an unsigned integer."""
         if nbits < 0:
             raise ValueError("nbits must be non-negative")
-        value = 0
-        remaining = nbits
-        while remaining:
-            if self._nbits == 0:
-                if self._pos >= len(self._data):
-                    raise TruncatedStreamError("bit stream exhausted")
-                self._acc = self._data[self._pos]
-                self._pos += 1
-                self._nbits = 8
-            take = min(remaining, self._nbits)
-            self._nbits -= take
-            value = (value << take) | ((self._acc >> self._nbits) & ((1 << take) - 1))
-            remaining -= take
-        return value
+        have = self._nbits - nbits
+        if have < 0:
+            self._fill(nbits)
+            have = self._nbits - nbits
+        self._nbits = have
+        return (self._acc >> have) & ((1 << nbits) - 1)
 
     def align(self) -> None:
         """Discard bits up to the next byte boundary."""
-        self._nbits = 0
+        # bits_consumed ≡ -_nbits (mod 8), so the partial-byte remainder
+        # sitting in the accumulator is exactly _nbits % 8 bits; dropping
+        # them just lowers _nbits (discarded bits become stale garbage).
+        self._nbits -= self._nbits & 7
 
     def read_bytes(self, n: int) -> bytes:
-        """Read ``n`` whole bytes (fast when byte-aligned)."""
+        """Read ``n`` whole bytes — a slice when byte-aligned, one bulk
+        big-int shift otherwise (never a per-bit loop)."""
         if n < 0:
             raise CorruptStreamError(f"negative byte count {n}")
-        if self._nbits == 0:
-            if self._pos + n > len(self._data):
-                raise TruncatedStreamError("bit stream exhausted")
-            out = self._data[self._pos : self._pos + n]
-            self._pos += n
+        consumed = self._pos * 8 - self._nbits
+        end_bit = consumed + n * 8
+        if end_bit > self._len * 8:
+            raise TruncatedStreamError("bit stream exhausted")
+        rem = consumed & 7
+        if rem == 0:
+            start = consumed >> 3
+            out = self._data[start : start + n]
+            self._pos = start + n
+            self._acc = 0
+            self._nbits = 0
             return out
-        return bytes(self.read_bits(8) for _ in range(n))
+        first = consumed >> 3
+        last = (end_bit + 7) >> 3
+        value = int.from_bytes(self._data[first:last], "big")
+        value >>= last * 8 - end_bit
+        out = (value & ((1 << (n * 8)) - 1)).to_bytes(n, "big")
+        # Re-seat the accumulator on the partial byte the read ends in.
+        self._pos = (end_bit >> 3) + 1
+        self._nbits = 8 - (end_bit & 7)
+        self._acc = self._data[end_bit >> 3] & ((1 << self._nbits) - 1)
+        return out
 
     @property
     def bits_consumed(self) -> int:
@@ -164,11 +231,11 @@ class BitReader:
     def bits_remaining(self) -> int:
         """Unread bits left in the buffer — the cheapest upper bound on how
         many symbols a count field could legitimately promise."""
-        return (len(self._data) - self._pos) * 8 + self._nbits
+        return (self._len - self._pos) * 8 + self._nbits
 
     def at_eof(self) -> bool:
         """True when no unread bits remain."""
-        return self._nbits == 0 and self._pos >= len(self._data)
+        return self._nbits == 0 and self._pos >= self._len
 
 
 def write_uvarint(out: bytearray, value: int) -> None:

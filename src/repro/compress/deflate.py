@@ -6,6 +6,13 @@ DEFLATE's structure — a literal/length alphabet and a distance alphabet,
 each with extra bits, both Huffman-coded — but uses a simpler header (raw
 4-bit code lengths) and a single block.
 
+Both directions run over the packed-int token stream from
+:mod:`repro.compress.lz77`.  Length/distance symbols come from
+direct-index tables (one list lookup instead of a reversed linear scan
+per match), the encoder emits one joined bit string per block, and the
+decoder drives the table-driven Huffman fast path.  The byte format is
+unchanged.
+
 Public API::
 
     compress(data)   -> bytes
@@ -22,15 +29,16 @@ from typing import List, Optional, Tuple
 from ..errors import (
     CorruptStreamError, DEFAULT_LIMITS, ResourceLimits, decode_guard,
 )
-from .bitio import BitReader, BitWriter
+from .bitio import BitReader
 from .huffman import (
     HuffmanDecoder,
     HuffmanEncoder,
+    _bits_to_bytes,
+    _code_lengths_bits,
     code_lengths_from_frequencies,
     read_code_lengths,
-    write_code_lengths,
 )
-from .lz77 import Literal, Match, Token, detokenize, tokenize
+from .lz77 import MAX_MATCH, WINDOW_SIZE, detokenize_packed, tokenize_packed
 
 __all__ = ["compress", "decompress", "compressed_size"]
 
@@ -66,21 +74,52 @@ _DIST_CODES: List[Tuple[int, int, int]] = [
 _LITLEN_ALPHABET = 286
 _DIST_ALPHABET = 30
 
+# Direct-index tables.  ``_LEN_SYM_OF[length]`` is the symbol whose base is
+# the largest not exceeding ``length`` — the same answer the original
+# reversed scan over ``_LENGTH_CODES`` produced, one list index per match.
+_LEN_SYM_OF: List[int] = [0] * (MAX_MATCH + 1)
+for _i, (_sym, _extra, _base) in enumerate(_LENGTH_CODES):
+    _hi = _LENGTH_CODES[_i + 1][2] if _i + 1 < len(_LENGTH_CODES) \
+        else MAX_MATCH + 1
+    for _L in range(_base, _hi):
+        _LEN_SYM_OF[_L] = _sym
+
+_DIST_SYM_OF: List[int] = [0] * (WINDOW_SIZE + 1)
+for _i, (_sym, _extra, _base) in enumerate(_DIST_CODES):
+    _hi = _DIST_CODES[_i + 1][2] if _i + 1 < len(_DIST_CODES) \
+        else WINDOW_SIZE + 1
+    for _d in range(_base, _hi):
+        _DIST_SYM_OF[_d] = _sym
+
+# Per-symbol extra-bit counts and bases (length symbols offset by 257).
+_LEN_EXTRA = [extra for _, extra, _ in _LENGTH_CODES]
+_LEN_BASE = [base for _, _, base in _LENGTH_CODES]
+_DIST_EXTRA = [extra for _, extra, _ in _DIST_CODES]
+_DIST_BASE = [base for _, _, base in _DIST_CODES]
+
+#: extra-bit count -> format spec for the MSB-first extra-value bits.
+_EXTRA_FMT = ["0%db" % _n for _n in range(14)]
+
 
 def _length_to_code(length: int) -> Tuple[int, int, int]:
     """Map a match length to (symbol, extra_bits, extra_value)."""
-    for sym, extra, base in reversed(_LENGTH_CODES):
-        if length >= base:
-            return sym, extra, length - base
-    raise ValueError(f"unencodable match length {length}")
+    if length > MAX_MATCH:
+        return 285, 0, length - 258
+    if length < 3:
+        raise ValueError(f"unencodable match length {length}")
+    sym = _LEN_SYM_OF[length]
+    i = sym - 257
+    return sym, _LEN_EXTRA[i], length - _LEN_BASE[i]
 
 
 def _dist_to_code(distance: int) -> Tuple[int, int, int]:
     """Map a match distance to (symbol, extra_bits, extra_value)."""
-    for sym, extra, base in reversed(_DIST_CODES):
-        if distance >= base:
-            return sym, extra, distance - base
-    raise ValueError(f"unencodable match distance {distance}")
+    if distance > WINDOW_SIZE:
+        return 29, 13, distance - 24577
+    if distance < 1:
+        raise ValueError(f"unencodable match distance {distance}")
+    sym = _DIST_SYM_OF[distance]
+    return sym, _DIST_EXTRA[sym], distance - _DIST_BASE[sym]
 
 
 _LENGTH_BY_SYMBOL = {sym: (extra, base) for sym, extra, base in _LENGTH_CODES}
@@ -89,42 +128,51 @@ _DIST_BY_SYMBOL = {sym: (extra, base) for sym, extra, base in _DIST_CODES}
 
 def compress(data: bytes) -> bytes:
     """Compress ``data`` into a single self-describing block."""
-    tokens = tokenize(data)
+    tokens = tokenize_packed(data)
     litlen_freq = [0] * _LITLEN_ALPHABET
     dist_freq = [0] * _DIST_ALPHABET
     for tok in tokens:
-        if isinstance(tok, Literal):
-            litlen_freq[tok.byte] += 1
+        if tok < 256:
+            litlen_freq[tok] += 1
         else:
-            sym, _, _ = _length_to_code(tok.length)
-            litlen_freq[sym] += 1
-            dsym, _, _ = _dist_to_code(tok.distance)
-            dist_freq[dsym] += 1
+            litlen_freq[_LEN_SYM_OF[tok >> 16]] += 1
+            dist_freq[_DIST_SYM_OF[tok & 0xFFFF]] += 1
     litlen_freq[_END_OF_BLOCK] += 1
 
     litlen_enc = HuffmanEncoder(code_lengths_from_frequencies(litlen_freq))
     dist_used = any(dist_freq)
     dist_enc = HuffmanEncoder(code_lengths_from_frequencies(dist_freq)) if dist_used else None
 
-    w = BitWriter()
-    w.write_bits(len(data), 32)
-    write_code_lengths(w, litlen_enc.lengths)
-    write_code_lengths(w, dist_enc.lengths if dist_enc else [0] * _DIST_ALPHABET)
+    lit_bits = litlen_enc.bit_strings
+    dist_bits = dist_enc.bit_strings if dist_enc else None
+    fmt = _EXTRA_FMT
+    parts: List[str] = [
+        format(len(data), "032b"),
+        _code_lengths_bits(litlen_enc.lengths),
+        _code_lengths_bits(
+            dist_enc.lengths if dist_enc else [0] * _DIST_ALPHABET),
+    ]
+    append = parts.append
     for tok in tokens:
-        if isinstance(tok, Literal):
-            litlen_enc.encode_symbol(w, tok.byte)
+        if tok < 256:
+            append(lit_bits[tok])
         else:
-            sym, extra, value = _length_to_code(tok.length)
-            litlen_enc.encode_symbol(w, sym)
+            length = tok >> 16
+            distance = tok & 0xFFFF
+            sym = _LEN_SYM_OF[length]
+            i = sym - 257
+            bits = lit_bits[sym]
+            extra = _LEN_EXTRA[i]
             if extra:
-                w.write_bits(value, extra)
-            dsym, dextra, dvalue = _dist_to_code(tok.distance)
-            assert dist_enc is not None
-            dist_enc.encode_symbol(w, dsym)
+                bits += format(length - _LEN_BASE[i], fmt[extra])
+            dsym = _DIST_SYM_OF[distance]
+            bits += dist_bits[dsym]
+            dextra = _DIST_EXTRA[dsym]
             if dextra:
-                w.write_bits(dvalue, dextra)
-    litlen_enc.encode_symbol(w, _END_OF_BLOCK)
-    return w.getvalue()
+                bits += format(distance - _DIST_BASE[dsym], fmt[dextra])
+            append(bits)
+    append(lit_bits[_END_OF_BLOCK])
+    return _bits_to_bytes("".join(parts))
 
 
 def decompress(
@@ -147,42 +195,41 @@ def decompress(
         dist_lengths = read_code_lengths(r, limits)
         dist_dec = HuffmanDecoder(dist_lengths) if any(dist_lengths) else None
 
-        tokens: List[Token] = []
+        decode_litlen = litlen_dec.decode_symbol
+        read_bits = r.read_bits
+        tokens: List[int] = []
+        append = tokens.append
         produced = 0
         while True:
-            sym = litlen_dec.decode_symbol(r)
+            sym = decode_litlen(r)
             if sym == _END_OF_BLOCK:
                 break
             if sym >= _LITLEN_ALPHABET:
                 raise CorruptStreamError(f"literal/length symbol {sym} "
                                          "outside the alphabet")
             if sym < 256:
-                tokens.append(Literal(sym))
+                append(sym)
                 produced += 1
             else:
-                try:
-                    extra, base = _LENGTH_BY_SYMBOL[sym]
-                except KeyError:
-                    raise CorruptStreamError(
-                        f"invalid length symbol {sym}") from None
-                length = base + (r.read_bits(extra) if extra else 0)
+                i = sym - 257
+                extra = _LEN_EXTRA[i]
+                length = _LEN_BASE[i] + (read_bits(extra) if extra else 0)
                 if dist_dec is None:
                     raise CorruptStreamError(
                         "match token but no distance table")
                 dsym = dist_dec.decode_symbol(r)
-                try:
-                    dextra, dbase = _DIST_BY_SYMBOL[dsym]
-                except KeyError:
+                if dsym >= _DIST_ALPHABET:
                     raise CorruptStreamError(
-                        f"invalid distance symbol {dsym}") from None
-                distance = dbase + (r.read_bits(dextra) if dextra else 0)
-                tokens.append(Match(length, distance))
+                        f"invalid distance symbol {dsym}")
+                dextra = _DIST_EXTRA[dsym]
+                distance = _DIST_BASE[dsym] + (read_bits(dextra) if dextra else 0)
+                append((length << 16) | distance)
                 produced += length
             if produced > expected:
                 raise CorruptStreamError(
                     f"token stream produces more than the declared "
                     f"{expected} bytes")
-        out = detokenize(tokens)
+        out = detokenize_packed(tokens)
         if len(out) != expected:
             raise CorruptStreamError(
                 f"decompressed {len(out)} bytes, header said {expected}")

@@ -6,6 +6,17 @@ the matching half: it turns a byte string into a token sequence of literals
 and ``(length, distance)`` back-references, with a greedy-plus-lazy matching
 heuristic like zlib's.
 
+Internally the matcher is allocation-free per token: candidates live in a
+zlib-style ``head``/``prev`` hash chain (most recent first, exactly the
+probe order of the original candidate-list implementation), match
+extension compares 16-byte slices before falling back to single bytes,
+and the token stream is a list of packed ints — values below 256 are
+literal bytes, anything else is ``(length << 16) | distance``.  The
+:class:`Literal`/:class:`Match` dataclasses remain the public token API as
+a thin view over the packed stream (literals are interned, one instance
+per byte value); :mod:`repro.compress.deflate` consumes the packed form
+directly.
+
 Tokens are consumed by :mod:`repro.compress.deflate`, which entropy-codes
 them, and by the design-space benchmarks, which measure how stream
 separation changes match statistics.
@@ -26,7 +37,9 @@ __all__ = [
     "MIN_MATCH",
     "MAX_MATCH",
     "tokenize",
+    "tokenize_packed",
     "detokenize",
+    "detokenize_packed",
 ]
 
 WINDOW_SIZE = 32 * 1024
@@ -34,6 +47,8 @@ MIN_MATCH = 3
 MAX_MATCH = 258
 _HASH_LEN = 3
 _MAX_CHAIN = 128  # how many previous positions to probe per match attempt
+_MASK = WINDOW_SIZE - 1
+_CHAIN_RANGE = range(_MAX_CHAIN)
 
 
 @dataclass(frozen=True)
@@ -63,88 +78,167 @@ class Match:
 
 Token = Union[Literal, Match]
 
+#: ``Literal`` is frozen, so the 256 possible instances are shared — the
+#: dataclass view of a packed stream allocates nothing per literal byte.
+_LITERALS = None  # built lazily; dataclass decorators above must run first
 
-def _hash3(data: bytes, i: int) -> int:
-    return (data[i] << 16) ^ (data[i + 1] << 8) ^ data[i + 2]
+
+def _literal_pool() -> List[Literal]:
+    global _LITERALS
+    if _LITERALS is None:
+        _LITERALS = [Literal(b) for b in range(256)]
+    return _LITERALS
 
 
-def _longest_match(
-    data: bytes, pos: int, candidates: List[int], max_len: int
+def _chain_match(
+    data: bytes, pos: int, cand: int, max_len: int, prev: List[int]
 ) -> "tuple[int, int]":
-    """Return (best_length, best_distance) among candidate start positions."""
+    """Best (length, distance) along the hash chain starting at ``cand``.
+
+    Probes most-recent-first, caps at :data:`_MAX_CHAIN` candidates, keeps
+    a strictly-longer-wins rule (ties go to the shortest distance), and
+    quick-rejects on the byte a candidate would need to improve on — the
+    exact semantics of probing a candidate list in reverse.
+    """
     best_len = 0
     best_dist = 0
-    window_floor = pos - WINDOW_SIZE
-    probes = 0
-    # Most recent candidates first: shortest distances, most likely cached.
-    for cand in reversed(candidates):
-        if cand < window_floor:
+    floor = pos - WINDOW_SIZE
+    if floor < 0:
+        floor = 0  # the -1 chain sentinel also fails this bound
+    want = data[pos : pos + max_len]
+    from_bytes = int.from_bytes
+    want_int = from_bytes(want, "big")
+    want_b = 0  # byte a candidate must match to beat best_len (unused at 0)
+    for _ in _CHAIN_RANGE:
+        if cand < floor:
             break
-        probes += 1
-        if probes > _MAX_CHAIN:
-            break
-        # Quick reject: match must beat best_len, so check that byte first.
-        if best_len and data[cand + best_len] != data[pos + best_len]:
+        if best_len and data[cand + best_len] != want_b:
+            cand = prev[cand & _MASK]
             continue
-        length = 0
-        while length < max_len and data[cand + length] == data[pos + length]:
-            length += 1
+        # Common-prefix length in two C-level ops: one memcmp for the
+        # full-match case, else XOR the windows as big-endian ints — the
+        # first differing byte is the highest set bit of the difference.
+        got = data[cand : cand + max_len]
+        if got == want:
+            return max_len, pos - cand
+        diff = from_bytes(got, "big") ^ want_int
+        length = max_len - ((diff.bit_length() + 7) >> 3)
         if length > best_len:
             best_len = length
             best_dist = pos - cand
-            if length >= max_len:
-                break
+            want_b = data[pos + length]  # length < max_len on this path
+        cand = prev[cand & _MASK]
     return best_len, best_dist
 
 
-def tokenize(data: bytes, lazy: bool = True) -> List[Token]:
-    """Convert ``data`` into LZ77 tokens.
+def tokenize_packed(data: bytes, lazy: bool = True) -> List[int]:
+    """Convert ``data`` into packed LZ77 tokens.
 
-    With ``lazy`` matching (the default, mirroring zlib), a match at
-    position *i* is deferred when position *i+1* offers a strictly longer
-    match, emitting a literal instead — a meaningful win on code bytes.
+    Values below 256 are literal bytes; larger values encode a match as
+    ``(length << 16) | distance``.  With ``lazy`` matching (the default,
+    mirroring zlib), a match at position *i* is deferred when position
+    *i+1* offers a strictly longer match, emitting a literal instead — a
+    meaningful win on code bytes.
     """
     n = len(data)
-    tokens: List[Token] = []
+    out: List[int] = []
     if n == 0:
-        return tokens
-    chains: dict = {}
+        return out
+    head: dict = {}
+    prev = [-1] * WINDOW_SIZE
+    head_get = head.get
+    append = out.append
+    hash_limit = n - _HASH_LEN  # last position with a full 3-byte hash
+    # Positions are hashed up to three times (match attempt, lazy probe,
+    # chain insert); one vectorized pass beats recomputing in the loop.
+    h_all = [
+        (a << 16) ^ (b << 8) ^ c for a, b, c in zip(data, data[1:], data[2:])
+    ]
     i = 0
-
-    def insert(pos: int) -> None:
-        if pos + _HASH_LEN <= n:
-            chains.setdefault(_hash3(data, pos), []).append(pos)
-
     while i < n:
-        max_len = min(MAX_MATCH, n - i)
+        max_len = n - i
+        if max_len > MAX_MATCH:
+            max_len = MAX_MATCH
         best_len = 0
         best_dist = 0
+        h = -1
         if max_len >= MIN_MATCH:
-            cands = chains.get(_hash3(data, i))
-            if cands:
-                best_len, best_dist = _longest_match(data, i, cands, max_len)
+            h = h_all[i]
+            cand = head_get(h, -1)
+            if cand >= 0:
+                best_len, best_dist = _chain_match(data, i, cand, max_len, prev)
         if best_len >= MIN_MATCH:
             if lazy and i + 1 < n and best_len < MAX_MATCH:
-                next_max = min(MAX_MATCH, n - i - 1)
-                if next_max >= MIN_MATCH:
-                    nc = chains.get(_hash3(data, i + 1)) if i + 1 + _HASH_LEN <= n else None
-                    if nc:
-                        nlen, _ = _longest_match(data, i + 1, nc, next_max)
+                next_max = n - i - 1
+                if next_max > MAX_MATCH:
+                    next_max = MAX_MATCH
+                if next_max >= MIN_MATCH and i + 1 <= hash_limit:
+                    h2 = h_all[i + 1]
+                    cand = head_get(h2, -1)
+                    if cand >= 0:
+                        nlen, _ = _chain_match(data, i + 1, cand, next_max, prev)
                         if nlen > best_len:
-                            tokens.append(Literal(data[i]))
-                            insert(i)
+                            append(data[i])
+                            prev[i & _MASK] = head_get(h, -1)
+                            head[h] = i
                             i += 1
                             continue
-            tokens.append(Match(best_len, best_dist))
+            append((best_len << 16) | best_dist)
             end = i + best_len
-            while i < end:
-                insert(i)
-                i += 1
+            stop = end if end <= hash_limit + 1 else hash_limit + 1
+            for j in range(i, stop):
+                hh = h_all[j]
+                prev[j & _MASK] = head_get(hh, -1)
+                head[hh] = j
+            i = end
         else:
-            tokens.append(Literal(data[i]))
-            insert(i)
+            append(data[i])
+            if h >= 0:
+                prev[i & _MASK] = head_get(h, -1)
+                head[h] = i
             i += 1
-    return tokens
+    return out
+
+
+def tokenize(data: bytes, lazy: bool = True) -> List[Token]:
+    """Convert ``data`` into LZ77 tokens (dataclass view).
+
+    A thin wrapper over :func:`tokenize_packed` for tests and the
+    design-space benchmarks; the hot pipeline consumes the packed ints.
+    """
+    literals = _literal_pool()
+    return [
+        literals[tok] if tok < 256 else Match(tok >> 16, tok & 0xFFFF)
+        for tok in tokenize_packed(data, lazy)
+    ]
+
+
+def _extend(out: bytearray, length: int, distance: int) -> None:
+    """Append ``length`` bytes copied from ``distance`` back, allowing the
+    overlapping self-referential copies LZ77 relies on."""
+    start = len(out) - distance
+    if start < 0:
+        raise CorruptStreamError("match distance reaches before stream start")
+    if distance >= length:
+        out += out[start : start + length]
+    else:
+        seg = out[start:]
+        q, r = divmod(length, distance)
+        out += seg * q
+        if r:
+            out += seg[:r]
+
+
+def detokenize_packed(packed: List[int]) -> bytes:
+    """Reconstruct the original bytes from packed tokens."""
+    out = bytearray()
+    append = out.append
+    for tok in packed:
+        if tok < 256:
+            append(tok)
+        else:
+            _extend(out, tok >> 16, tok & 0xFFFF)
+    return bytes(out)
 
 
 def detokenize(tokens: List[Token]) -> bytes:
@@ -155,14 +249,14 @@ def detokenize(tokens: List[Token]) -> bytes:
     :class:`~repro.errors.CorruptStreamError`.
     """
     out = bytearray()
+    append = out.append
     for tok in tokens:
-        if isinstance(tok, Literal):
-            out.append(tok.byte)
+        if type(tok) is Literal:
+            append(tok.byte)
+        elif type(tok) is Match:
+            _extend(out, tok.length, tok.distance)
+        elif isinstance(tok, Literal):
+            append(tok.byte)
         else:
-            start = len(out) - tok.distance
-            if start < 0:
-                raise CorruptStreamError(
-                    "match distance reaches before stream start")
-            for k in range(tok.length):
-                out.append(out[start + k])  # may overlap, byte-at-a-time copy
+            _extend(out, tok.length, tok.distance)
     return bytes(out)

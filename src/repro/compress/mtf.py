@@ -13,11 +13,18 @@ Two variants are provided:
   over an open symbol universe (any hashable symbols).
 * :class:`MoveToFront` — the classic fixed-alphabet 0-based transform used
   by BWT-style compressors, exposed for the design-space benchmarks.
+
+Both encoders keep the dynamic table as a ``bytearray`` of dense symbol
+ids while the distinct-symbol count fits a byte, so the position scan is
+``bytearray.index`` (one ``memchr``) and the move-to-front shuffle is a
+C-level ``memmove`` — no Python-level walk over the table.  Streams with
+more than 256 distinct symbols spill the table to a plain list with the
+same semantics.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, List, Sequence, Tuple
+from typing import Hashable, List, Sequence, Tuple, Union
 
 from ..errors import CorruptStreamError
 
@@ -35,25 +42,39 @@ def mtf_encode(symbols: Sequence[Hashable]) -> Tuple[List[int], List[Hashable]]:
     >>> mtf_encode([72, 72, 68, 72, 68, 68, 68, 68])
     ([0, 1, 0, 2, 2, 1, 1, 1], [72, 68])
     """
-    table: List[Hashable] = []
-    position = {}  # symbol -> current index in table (kept lazily accurate)
+    # Each distinct symbol gets a dense id; the table tracks ids, not
+    # symbols, so it stays a bytearray until the 257th distinct symbol.
+    ids: dict = {}
+    table: Union[bytearray, List[int]] = bytearray()
     indices: List[int] = []
     novel: List[Hashable] = []
+    append = indices.append
+    ids_get = ids.get
+    find = table.index
+    insert = table.insert
+    front = -1  # dense id at table[0]; streams with locality hit it often
     for sym in symbols:
-        idx = position.get(sym)
-        if idx is None:
-            indices.append(0)
+        sid = ids_get(sym)
+        if sid == front:
+            append(1)
+        elif sid is None:
+            sid = len(ids)
+            ids[sym] = sid
+            if sid == 256:
+                table = list(table)
+                find = table.index
+                insert = table.insert
+            append(0)
             novel.append(sym)
-            table.insert(0, sym)
+            insert(0, sid)
+            front = sid
         else:
-            indices.append(idx + 1)
-            del table[idx]
-            table.insert(0, sym)
-        # Rebuild the affected prefix of the position map.  Moves touch only
-        # indices <= idx, so a full rebuild is avoided for long tables.
-        limit = len(table) if idx is None else idx + 1
-        for i in range(limit):
-            position[table[i]] = i
+            idx = find(sid)
+            append(idx + 1)
+            if idx:
+                del table[idx]
+                insert(0, sid)
+                front = sid
     return indices, novel
 
 
@@ -67,22 +88,30 @@ def mtf_decode(indices: Sequence[int], novel: Sequence[Hashable]) -> List[Hashab
     """
     table: List[Hashable] = []
     out: List[Hashable] = []
+    append = out.append
+    insert = table.insert
+    pop = table.pop
     novel_iter = iter(novel)
+    advance = next
     for idx in indices:
         if idx == 0:
             try:
-                sym = next(novel_iter)
+                sym = advance(novel_iter)
             except StopIteration:
                 raise CorruptStreamError(
                     "MTF stream references more novel symbols than provided"
                 ) from None
+            insert(0, sym)
         else:
             if idx < 0 or idx > len(table):
                 raise CorruptStreamError(
                     f"MTF index {idx} exceeds table size {len(table)}")
-            sym = table.pop(idx - 1)
-        table.insert(0, sym)
-        out.append(sym)
+            if idx == 1:
+                sym = table[0]
+            else:
+                sym = pop(idx - 1)
+                insert(0, sym)
+        append(sym)
     return out
 
 
@@ -98,26 +127,35 @@ class MoveToFront:
             raise ValueError("alphabet_size must be positive")
         self.alphabet_size = alphabet_size
 
+    def _fresh_table(self) -> Union[bytearray, List[int]]:
+        n = self.alphabet_size
+        return bytearray(range(n)) if n <= 256 else list(range(n))
+
     def encode(self, data: Sequence[int]) -> List[int]:
         """Replace each symbol with its current table index."""
-        table = list(range(self.alphabet_size))
+        table = self._fresh_table()
+        find = table.index
+        insert = table.insert
         out: List[int] = []
+        append = out.append
         for sym in data:
-            idx = table.index(sym)
-            out.append(idx)
+            idx = find(sym)
+            append(idx)
             if idx:
                 del table[idx]
-                table.insert(0, sym)
+                insert(0, sym)
         return out
 
     def decode(self, indices: Sequence[int]) -> List[int]:
         """Invert :meth:`encode`."""
-        table = list(range(self.alphabet_size))
+        table = self._fresh_table()
+        insert = table.insert
         out: List[int] = []
+        append = out.append
         for idx in indices:
             sym = table[idx]
-            out.append(sym)
+            append(sym)
             if idx:
                 del table[idx]
-                table.insert(0, sym)
+                insert(0, sym)
         return out

@@ -97,14 +97,14 @@ def _unpack_str_novels(data: bytes, count: int) -> List[str]:
 
 
 def _pack_float_novels(values: List[float]) -> bytes:
-    return b"".join(struct.pack("<d", v) for v in values)
+    return struct.pack("<%dd" % len(values), *values)
 
 
 def _unpack_float_novels(data: bytes, count: int) -> List[float]:
     if count * 8 > len(data):
         raise TruncatedStreamError(
             f"novel stream promises {count} doubles, only {len(data)} bytes")
-    return [struct.unpack_from("<d", data, i * 8)[0] for i in range(count)]
+    return list(struct.unpack_from("<%dd" % count, data))
 
 
 def _pack_pattern_novels(patterns: List[Pattern]) -> bytes:

@@ -1,0 +1,10 @@
+
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int acc;
+int main(void) {
+  int i;
+  for (i = 0; i < 10; i = i + 1) acc = acc + fib(i);
+  print_int(acc);
+  putchar('\n');
+  return 0;
+}

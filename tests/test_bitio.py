@@ -211,3 +211,64 @@ def test_bits_remaining_property():
     assert reader.bits_remaining == 16
     reader.read_bits(5)
     assert reader.bits_remaining == 11
+
+
+# ---------------------------------------------------------------------------
+# bulk read_bytes fast path (regression: used to loop read_bits(8) per byte)
+# ---------------------------------------------------------------------------
+
+
+def _forbid_per_bit_calls(monkeypatch):
+    """Patch read_bit/read_bits to fail loudly if read_bytes delegates."""
+
+    def boom(self, *args):  # pragma: no cover - only fires on regression
+        raise AssertionError("read_bytes fell back to per-bit reads")
+
+    monkeypatch.setattr(BitReader, "read_bit", boom)
+    monkeypatch.setattr(BitReader, "read_bits", boom)
+
+
+def test_read_bytes_aligned_never_reads_per_bit(monkeypatch):
+    data = bytes(range(256)) * 4
+    r = BitReader(data)
+    _forbid_per_bit_calls(monkeypatch)
+    assert r.read_bytes(1024) == data
+    assert r.at_eof()
+
+
+def test_read_bytes_unaligned_never_reads_per_bit(monkeypatch):
+    w = BitWriter()
+    w.write_bits(0b101, 3)
+    payload = bytes(range(256)) * 4
+    w.write_bytes(payload)
+    r = BitReader(w.getvalue())
+    assert r.read_bits(3) == 0b101
+    _forbid_per_bit_calls(monkeypatch)
+    assert r.read_bytes(len(payload)) == payload
+
+
+def test_read_bytes_reseats_bit_cursor():
+    """Bit reads resume correctly after an unaligned bulk read."""
+    w = BitWriter()
+    w.write_bits(0b11, 2)
+    w.write_bytes(b"\x5a\xa5")
+    w.write_bits(0b1010, 4)
+    r = BitReader(w.getvalue())
+    assert r.read_bits(2) == 0b11
+    assert r.read_bytes(2) == b"\x5a\xa5"
+    assert r.read_bits(4) == 0b1010
+
+
+@given(st.binary(max_size=64), st.integers(0, 7))
+def test_read_bytes_matches_bitwise_reference(payload, skew):
+    """Property: bulk reads equal the old per-byte read_bits(8) loop."""
+    w = BitWriter()
+    w.write_bits((1 << skew) - 1, skew)
+    w.write_bytes(payload)
+    r_bulk = BitReader(w.getvalue())
+    r_bits = BitReader(w.getvalue())
+    r_bulk.read_bits(skew)
+    r_bits.read_bits(skew)
+    reference = bytes(r_bits.read_bits(8) for _ in range(len(payload)))
+    assert r_bulk.read_bytes(len(payload)) == reference == payload
+    assert r_bulk.bits_consumed == r_bits.bits_consumed

@@ -74,6 +74,66 @@ def test_novel_order_is_first_appearance(stream):
     assert novel == seen
 
 
+# ---------------------------------------------------------------------------
+# Equivalence against the original O(alphabet)-per-symbol implementations
+# (the table-driven coders must be drop-in, index for index)
+# ---------------------------------------------------------------------------
+
+
+def _reference_mtf_encode(symbols):
+    """The original list-walking escape-based encoder, kept as an oracle."""
+    table = []
+    indices = []
+    novel = []
+    for sym in symbols:
+        if sym in table:
+            idx = table.index(sym)
+            indices.append(idx + 1)
+            del table[idx]
+        else:
+            indices.append(0)
+            novel.append(sym)
+        table.insert(0, sym)
+    return indices, novel
+
+
+def _reference_classic_encode(data, alphabet_size):
+    """The original ``table.index`` per-symbol fixed-alphabet transform."""
+    table = list(range(alphabet_size))
+    out = []
+    for sym in data:
+        idx = table.index(sym)
+        out.append(idx)
+        if idx:
+            del table[idx]
+            table.insert(0, sym)
+    return out
+
+
+@given(st.lists(st.integers(-50, 50)))
+def test_encode_matches_reference(stream):
+    assert mtf_encode(stream) == _reference_mtf_encode(stream)
+
+
+@given(st.lists(st.sampled_from(["ADDRLP4", "INDIRI4", "CNSTI4", "ASGNI4"])))
+def test_encode_matches_reference_on_symbols(stream):
+    assert mtf_encode(stream) == _reference_mtf_encode(stream)
+
+
+@given(st.lists(st.integers(0, 400), max_size=2000))
+def test_encode_matches_reference_past_byte_table(stream):
+    """Equivalence holds across the bytearray->list table spill at 256
+    distinct symbols."""
+    assert mtf_encode(stream) == _reference_mtf_encode(stream)
+
+
+@given(st.lists(st.integers(0, 255)), st.sampled_from([16, 256, 300]))
+def test_classic_encode_matches_reference(data, alphabet_size):
+    data = [d % alphabet_size for d in data]
+    coder = MoveToFront(alphabet_size)
+    assert coder.encode(data) == _reference_classic_encode(data, alphabet_size)
+
+
 class TestClassicMoveToFront:
     def test_identity_alphabet(self):
         m = MoveToFront(4)
