@@ -17,6 +17,9 @@ Usage::
     python -m repro fuzz --seed 1 --mutations 500   # fault-injection sweep
     python -m repro serve --port 7117 --disk-cache  # long-lived service
     python -m repro client --port 7117 compile prog.c   # talk to it
+    python -m repro fetch --port 7117 --function f prog.c -o f.wir
+                                               # demand-page one function
+    python -m repro verify f.wir --function f  # check a sparse container
     python -m repro chaos --port 7117          # fault-inject a live server
     python -m repro cache --prune --max-bytes 100000000  # bound the store
 
@@ -159,20 +162,37 @@ def cmd_exec_brisc(args) -> int:
 
 
 def cmd_verify(args) -> int:
-    """Exit 0 for a clean container, 1 for corruption, 2 for unsupported."""
+    """Exit 0 for a clean container, 1 for corruption, 2 for unsupported.
+
+    With ``--function NAME`` only the chunks covering that function are
+    decoded, so sparse containers produced by ``fetch`` verify cleanly.
+    """
     from .brisc import decode_image
     from .errors import DecodeError, UnsupportedFormatError
     from .wire import decode_module
 
     with open(args.file, "rb") as f:
         blob = f.read()
+    function = getattr(args, "function", None)
     try:
         if blob[:3] == b"WIR":
-            module = decode_module(blob)
-            detail = f"wire module {module.name!r}"
+            if function:
+                from .wire import decode_function
+
+                fn = decode_function(blob, function)
+                detail = f"wire function {fn.name!r}"
+            else:
+                module = decode_module(blob)
+                detail = f"wire module {module.name!r}"
         elif blob[:3] == b"BRI":
-            program = decode_image(blob)
-            detail = f"BRISC image, {len(program.functions)} functions"
+            if function:
+                from .brisc.encode import decode_function
+
+                fn = decode_function(blob, function)
+                detail = f"BRISC function {fn.name!r}"
+            else:
+                program = decode_image(blob)
+                detail = f"BRISC image, {len(program.functions)} functions"
         else:
             raise UnsupportedFormatError(
                 f"unrecognized container magic {blob[:4]!r}")
@@ -188,21 +208,32 @@ def cmd_verify(args) -> int:
 
 def cmd_fuzz(args) -> int:
     """Fault-injection sweep over freshly built containers; exit 0 iff the
-    decode contract held for every mutation."""
+    decode contract held for every mutation.
+
+    The ``wire3``/``brisc3`` formats fuzz the seekable chunked
+    containers: the usual byte-level sweep through the full decoder,
+    plus the isolation harness that corrupts one chunk at a time and
+    asserts partial reads of *other* chunks stay byte-identical.
+    """
     from .brisc import decode_image
-    from .faults import fuzz_decoder
+    from .faults import fuzz_chunked_container, fuzz_decoder
     from .ir import dump_module
     from .wire import decode_module
 
     units = [u.strip() for u in args.units.split(",") if u.strip()]
     formats = [f.strip() for f in args.formats.split(",") if f.strip()]
-    unknown = set(formats) - {"wire", "brisc"}
+    unknown = set(formats) - {"wire", "brisc", "wire3", "brisc3"}
     if unknown:
         print(f"error: unknown formats {sorted(unknown)}", file=sys.stderr)
         return 2
     from .corpus import get_sample, suite_source
 
     toolchain = _toolchain(args)
+    stages = tuple(sorted({f.rstrip("3") for f in formats}))
+    config = toolchain.config.with_container(
+        wire=3 if "wire3" in formats else None,
+        brisc=3 if "brisc3" in formats else None,
+        chunk_bytes=args.chunk_bytes)
     reports = []
     for unit in units:
         try:
@@ -213,18 +244,31 @@ def cmd_fuzz(args) -> int:
             except KeyError:
                 print(f"error: unknown corpus unit {unit!r}", file=sys.stderr)
                 return 2
-        res = toolchain.compile(source, name=unit, stages=tuple(formats))
-        if "wire" in formats:
+        res = toolchain.compile(source, name=unit, stages=stages,
+                                config=config)
+        if "wire" in formats or "wire3" in formats:
+            suffix = "wire3" if "wire3" in formats else "wire"
             reports.append(fuzz_decoder(
                 res.wire_blob, decode_module,
-                target=f"{unit}.wire", mutations=args.mutations,
+                target=f"{unit}.{suffix}", mutations=args.mutations,
                 seed=args.seed, deadline=args.deadline,
                 canonical=dump_module))
             print(reports[-1].summary())
-        if "brisc" in formats:
+        if "brisc" in formats or "brisc3" in formats:
+            suffix = "brisc3" if "brisc3" in formats else "brisc"
             reports.append(fuzz_decoder(
                 res.brisc.image.blob, decode_image,
-                target=f"{unit}.brisc", mutations=args.mutations,
+                target=f"{unit}.{suffix}", mutations=args.mutations,
+                seed=args.seed, deadline=args.deadline))
+            print(reports[-1].summary())
+        if "wire3" in formats:
+            reports.append(fuzz_chunked_container(
+                res.wire_blob, target=f"{unit}.wire3[chunks]",
+                seed=args.seed, deadline=args.deadline))
+            print(reports[-1].summary())
+        if "brisc3" in formats:
+            reports.append(fuzz_chunked_container(
+                res.brisc.image.blob, target=f"{unit}.brisc3[chunks]",
                 seed=args.seed, deadline=args.deadline))
             print(reports[-1].summary())
     failures = [f for r in reports for f in r.failures]
@@ -335,6 +379,67 @@ def cmd_client(args) -> int:
         return 1
 
 
+def cmd_fetch(args) -> int:
+    """Demand-page part of a container from a running service.
+
+    Sends ``fetch_function``/``fetch_range`` and reassembles the reply's
+    segments into a sparse container: the advertised total size, with
+    only the transferred ranges filled in.  ``--function`` fetches the
+    chunks covering one function; ``--start``/``--length`` fetch a
+    decoded-address-space span.  Exits like ``client``: structured
+    errors exit 1 (75 when retryable).
+    """
+    from .errors import DecodeError, ServiceError
+    from .service import ServiceClient
+
+    if (args.function is None) == (args.start is None):
+        print("error: fetch needs exactly one of --function or "
+              "--start/--length", file=sys.stderr)
+        return 2
+    if args.start is not None and args.length is None:
+        print("error: --start requires --length", file=sys.stderr)
+        return 2
+    with open(args.file) as f:
+        source = f.read()
+    try:
+        with ServiceClient(args.host, args.port,
+                           timeout=args.timeout) as client:
+            if args.function is not None:
+                result = client.fetch_function(
+                    source, args.function, name=args.file,
+                    format=args.format, chunk_bytes=args.chunk_bytes,
+                    deadline=args.deadline)
+                where = (f"function {args.function!r} "
+                         f"(chunk(s) {result['chunks']})")
+            else:
+                result = client.fetch_range(
+                    source, args.start, args.length, name=args.file,
+                    format=args.format, chunk_bytes=args.chunk_bytes,
+                    deadline=args.deadline)
+                where = (f"span [{args.start}, {args.start + args.length})"
+                         f" (chunk(s) {result['chunks']})")
+        blob = result["blob"]
+        if args.output:
+            with open(args.output, "wb") as f:
+                f.write(blob)
+        hit = "warm" if result.get("cache_hit") else "cold"
+        print(f"{args.file}: {where}: transferred "
+              f"{result['transferred']} of {result['total_bytes']} "
+              f"container bytes ({hit} store)"
+              + (f" -> {args.output}" if args.output else ""))
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 75 if getattr(exc, "retryable", False) else 1
+    except DecodeError as exc:
+        print(f"error: transport: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
 def cmd_chaos(args) -> int:
     """Chaos sweep against a live server; exit 0 iff the robustness
     contract held for every injected fault."""
@@ -431,6 +536,9 @@ def main(argv=None) -> int:
     p = sub.add_parser("verify",
                        help="integrity-check a wire or BRISC container")
     p.add_argument("file")
+    p.add_argument("--function", default=None,
+                   help="verify only the chunks covering this function "
+                        "(works on sparse containers from `fetch`)")
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("fuzz",
@@ -443,7 +551,11 @@ def main(argv=None) -> int:
     p.add_argument("--units", default="wc",
                    help="comma-separated corpus units (default: wc)")
     p.add_argument("--formats", default="wire,brisc",
-                   help="container kinds to fuzz (default: wire,brisc)")
+                   help="container kinds to fuzz: wire, brisc, and the "
+                        "chunked wire3/brisc3 (default: wire,brisc)")
+    p.add_argument("--chunk-bytes", type=int, default=512,
+                   help="chunk size cap for the wire3/brisc3 formats "
+                        "(default 512, small enough for several chunks)")
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("serve",
@@ -490,6 +602,29 @@ def main(argv=None) -> int:
     p.add_argument("-o", "--output", default=None,
                    help="where wire/brisc write the received blob")
     p.set_defaults(fn=cmd_client)
+
+    p = sub.add_parser("fetch",
+                       help="demand-page one function or byte span of a "
+                            "container from a running service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7117)
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--deadline", type=float, default=None)
+    p.add_argument("--format", choices=["wire", "brisc"], default="wire",
+                   help="container format to fetch from (default wire)")
+    p.add_argument("--function", default=None,
+                   help="fetch the chunks covering this function")
+    p.add_argument("--start", type=int, default=None,
+                   help="decoded-address-space span start (with --length)")
+    p.add_argument("--length", type=int, default=None)
+    p.add_argument("--chunk-bytes", type=int, default=None,
+                   help="chunk size cap used when the server (re)builds "
+                        "the seekable container")
+    p.add_argument("file", help="C source file the service compiles "
+                                "(or finds warm in its store)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the sparse container here")
+    p.set_defaults(fn=cmd_fetch)
 
     p = sub.add_parser("chaos",
                        help="fault-inject a live service (corrupt frames, "

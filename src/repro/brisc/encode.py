@@ -15,6 +15,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..compress.bitio import read_uvarint, take_bytes, write_uvarint
+from ..container.chunking import (
+    ChunkPlacement, ChunkRecord, ContainerIndex, FunctionExtent,
+    FunctionRecord, GreedyPlacement, validate_placement,
+)
 from ..errors import (
     CorruptStreamError, DEFAULT_LIMITS, ResourceLimits,
     TruncatedStreamError, UnsupportedFormatError, decode_guard,
@@ -28,17 +32,25 @@ from .pattern import (
 )
 from .slots import SlotProgram
 
-__all__ = ["BriscImage", "encode_image", "decode_image"]
+__all__ = [
+    "BriscImage", "container_index", "decode_function", "decode_image",
+    "decode_range", "encode_image", "repack_v3",
+]
 
 # Fourth magic byte = container version.  "BRI1" (the seed format) has no
 # integrity check; "BRI2" carries a CRC32 of the entire payload right after
 # the magic, verified before any parsing, so corruption is detected up
 # front instead of mid-dictionary-rebuild.  BRISC is interpreted in place
 # from one monolithic image, so a whole-payload CRC plays the role the
-# per-stream CRCs play in the (multi-stream) wire container.
+# per-stream CRCs play in the (multi-stream) wire container.  "BRI3" is
+# the seekable layout: the header (dictionary, tables, globals, function
+# metadata, block index) carries its own CRC, and the function code bytes
+# move into per-chunk extents each with their own CRC — see the v3
+# section below.
 _MAGIC_PREFIX = b"BRI"
 _MAGIC_V1 = b"BRI1"
 _MAGIC = b"BRI2"
+_MAGIC_V3 = b"BRI3"
 _NIBBLE_CLASSES = {"r", "f", "n4"}
 _BYTE_WIDTH = {"b": 1, "h": 2, "w": 4, "l": 2, "s": 2, "d": 8}
 
@@ -360,6 +372,17 @@ class DecodedFunction:
     bb_offsets: Set[int] = field(default_factory=set)
 
 
+def _brisc_version(blob: bytes) -> int:
+    """The container version byte, validated; typed error otherwise."""
+    if blob[:3] != _MAGIC_PREFIX:
+        raise UnsupportedFormatError("not a BRISC image (bad magic)")
+    if len(blob) < 4 or blob[3:4] not in (b"1", b"2", b"3"):
+        raise UnsupportedFormatError(
+            f"BRISC container version {blob[3:4]!r} is newer than this "
+            f"decoder")
+    return blob[3] - ord("0")
+
+
 def _image_payload(blob: bytes) -> bytes:
     """Validate the magic/version/CRC framing; return the bare payload."""
     if blob[:3] != _MAGIC_PREFIX:
@@ -377,52 +400,62 @@ def _image_payload(blob: bytes) -> bytes:
     return payload
 
 
+def _parse_preamble(
+    data: bytes, pos: int, limits: ResourceLimits
+) -> Tuple[DecodedImage, int, int]:
+    """Parse dictionary + tables + globals + entry + function count — the
+    part v2 payloads and v3 headers share.  Returns (image shell with no
+    functions yet, nfuncs, pos)."""
+    npatterns, pos = read_uvarint(data, pos)
+    limits.check("pattern count", npatterns, limits.max_patterns)
+    if npatterns > len(data) - pos:  # each pattern costs >= 1 byte
+        raise TruncatedStreamError(
+            f"image promises {npatterns} patterns, "
+            f"only {len(data) - pos} bytes remain")
+    patterns: List[DictPattern] = []
+    for _ in range(npatterns):
+        pattern, pos = deserialize_pattern(data, pos)
+        patterns.append(pattern)
+    ntables, pos = read_uvarint(data, pos)
+    if ntables > len(data) - pos:
+        raise TruncatedStreamError(
+            f"image promises {ntables} tables, image too short")
+    tables: Dict[int, List[int]] = {}
+    for _ in range(ntables):
+        zctx, pos = read_uvarint(data, pos)
+        count, pos = read_uvarint(data, pos)
+        if count > len(data) - pos:
+            raise TruncatedStreamError(
+                f"Markov table promises {count} entries, image too short")
+        table: List[int] = []
+        for _ in range(count):
+            pid, pos = read_uvarint(data, pos)
+            if pid >= npatterns:
+                raise CorruptStreamError(
+                    f"Markov table references pattern {pid} "
+                    f"of {npatterns}")
+            table.append(pid)
+        tables[_unzig(zctx)] = table
+    globals_, pos = _unpack_globals(data, pos)
+    entry, pos = _take_name(data, pos, "entry symbol")
+    nfuncs, pos = read_uvarint(data, pos)
+    limits.check("function count", nfuncs, limits.max_functions)
+    if nfuncs > len(data) - pos:
+        raise TruncatedStreamError(
+            f"image promises {nfuncs} functions, image too short")
+    return DecodedImage(patterns, tables, globals_, entry), nfuncs, pos
+
+
 def parse_image(
     blob: bytes, limits: Optional[ResourceLimits] = None
 ) -> DecodedImage:
     """Parse an image's container structure (no slot decoding yet)."""
     limits = limits or DEFAULT_LIMITS
+    if _brisc_version(blob) == 3:
+        return _parse_image_v3(blob, limits)
     with decode_guard("BRISC image"):
         data = _image_payload(blob)
-        pos = 0
-        npatterns, pos = read_uvarint(data, pos)
-        limits.check("pattern count", npatterns, limits.max_patterns)
-        if npatterns > len(data) - pos:  # each pattern costs >= 1 byte
-            raise TruncatedStreamError(
-                f"image promises {npatterns} patterns, "
-                f"only {len(data) - pos} bytes remain")
-        patterns: List[DictPattern] = []
-        for _ in range(npatterns):
-            pattern, pos = deserialize_pattern(data, pos)
-            patterns.append(pattern)
-        ntables, pos = read_uvarint(data, pos)
-        if ntables > len(data) - pos:
-            raise TruncatedStreamError(
-                f"image promises {ntables} tables, image too short")
-        tables: Dict[int, List[int]] = {}
-        for _ in range(ntables):
-            zctx, pos = read_uvarint(data, pos)
-            count, pos = read_uvarint(data, pos)
-            if count > len(data) - pos:
-                raise TruncatedStreamError(
-                    f"Markov table promises {count} entries, image too short")
-            table: List[int] = []
-            for _ in range(count):
-                pid, pos = read_uvarint(data, pos)
-                if pid >= npatterns:
-                    raise CorruptStreamError(
-                        f"Markov table references pattern {pid} "
-                        f"of {npatterns}")
-                table.append(pid)
-            tables[_unzig(zctx)] = table
-        globals_, pos = _unpack_globals(data, pos)
-        entry, pos = _take_name(data, pos, "entry symbol")
-        nfuncs, pos = read_uvarint(data, pos)
-        limits.check("function count", nfuncs, limits.max_functions)
-        if nfuncs > len(data) - pos:
-            raise TruncatedStreamError(
-                f"image promises {nfuncs} functions, image too short")
-        out = DecodedImage(patterns, tables, globals_, entry)
+        out, nfuncs, pos = _parse_preamble(data, 0, limits)
         for _ in range(nfuncs):
             name, pos = _take_name(data, pos, "function name")
             frame, pos = read_uvarint(data, pos)
@@ -592,3 +625,310 @@ def decode_image(
                 vmf.labels.setdefault(label, offset_to_index[off])
             program.functions.append(vmf)
         return program
+
+
+# ---------------------------------------------------------------------------
+# BRI3: the seekable chunked container
+# ---------------------------------------------------------------------------
+#
+# Layout:
+#
+#   "BRI3" | crc32(header) u32 LE | uvarint header_len | header | chunks
+#
+# The header is the v2 preamble (dictionary, Markov tables, globals,
+# entry) followed by the function metadata — name, frame, params, code
+# length, block-start offsets, chunk id — and the chunk table (offset
+# relative to the chunk area, stored length, CRC32).  A chunk is simply
+# the concatenated code bytes of its member functions (ascending original
+# index): BRISC code is already compressed and interpreted in place, so
+# chunking moves bytes without re-encoding them, and ``decode_range`` is
+# an exact byte slice of what a full ``parse_image`` would see.
+
+
+def _pack_preamble(out: bytearray, image: DecodedImage) -> None:
+    """Re-serialize the shared preamble of a parsed image (the exact
+    inverse of :func:`_parse_preamble`)."""
+    write_uvarint(out, len(image.patterns))
+    for pattern in image.patterns:
+        out.extend(serialize_pattern(pattern))
+    write_uvarint(out, len(image.tables))
+    for ctx in sorted(image.tables):
+        write_uvarint(out, _zig(ctx))
+        table = image.tables[ctx]
+        write_uvarint(out, len(table))
+        for pid in table:
+            write_uvarint(out, pid)
+    _pack_globals(out, image.globals)
+    raw = image.entry.encode("utf-8")
+    write_uvarint(out, len(raw))
+    out.extend(raw)
+
+
+def repack_v3(
+    blob: bytes,
+    placement: Optional[ChunkPlacement] = None,
+    limits: Optional[ResourceLimits] = None,
+) -> bytes:
+    """Transcode any BRISC image (v1/v2/v3) into a seekable BRI3 one.
+
+    The function code bytes are moved, never re-encoded, so the chunked
+    image decodes to exactly the same program.  ``placement`` groups
+    functions into chunks (default greedy, sized in code bytes).
+    """
+    image = parse_image(blob, limits=limits)
+    extents = [FunctionExtent(fn.name, len(fn.code))
+               for fn in image.functions]
+    placement = placement or GreedyPlacement()
+    groups = validate_placement(placement.place(extents), len(extents))
+    chunk_of: Dict[int, int] = {}
+    for cid, members in enumerate(groups):
+        for index in members:
+            chunk_of[index] = cid
+
+    header = bytearray()
+    _pack_preamble(header, image)
+    write_uvarint(header, len(image.functions))
+    for index, fn in enumerate(image.functions):
+        raw = fn.name.encode("utf-8")
+        write_uvarint(header, len(raw))
+        header.extend(raw)
+        write_uvarint(header, fn.frame_size)
+        write_uvarint(header, fn.param_bytes)
+        write_uvarint(header, len(fn.code))
+        write_uvarint(header, len(fn.bb_offsets))
+        last = 0
+        for off in sorted(fn.bb_offsets):
+            write_uvarint(header, off - last)
+            last = off
+        write_uvarint(header, chunk_of[index])
+    chunk_blobs = [
+        b"".join(image.functions[i].code for i in members)
+        for members in groups
+    ]
+    write_uvarint(header, len(chunk_blobs))
+    offset = 0
+    for chunk_blob in chunk_blobs:
+        write_uvarint(header, offset)
+        write_uvarint(header, len(chunk_blob))
+        header.extend(zlib.crc32(chunk_blob).to_bytes(4, "little"))
+        offset += len(chunk_blob)
+
+    prefix = bytearray(_MAGIC_V3)
+    prefix.extend(zlib.crc32(bytes(header)).to_bytes(4, "little"))
+    write_uvarint(prefix, len(header))
+    return bytes(prefix) + bytes(header) + b"".join(chunk_blobs)
+
+
+def _parse_v3_header(blob: bytes, limits: ResourceLimits) -> Tuple[bytes, int]:
+    """Verify the BRI3 prefix framing; returns (header, header_bytes)."""
+    stored, pos = take_bytes(blob, 4, 4, "BRISC header CRC")
+    hlen, pos = read_uvarint(blob, pos)
+    limits.check("BRISC header size", hlen, limits.max_decoded_bytes)
+    header, pos = take_bytes(blob, pos, hlen, "BRISC container header")
+    if zlib.crc32(header) != int.from_bytes(stored, "little"):
+        raise CorruptStreamError("BRISC container header CRC mismatch")
+    return header, pos
+
+
+@dataclass(frozen=True)
+class _FnMeta:
+    name: str
+    frame_size: int
+    param_bytes: int
+    code_len: int
+    bb_offsets: Tuple[int, ...]
+    chunk: int
+
+
+def _unpack_v3_header(
+    header: bytes, limits: ResourceLimits
+) -> Tuple[DecodedImage, List[_FnMeta], List[Tuple[int, int, int]]]:
+    """Parse a BRI3 header into (image shell without functions, function
+    metadata, per-chunk (offset, length, crc32))."""
+    image, nfuncs, pos = _parse_preamble(header, 0, limits)
+    fn_meta: List[_FnMeta] = []
+    for _ in range(nfuncs):
+        name, pos = _take_name(header, pos, "function name")
+        frame, pos = read_uvarint(header, pos)
+        params, pos = read_uvarint(header, pos)
+        code_len, pos = read_uvarint(header, pos)
+        limits.check("function code size", code_len,
+                     limits.max_decoded_bytes)
+        nbb, pos = read_uvarint(header, pos)
+        if nbb > len(header) - pos:
+            raise TruncatedStreamError(
+                f"function {name!r} promises {nbb} block offsets, "
+                f"header too short")
+        offsets: List[int] = []
+        last = 0
+        for _ in range(nbb):
+            delta, pos = read_uvarint(header, pos)
+            last += delta
+            if last > code_len:
+                raise CorruptStreamError(
+                    f"block offset {last} beyond code of {code_len} "
+                    f"bytes in {name!r}")
+            offsets.append(last)
+        chunk_id, pos = read_uvarint(header, pos)
+        fn_meta.append(_FnMeta(name, frame, params, code_len,
+                               tuple(offsets), chunk_id))
+    nchunks, pos = read_uvarint(header, pos)
+    limits.check("chunk count", nchunks, limits.max_streams)
+    if nchunks * 6 > len(header) - pos:  # each chunk costs >= 6 bytes
+        raise TruncatedStreamError(
+            f"header promises {nchunks} chunks, header too short")
+    chunk_meta: List[Tuple[int, int, int]] = []
+    for _ in range(nchunks):
+        offset, pos = read_uvarint(header, pos)
+        length, pos = read_uvarint(header, pos)
+        raw, pos = take_bytes(header, pos, 4, "chunk CRC")
+        chunk_meta.append((offset, length, int.from_bytes(raw, "little")))
+    for meta in fn_meta:
+        if meta.chunk >= nchunks:
+            raise CorruptStreamError(
+                f"function {meta.name!r} references chunk {meta.chunk} "
+                f"of {nchunks}")
+    return image, fn_meta, chunk_meta
+
+
+def container_index(
+    blob: bytes, limits: Optional[ResourceLimits] = None
+) -> ContainerIndex:
+    """Parse the block index of a BRI3 image (no chunk verification)."""
+    limits = limits or DEFAULT_LIMITS
+    if _brisc_version(blob) != 3:
+        raise UnsupportedFormatError(
+            f"{blob[:4]!r} is not a seekable (BRI3) image")
+    with decode_guard("BRISC container index"):
+        header, base = _parse_v3_header(blob, limits)
+        _, fn_meta, chunk_meta = _unpack_v3_header(header, limits)
+        index = ContainerIndex(
+            kind="brisc", version=3,
+            total_bytes=base + sum(length for _, length, _ in chunk_meta),
+            header_bytes=base)
+        members: Dict[int, List[int]] = {}
+        span = 0
+        for i, meta in enumerate(fn_meta):
+            index.functions.append(
+                FunctionRecord(i, meta.name, meta.chunk, span, meta.code_len))
+            members.setdefault(meta.chunk, []).append(i)
+            span += meta.code_len
+        for cid, (offset, length, crc) in enumerate(chunk_meta):
+            index.chunks.append(
+                ChunkRecord(cid, base + offset, length, crc,
+                            tuple(members.get(cid, ()))))
+        return index
+
+
+def _chunk_code(
+    blob: bytes,
+    chunk: ChunkRecord,
+    fn_meta: List[_FnMeta],
+) -> Dict[int, bytes]:
+    """CRC-check one chunk and split it into per-member code bytes."""
+    if chunk.offset + chunk.length > len(blob):
+        raise TruncatedStreamError(
+            f"chunk {chunk.index} extent [{chunk.offset}, "
+            f"{chunk.offset + chunk.length}) beyond the {len(blob)}-byte "
+            f"image")
+    payload = blob[chunk.offset:chunk.offset + chunk.length]
+    if zlib.crc32(payload) != chunk.crc32:
+        raise CorruptStreamError(f"chunk {chunk.index} CRC mismatch")
+    expected = sum(fn_meta[i].code_len for i in chunk.members)
+    if expected != chunk.length:
+        raise CorruptStreamError(
+            f"chunk {chunk.index} holds {chunk.length} bytes, its members "
+            f"need {expected}")
+    code: Dict[int, bytes] = {}
+    cursor = 0
+    for member in chunk.members:
+        code[member] = payload[cursor:cursor + fn_meta[member].code_len]
+        cursor += fn_meta[member].code_len
+    return code
+
+
+def _v3_function(meta: _FnMeta, code: bytes) -> DecodedFunction:
+    return DecodedFunction(meta.name, meta.frame_size, meta.param_bytes,
+                           code, set(meta.bb_offsets))
+
+
+def _parse_image_v3(blob: bytes, limits: ResourceLimits) -> DecodedImage:
+    """Full parse of a seekable image: every chunk is CRC-verified."""
+    with decode_guard("BRISC image"):
+        header, _ = _parse_v3_header(blob, limits)
+        image, fn_meta, _ = _unpack_v3_header(header, limits)
+    index = container_index(blob, limits)
+    with decode_guard("BRISC image"):
+        code: Dict[int, bytes] = {}
+        for chunk in index.chunks:
+            code.update(_chunk_code(blob, chunk, fn_meta))
+        image.functions = [_v3_function(meta, code[i])
+                           for i, meta in enumerate(fn_meta)]
+        return image
+
+
+def decode_function(
+    blob: bytes, name: str, limits: Optional[ResourceLimits] = None
+) -> DecodedFunction:
+    """Parse one function by name, touching only its covering chunk.
+
+    On a BRI3 image this verifies the header CRC and the target chunk's
+    CRC only, so corruption elsewhere cannot poison the read.  v1/v2
+    images fall back to a full parse.  The result is exactly the
+    function a full :func:`parse_image` would return.
+    """
+    limits = limits or DEFAULT_LIMITS
+    if _brisc_version(blob) != 3:
+        image = parse_image(blob, limits=limits)
+        for fn in image.functions:
+            if fn.name == name:
+                return fn
+        raise CorruptStreamError(
+            f"image has no function {name!r} "
+            f"(have: {[f.name for f in image.functions]})")
+    index = container_index(blob, limits)
+    record = index.function(name)
+    with decode_guard("BRISC image"):
+        header, _ = _parse_v3_header(blob, limits)
+        _, fn_meta, _ = _unpack_v3_header(header, limits)
+        code = _chunk_code(blob, index.chunks[record.chunk], fn_meta)
+        return _v3_function(fn_meta[record.index], code[record.index])
+
+
+def decode_range(
+    blob: bytes, start: int, length: int,
+    limits: Optional[ResourceLimits] = None,
+) -> bytes:
+    """Code-address-space bytes ``[start, start+length)``.
+
+    The BRISC decoded address space is the concatenation of every
+    function's code bytes in image order; the result is byte-identical
+    to slicing that concatenation out of a full :func:`parse_image`, but
+    on a BRI3 image only the covering chunks are CRC-checked and read.
+    Out-of-range spans clamp like a Python slice; negative arguments
+    raise a typed error.
+    """
+    limits = limits or DEFAULT_LIMITS
+    if start < 0 or length < 0:
+        raise CorruptStreamError(
+            f"invalid range request start={start} length={length}")
+    end = start + length
+    if _brisc_version(blob) != 3:
+        whole = b"".join(fn.code
+                         for fn in parse_image(blob, limits=limits).functions)
+        return whole[start:end]
+    index = container_index(blob, limits)
+    records = index.functions_in_span(start, length)
+    with decode_guard("BRISC image"):
+        header, _ = _parse_v3_header(blob, limits)
+        _, fn_meta, _ = _unpack_v3_header(header, limits)
+        code: Dict[int, bytes] = {}
+        for cid in sorted({record.chunk for record in records}):
+            code.update(_chunk_code(blob, index.chunks[cid], fn_meta))
+        out = bytearray()
+        for record in sorted(records, key=lambda r: r.span_start):
+            lo = max(start, record.span_start)
+            hi = min(end, record.span_start + record.span_length)
+            piece = code[record.index]
+            out.extend(piece[lo - record.span_start:hi - record.span_start])
+        return bytes(out)

@@ -1,0 +1,69 @@
+"""Seekable container support shared by the WIR3 and BRI3 formats.
+
+The format-specific encoders/decoders live with their formats
+(:mod:`repro.wire.format`, :mod:`repro.brisc.encode`); this package holds
+the chunk-placement policies and block-index types they share, plus
+format-dispatching front doors (:func:`container_index`,
+:func:`decode_function_bytes` …) that branch on the blob's magic so
+callers like the service and CLI don't care which format they hold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ResourceLimits, UnsupportedFormatError
+from .chunking import (
+    DEFAULT_CHUNK_BYTES, ChunkPlacement, ChunkRecord, ContainerIndex,
+    FunctionExtent, FunctionRecord, GreedyPlacement, HotColdPlacement,
+    assemble_sparse, validate_placement,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "ChunkPlacement",
+    "ChunkRecord",
+    "ContainerIndex",
+    "FunctionExtent",
+    "FunctionRecord",
+    "GreedyPlacement",
+    "HotColdPlacement",
+    "assemble_sparse",
+    "container_index",
+    "container_kind",
+    "decode_range_bytes",
+    "validate_placement",
+]
+
+
+def container_kind(blob: bytes) -> str:
+    """``"wire"`` or ``"brisc"``, by magic; typed error otherwise."""
+    if blob[:3] == b"WIR":
+        return "wire"
+    if blob[:3] == b"BRI":
+        return "brisc"
+    raise UnsupportedFormatError("neither a wire blob nor a BRISC image")
+
+
+def container_index(blob: bytes,
+                    limits: Optional[ResourceLimits] = None) -> ContainerIndex:
+    """Parse the block index of a seekable container (either format)."""
+    if container_kind(blob) == "wire":
+        from ..wire import format as wire_format
+
+        return wire_format.container_index(blob, limits)
+    from ..brisc import encode as brisc_encode
+
+    return brisc_encode.container_index(blob, limits)
+
+
+def decode_range_bytes(blob: bytes, start: int, length: int,
+                       limits: Optional[ResourceLimits] = None) -> bytes:
+    """``decode_range`` for either format (see the format modules)."""
+    if container_kind(blob) == "wire":
+        from ..wire import format as wire_format
+
+        return wire_format.decode_range(blob, start, length, limits)
+    from ..brisc import encode as brisc_encode
+
+    return brisc_encode.decode_range(blob, start, length, limits)

@@ -1,0 +1,303 @@
+"""Chunk placement and block-index types shared by WIR3 and BRI3.
+
+The paper's motivating scenario is demand-paging compressed code: a
+client should be able to page in *one function* without downloading (or
+decompressing) the whole unit.  Both v3 containers therefore group
+functions into *chunks* — independently decodable, CRC-framed byte
+extents — behind a block index that maps every function to the chunk
+holding it and every chunk to its (offset, length, CRC32) in the blob.
+
+This module holds the pieces the two formats share:
+
+* :class:`ChunkPlacement` — the policy hook deciding which functions
+  share a chunk.  :class:`GreedyPlacement` packs functions in module
+  order under a size cap (locality of definition order);
+  :class:`HotColdPlacement` additionally clusters the hottest functions
+  into the same leading chunks, the access-pattern-based placement of
+  Ozturk et al.: a demand-paged working set that touches only hot code
+  then faults in a minimal set of chunks.
+* :class:`ContainerIndex` — the parsed block index: per-function spans
+  in the *decoded* address space, per-chunk extents in the *stored*
+  blob, and the range arithmetic (`ranges_for_function`,
+  `ranges_for_span`) a byte-range server needs.
+* :func:`assemble_sparse` — rebuild a decodable sparse blob from fetched
+  (offset, bytes) segments; untouched regions stay zeroed and are never
+  read by ``decode_function``/``decode_range``.
+
+Placements return a *partition*: every function index appears in exactly
+one chunk.  Within a chunk, members are stored in ascending original
+index, so any placement decodes back to the original function order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import CorruptStreamError
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "ChunkPlacement",
+    "ChunkRecord",
+    "ContainerIndex",
+    "FunctionExtent",
+    "FunctionRecord",
+    "GreedyPlacement",
+    "HotColdPlacement",
+    "assemble_sparse",
+    "validate_placement",
+]
+
+#: Default chunk-size cap.  Half a (4 KB) page: small enough that a
+#: one-function fetch of a typical unit moves a fraction of the blob,
+#: large enough that per-chunk framing overhead stays in the noise.
+DEFAULT_CHUNK_BYTES = 2048
+
+
+@dataclass(frozen=True)
+class FunctionExtent:
+    """What a placement policy knows about one function.
+
+    ``size`` is the function's (estimated) encoded byte size — the
+    packing weight; ``weight`` is its hotness (profile samples, call
+    counts — any monotone heat metric; 0.0 means cold/unknown).
+    """
+
+    name: str
+    size: int
+    weight: float = 0.0
+
+
+class ChunkPlacement:
+    """Policy hook: partition functions into chunks.
+
+    Subclasses implement :meth:`place`, returning a list of chunks, each
+    a list of function indices into ``extents``.  The partition contract
+    (every index exactly once) is enforced by the encoders via
+    :func:`validate_placement`; member order within a chunk is
+    normalized to ascending index by the encoders, so policies only
+    decide *grouping*.
+    """
+
+    def place(self, extents: Sequence[FunctionExtent]) -> List[List[int]]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _pack_by_size(order: Iterable[int],
+                      extents: Sequence[FunctionExtent],
+                      target_bytes: int) -> List[List[int]]:
+        """Greedy size-capped packing of ``order`` into chunks.
+
+        A function larger than the cap gets a chunk of its own; the cap
+        is a target, not a hard bound, because functions are atomic.
+        """
+        chunks: List[List[int]] = []
+        current: List[int] = []
+        used = 0
+        for index in order:
+            size = max(0, extents[index].size)
+            if current and used + size > target_bytes:
+                chunks.append(current)
+                current, used = [], 0
+            current.append(index)
+            used += size
+        if current:
+            chunks.append(current)
+        return chunks
+
+
+@dataclass(frozen=True)
+class GreedyPlacement(ChunkPlacement):
+    """Size-capped greedy placement in module order (the default).
+
+    Functions defined together tend to be called together, so module
+    order is a serviceable locality heuristic when no profile exists.
+    """
+
+    target_bytes: int = DEFAULT_CHUNK_BYTES
+
+    def __post_init__(self) -> None:
+        if self.target_bytes < 1:
+            raise ValueError(
+                f"target_bytes must be >= 1, got {self.target_bytes}")
+
+    def place(self, extents: Sequence[FunctionExtent]) -> List[List[int]]:
+        return self._pack_by_size(range(len(extents)), extents,
+                                  self.target_bytes)
+
+
+class HotColdPlacement(ChunkPlacement):
+    """Profile-guided placement: hottest functions share leading chunks.
+
+    ``profile`` maps function names to heat (higher = hotter); unnamed
+    functions fall back to their :attr:`FunctionExtent.weight`, default
+    cold.  Functions are packed in descending heat (ties broken by
+    original index, so the placement is deterministic), which clusters
+    the working set of a hot path into the minimal set of chunks — the
+    Ozturk-style access-pattern layout.
+    """
+
+    def __init__(self, profile: Optional[Mapping[str, float]] = None,
+                 target_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        if target_bytes < 1:
+            raise ValueError(f"target_bytes must be >= 1, got {target_bytes}")
+        self.profile: Dict[str, float] = dict(profile or {})
+        self.target_bytes = target_bytes
+
+    def heat(self, extent: FunctionExtent) -> float:
+        return self.profile.get(extent.name, extent.weight)
+
+    def place(self, extents: Sequence[FunctionExtent]) -> List[List[int]]:
+        order = sorted(range(len(extents)),
+                       key=lambda i: (-self.heat(extents[i]), i))
+        return self._pack_by_size(order, extents, self.target_bytes)
+
+
+def validate_placement(placement: Sequence[Sequence[int]],
+                       count: int) -> List[List[int]]:
+    """Check a placement partitions ``range(count)``; normalize members
+    to ascending index and drop empty chunks.  Raises ``ValueError`` on
+    a policy that loses, duplicates, or invents functions."""
+    seen: set = set()
+    chunks: List[List[int]] = []
+    for members in placement:
+        members = sorted(members)
+        if not members:
+            continue
+        for index in members:
+            if not 0 <= index < count:
+                raise ValueError(f"placement references function {index} "
+                                 f"of {count}")
+            if index in seen:
+                raise ValueError(f"placement assigns function {index} to "
+                                 f"two chunks")
+            seen.add(index)
+        chunks.append(members)
+    if len(seen) != count:
+        missing = sorted(set(range(count)) - seen)
+        raise ValueError(f"placement leaves functions {missing} unplaced")
+    if not chunks and count == 0:
+        return [[]] if False else []
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# The parsed block index
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One chunk's extent in the stored blob."""
+
+    index: int
+    offset: int          # absolute byte offset of the chunk in the blob
+    length: int          # stored bytes
+    crc32: int
+    members: Tuple[int, ...] = ()   # function indices, ascending
+
+
+@dataclass(frozen=True)
+class FunctionRecord:
+    """One function's location: which chunk stores it, and where its
+    bytes land in the *decoded* address space (concatenated function
+    images in original module order)."""
+
+    index: int
+    name: str
+    chunk: int
+    span_start: int
+    span_length: int
+
+
+@dataclass
+class ContainerIndex:
+    """The block index of a seekable (v3) container.
+
+    ``header_bytes`` is the prefix (magic, CRCs, header) every partial
+    read needs; ``ranges_for_*`` return the minimal sorted list of
+    ``(offset, length)`` byte ranges a client must fetch to decode the
+    request.  ``span_bytes`` is the total decoded address space.
+    """
+
+    kind: str                       # "wire" | "brisc"
+    version: int
+    total_bytes: int
+    header_bytes: int
+    functions: List[FunctionRecord] = field(default_factory=list)
+    chunks: List[ChunkRecord] = field(default_factory=list)
+
+    @property
+    def span_bytes(self) -> int:
+        return sum(f.span_length for f in self.functions)
+
+    def function(self, name: str) -> FunctionRecord:
+        for record in self.functions:
+            if record.name == name:
+                return record
+        raise CorruptStreamError(
+            f"container has no function {name!r} "
+            f"(have: {[f.name for f in self.functions]})")
+
+    def chunk_of(self, name: str) -> ChunkRecord:
+        return self.chunks[self.function(name).chunk]
+
+    def functions_in_span(self, start: int,
+                          length: int) -> List[FunctionRecord]:
+        """Functions whose decoded span intersects [start, start+length)."""
+        if start < 0 or length < 0:
+            raise CorruptStreamError(
+                f"invalid span request start={start} length={length}")
+        end = start + length
+        return [f for f in self.functions
+                if f.span_length and f.span_start < end
+                and start < f.span_start + f.span_length]
+
+    def _ranges(self, chunk_ids: Iterable[int]) -> List[Tuple[int, int]]:
+        ranges = [(0, self.header_bytes)]
+        for cid in sorted(set(chunk_ids)):
+            chunk = self.chunks[cid]
+            ranges.append((chunk.offset, chunk.length))
+        return _coalesce(ranges)
+
+    def ranges_for_function(self, name: str) -> List[Tuple[int, int]]:
+        return self._ranges([self.function(name).chunk])
+
+    def ranges_for_span(self, start: int, length: int) -> List[Tuple[int, int]]:
+        return self._ranges(
+            f.chunk for f in self.functions_in_span(start, length))
+
+
+def _coalesce(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge overlapping/adjacent (offset, length) ranges."""
+    merged: List[Tuple[int, int]] = []
+    for offset, length in sorted(ranges):
+        if merged and offset <= merged[-1][0] + merged[-1][1]:
+            last_off, last_len = merged[-1]
+            merged[-1] = (last_off,
+                          max(last_len, offset + length - last_off))
+        else:
+            merged.append((offset, length))
+    return merged
+
+
+def assemble_sparse(total_bytes: int,
+                    segments: Iterable[Tuple[int, bytes]]) -> bytes:
+    """Rebuild a sparse container from fetched ``(offset, bytes)`` pieces.
+
+    Unfetched regions stay zero.  The result is decodable by
+    ``decode_function``/``decode_range`` for any function whose header
+    and chunk ranges were fetched — those are the only bytes the partial
+    decoders touch, so the zero filler is never read.
+    """
+    if total_bytes < 0:
+        raise ValueError(f"total_bytes must be >= 0, got {total_bytes}")
+    blob = bytearray(total_bytes)
+    for offset, data in segments:
+        if offset < 0 or offset + len(data) > total_bytes:
+            raise ValueError(
+                f"segment [{offset}, {offset + len(data)}) outside the "
+                f"{total_bytes}-byte container")
+        blob[offset:offset + len(data)] = data
+    return bytes(blob)

@@ -62,6 +62,8 @@ __all__ = [
     "chaos_probe",
     "FuzzFailure",
     "FuzzReport",
+    "corrupt_chunk",
+    "fuzz_chunked_container",
     "fuzz_decoder",
 ]
 
@@ -123,7 +125,8 @@ class FuzzReport:
     def summary(self) -> str:
         parts = ", ".join(
             f"{name}={self.counts.get(name, 0)}"
-            for name in ("intact", "detected", "unchanged") + FAILURE_OUTCOMES
+            for name in (("intact", "detected", "unchanged", "isolated")
+                         + FAILURE_OUTCOMES)
             if self.counts.get(name, 0)
         )
         status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
@@ -226,6 +229,123 @@ def fuzz_decoder(
                 report.failures.append(FuzzFailure(
                     target, kind, index, "wrong_answer",
                     "decode succeeded with a different artifact"))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Chunked containers: corruption isolation
+# ---------------------------------------------------------------------------
+
+
+def corrupt_chunk(blob: bytes, chunk_id: int, rng: Random) -> bytes:
+    """Flip one bit strictly inside chunk ``chunk_id`` of a v3 container.
+
+    The position is drawn from ``rng``; the chunk's CRC is left alone, so
+    a correct decoder must detect the damage.  Raises ``ValueError`` for
+    an empty or out-of-range chunk.
+    """
+    from .container import container_index
+
+    index = container_index(bytes(blob))
+    if not 0 <= chunk_id < len(index.chunks):
+        raise ValueError(f"no chunk {chunk_id} "
+                         f"(container has {len(index.chunks)})")
+    chunk = index.chunks[chunk_id]
+    if chunk.length == 0:
+        raise ValueError(f"chunk {chunk_id} is empty")
+    i = chunk.offset + rng.randrange(chunk.length)
+    return (blob[:i] + bytes([blob[i] ^ (1 << rng.randrange(8))])
+            + blob[i + 1:])
+
+
+def fuzz_chunked_container(
+    blob: bytes,
+    *,
+    target: str = "container",
+    rounds: int = 0,
+    seed: int = 0,
+    deadline: float = 10.0,
+) -> FuzzReport:
+    """Check the *isolation* contract of a seekable (v3) container.
+
+    Each round corrupts one bit inside one chunk (cycling over the
+    chunks), then reads every function's span through the partial
+    decoder.  The contract:
+
+    * reads of functions in the corrupted chunk raise a typed
+      :class:`DecodeError` (``detected``) — never a wrong answer, never
+      an untyped exception;
+    * reads of functions in *other* chunks return bytes identical to the
+      pristine container's (``isolated``) — corruption must not leak
+      across chunk boundaries.
+
+    ``rounds`` defaults to two sweeps over the chunk list.
+    """
+    from .container import container_index, decode_range_bytes
+
+    index = container_index(bytes(blob))
+    chunks = [c for c in index.chunks if c.length > 0]
+    if not chunks:
+        raise ValueError(f"{target}: no non-empty chunks to corrupt")
+    if rounds < 1:
+        rounds = 2 * len(chunks)
+    reference = {
+        fn.name: decode_range_bytes(bytes(blob), fn.span_start,
+                                    fn.span_length)
+        for fn in index.functions
+    }
+    rng = Random(seed)
+    report = FuzzReport(target=target, seed=seed, mutations=rounds)
+
+    def bump(outcome: str) -> None:
+        report.counts[outcome] = report.counts.get(outcome, 0) + 1
+
+    for index_ in range(rounds):
+        chunk = chunks[index_ % len(chunks)]
+        mutated = corrupt_chunk(bytes(blob), chunk.index, rng)
+        for fn in index.functions:
+            reader = (lambda b, s=fn.span_start, n=fn.span_length:
+                      decode_range_bytes(b, s, n))
+            status, payload = _call_with_deadline(reader, mutated, deadline)
+            hit = fn.chunk == chunk.index
+            label = f"chunk {chunk.index} -> read {fn.name!r}"
+            if status == "hang":
+                bump("hang")
+                report.failures.append(FuzzFailure(
+                    target, "chunk_corrupt", index_, "hang",
+                    f"{label}: no result within {deadline}s"))
+            elif status == "error":
+                if not isinstance(payload, DecodeError):
+                    bump("untyped")
+                    report.failures.append(FuzzFailure(
+                        target, "chunk_corrupt", index_, "untyped",
+                        f"{label}: {type(payload).__name__}: {payload}"))
+                elif hit:
+                    bump("detected")
+                else:
+                    bump("untyped")
+                    report.failures.append(FuzzFailure(
+                        target, "chunk_corrupt", index_, "untyped",
+                        f"{label}: corruption leaked across chunks: "
+                        f"{type(payload).__name__}: {payload}"))
+            else:
+                if payload == reference[fn.name]:
+                    if hit:
+                        # A flip the chunk CRC failed to catch would be a
+                        # detector bug even though the bytes came out
+                        # right; CRC32 catches all single-bit errors.
+                        bump("wrong_answer")
+                        report.failures.append(FuzzFailure(
+                            target, "chunk_corrupt", index_, "wrong_answer",
+                            f"{label}: corrupted chunk decoded without "
+                            f"a CRC error"))
+                    else:
+                        bump("isolated")
+                else:
+                    bump("wrong_answer")
+                    report.failures.append(FuzzFailure(
+                        target, "chunk_corrupt", index_, "wrong_answer",
+                        f"{label}: decode succeeded with different bytes"))
     return report
 
 

@@ -26,6 +26,13 @@ class PipelineConfig:
     deliberately *excluded* from the brisc stage's cache-key fragment:
     the parallel builder is byte-identical to the serial one, so two
     compiles differing only in worker count share artifacts.
+
+    ``wire_container``/``brisc_container`` select the container layout
+    (2 = the flat v2 default, 3 = the seekable chunked v3);
+    ``chunk_target_bytes`` caps v3 chunk sizes (in decoded-address-space
+    bytes — see the format modules).  The stage fragments only mention
+    these when they differ from the v2 defaults, so existing cache keys
+    are untouched.
     """
 
     isa: ISA = field(default_factory=ISA)
@@ -34,10 +41,32 @@ class PipelineConfig:
     brisc_max_passes: int = 40
     brisc_workers: int = 1
     wire_compress: bool = True
+    wire_container: int = 2
+    brisc_container: int = 2
+    chunk_target_bytes: int = 2048
 
     def with_isa(self, isa: Optional[ISA]) -> "PipelineConfig":
         """A copy targeting ``isa`` (``None`` keeps the current one)."""
         return self if isa is None else replace(self, isa=isa)
+
+    def with_container(self, wire: Optional[int] = None,
+                       brisc: Optional[int] = None,
+                       chunk_bytes: Optional[int] = None) -> "PipelineConfig":
+        """A copy with the given container knobs overridden."""
+        for version in (wire, brisc):
+            if version is not None and version not in (2, 3):
+                raise ValueError(
+                    f"container version must be 2 or 3, got {version}")
+        if chunk_bytes is not None and chunk_bytes < 1:
+            raise ValueError(
+                f"chunk_target_bytes must be >= 1, got {chunk_bytes}")
+        return replace(
+            self,
+            wire_container=self.wire_container if wire is None else wire,
+            brisc_container=self.brisc_container if brisc is None else brisc,
+            chunk_target_bytes=(self.chunk_target_bytes
+                                if chunk_bytes is None else chunk_bytes),
+        )
 
     def with_brisc(self, k: Optional[int] = None,
                    abundant_memory: Optional[bool] = None,

@@ -121,9 +121,28 @@ class WireStage(Stage):
     requires = "lower"
 
     def config_fragment(self, config):
-        return f"compress={config.wire_compress}"
+        fragment = f"compress={config.wire_compress}"
+        # Only non-default container settings enter the key, so existing
+        # v2 cache entries stay valid.
+        if config.wire_container != 2:
+            fragment += (f";container={config.wire_container}"
+                         f";chunk={config.chunk_target_bytes}")
+        return fragment
 
     def run(self, value, unit, config):
+        if config.wire_container == 3:
+            from ..container import GreedyPlacement
+            from ..wire import container_index, encode_module_v3
+
+            blob = encode_module_v3(
+                value, compress=config.wire_compress,
+                placement=GreedyPlacement(config.chunk_target_bytes))
+            index = container_index(blob)
+            return blob, len(blob), {
+                "code_size": len(blob) - index.header_bytes,
+                "chunks": len(index.chunks),
+                "index_bytes": index.header_bytes,
+            }
         blob = encode_module(value, compress=config.wire_compress)
         streams = unpack_streams(blob[4:])
         code_streams = {k: v for k, v in streams.items()
@@ -144,8 +163,13 @@ class BriscStage(Stage):
         # brisc_workers is intentionally absent: the parallel builder is
         # byte-identical to the serial one, so changing the worker count
         # must not invalidate cached artifacts.
-        return (f"k={config.brisc_k};abundant={config.brisc_abundant_memory};"
-                f"passes={config.brisc_max_passes}")
+        fragment = (f"k={config.brisc_k};"
+                    f"abundant={config.brisc_abundant_memory};"
+                    f"passes={config.brisc_max_passes}")
+        if config.brisc_container != 2:
+            fragment += (f";container={config.brisc_container}"
+                         f";chunk={config.chunk_target_bytes}")
+        return fragment
 
     def run(self, value, unit, config):
         from ..brisc import compress  # deferred: brisc is the heaviest import
@@ -154,6 +178,24 @@ class BriscStage(Stage):
                       abundant_memory=config.brisc_abundant_memory,
                       max_passes=config.brisc_max_passes,
                       workers=config.brisc_workers)
+        chunk_meta = {}
+        if config.brisc_container == 3:
+            from ..brisc.encode import container_index, repack_v3
+            from ..container import GreedyPlacement
+
+            blob = repack_v3(
+                cp.image.blob,
+                GreedyPlacement(config.chunk_target_bytes))
+            index = container_index(blob)
+            cp.image.blob = blob
+            # The v3 header re-homes the function/chunk metadata that v2
+            # interleaved with the code; report it as index overhead.
+            cp.image.breakdown["index"] = (
+                index.header_bytes - cp.image.breakdown.get("dictionary", 0)
+                - cp.image.breakdown.get("tables", 0)
+                - cp.image.breakdown.get("meta", 0))
+            chunk_meta = {"chunks": len(index.chunks),
+                          "index_bytes": index.header_bytes}
         meta = {
             "code_segment": cp.image.code_segment_size,
             "patterns": cp.image.pattern_count,
@@ -167,6 +209,7 @@ class BriscStage(Stage):
                 for p in cp.build.pass_stats
             ],
         }
+        meta.update(chunk_meta)
         return cp, cp.image.size, meta
 
 

@@ -136,7 +136,43 @@ class ServiceClient:
         return base64.b64decode(result["blob_b64"])
 
     def verify(self, blob: bytes,
-               deadline: Optional[float] = None) -> Dict[str, Any]:
+               deadline: Optional[float] = None,
+               function: Optional[str] = None) -> Dict[str, Any]:
         return self.request(
             "verify", blob_b64=base64.b64encode(blob).decode("ascii"),
-            deadline=deadline)
+            deadline=deadline, function=function)
+
+    # -- demand paging -----------------------------------------------------
+
+    def _materialize(self, result: Dict[str, Any]) -> Dict[str, Any]:
+        """Decode the reply's segments and rebuild the sparse container.
+
+        ``result["blob"]`` becomes a container of the advertised total
+        size with only the fetched ranges filled in — decodable for the
+        requested function/span, zero everywhere else.
+        """
+        from ..container import assemble_sparse
+
+        segments = [(int(seg["offset"]), base64.b64decode(seg["b64"]))
+                    for seg in result.get("segments", [])]
+        result["blob"] = assemble_sparse(int(result["total_bytes"]), segments)
+        return result
+
+    def fetch_function(self, source: str, function: str,
+                       name: str = "<client>", format: str = "wire",
+                       chunk_bytes: Optional[int] = None,
+                       deadline: Optional[float] = None) -> Dict[str, Any]:
+        """Fetch only the byte ranges covering one function."""
+        return self._materialize(self.request(
+            "fetch_function", source=source, name=name, function=function,
+            format=format, chunk_bytes=chunk_bytes, deadline=deadline))
+
+    def fetch_range(self, source: str, start: int, length: int,
+                    name: str = "<client>", format: str = "wire",
+                    chunk_bytes: Optional[int] = None,
+                    deadline: Optional[float] = None) -> Dict[str, Any]:
+        """Fetch the byte ranges covering a decoded-address-space span."""
+        return self._materialize(self.request(
+            "fetch_range", source=source, name=name, start=start,
+            length=length, format=format, chunk_bytes=chunk_bytes,
+            deadline=deadline))

@@ -54,7 +54,12 @@ __all__ = [
 ]
 
 #: Ops that run pipeline work and pass through the full robustness layer.
-WORK_OPS = frozenset({"compile", "wire", "brisc", "verify", "sleep"})
+WORK_OPS = frozenset({"compile", "wire", "brisc", "verify", "sleep",
+                      "fetch_range", "fetch_function"})
+
+#: The demand-paging ops: serve byte ranges of seekable (v3) containers
+#: out of the warm store.
+_FETCH_OPS = frozenset({"fetch_range", "fetch_function"})
 
 #: Ops answered inline on the event loop, bypassing admission — probes
 #: and control must work even when the worker pool is saturated.
@@ -158,6 +163,8 @@ class _Metrics:
         self.bad_frames = 0
         self.connections_opened = 0
         self.connections_closed = 0
+        self.bytes_served = 0
+        self.range_ops: Dict[str, Dict[str, int]] = {}
 
     def note(self, op: str, outcome: str, seconds: float) -> None:
         self.requests += 1
@@ -166,6 +173,12 @@ class _Metrics:
         self.latency_count += 1
         self.latency_seconds += seconds
         self.latency_max = max(self.latency_max, seconds)
+
+    def note_range(self, op: str, hit: bool, transferred: int) -> None:
+        """Account one served range: warm-store hit/miss + bytes moved."""
+        counters = self.range_ops.setdefault(op, {"hits": 0, "misses": 0})
+        counters["hits" if hit else "misses"] += 1
+        self.bytes_served += transferred
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -182,6 +195,8 @@ class _Metrics:
                 "opened": self.connections_opened,
                 "closed": self.connections_closed,
             },
+            "bytes_served": self.bytes_served,
+            "range_ops": {op: dict(c) for op, c in self.range_ops.items()},
         }
 
 
@@ -474,6 +489,11 @@ class CompressionService:
             breaker.record_failure()
             raise
         breaker.record_success()
+        if op in _FETCH_OPS and isinstance(result, dict):
+            # Range accounting happens here, on the event loop (the
+            # metrics object is loop-thread-only by contract).
+            self.metrics.note_range(op, bool(result.get("cache_hit")),
+                                    int(result.get("transferred", 0)))
         return result
 
     async def _admit_and_execute(self, op: str, message: Dict[str, Any],
@@ -528,6 +548,8 @@ class CompressionService:
             return self._op_sleep(message, cancel)
         if op == "verify":
             return self._op_verify(message)
+        if op in _FETCH_OPS:
+            return self._op_fetch(op, message, cancel)
         return self._op_compile(op, message, cancel)
 
     def _op_sleep(self, message: Dict[str, Any],
@@ -561,16 +583,109 @@ class CompressionService:
         except (ValueError, UnicodeEncodeError) as exc:
             raise CorruptStreamError(
                 f"verify blob_b64 is not base64: {exc}") from exc
+        function = message.get("function")
+        if function is not None and not isinstance(function, str):
+            raise CorruptStreamError(
+                f"verify function must be a name, got {function!r}")
         if blob[:3] == b"WIR":
-            module = decode_module(blob)
-            detail = f"wire module {module.name!r}"
+            if function is not None:
+                from ..wire import decode_function
+
+                fn = decode_function(blob, function)
+                detail = f"wire function {fn.name!r}"
+            else:
+                module = decode_module(blob)
+                detail = f"wire module {module.name!r}"
         elif blob[:3] == b"BRI":
-            program = decode_image(blob)
-            detail = f"BRISC image, {len(program.functions)} functions"
+            if function is not None:
+                from ..brisc.encode import decode_function
+
+                fn = decode_function(blob, function)
+                detail = f"BRISC function {fn.name!r}"
+            else:
+                program = decode_image(blob)
+                detail = f"BRISC image, {len(program.functions)} functions"
         else:
             raise UnsupportedFormatError(
                 f"unrecognized container magic {blob[:4]!r}")
         return {"detail": detail, "bytes": len(blob)}
+
+    def _op_fetch(self, op: str, message: Dict[str, Any],
+                  cancel: threading.Event) -> Dict[str, Any]:
+        """Serve byte ranges of a seekable container from the warm store.
+
+        The unit is compiled (or found cached — ``cache_hit``) with the
+        v3 container layout, the block index is consulted for the
+        minimal ranges covering the request, and only those bytes go
+        back to the client — never the whole blob.
+        """
+        source = message.get("source")
+        if not isinstance(source, str):
+            raise CorruptStreamError(f"{op} request missing source text")
+        name = str(message.get("name") or "<request>")
+        fmt = message.get("format", "wire")
+        if fmt not in ("wire", "brisc"):
+            raise CorruptStreamError(
+                f"fetch format must be 'wire' or 'brisc', got {fmt!r}")
+        chunk_bytes = message.get("chunk_bytes")
+        if chunk_bytes is not None and (
+                not isinstance(chunk_bytes, int) or chunk_bytes < 1):
+            raise CorruptStreamError(
+                f"chunk_bytes must be a positive integer, got {chunk_bytes!r}")
+        config = self.toolchain.config.with_container(
+            wire=3, brisc=3, chunk_bytes=chunk_bytes)
+        try:
+            result = self.toolchain.compile(source, name=name, stages=(fmt,),
+                                            config=config, cancel=cancel.is_set)
+        except KeyError as exc:
+            raise CorruptStreamError(str(exc)) from exc
+        artifact = result.artifacts[fmt]
+        if fmt == "wire":
+            from ..wire import container_index
+
+            blob = result.wire_blob
+            index = container_index(blob)
+        else:
+            from ..brisc.encode import container_index
+
+            blob = result.brisc.image.blob
+            index = container_index(blob)
+
+        reply: Dict[str, Any] = {"unit": name, "format": fmt,
+                                 "total_bytes": len(blob),
+                                 "cache_hit": artifact.from_cache}
+        function = message.get("function")
+        if op == "fetch_function" or function is not None:
+            if not isinstance(function, str):
+                raise CorruptStreamError(
+                    f"{op} request missing the function name")
+            record = index.function(function)
+            ranges = index.ranges_for_function(function)
+            reply.update(function=function,
+                         span_start=record.span_start,
+                         span_length=record.span_length,
+                         chunks=[record.chunk])
+        else:
+            start = message.get("start")
+            length = message.get("length")
+            for label, value in (("start", start), ("length", length)):
+                if not isinstance(value, int) or value < 0:
+                    raise CorruptStreamError(
+                        f"fetch_range {label} must be a non-negative "
+                        f"integer, got {value!r}")
+            ranges = index.ranges_for_span(start, length)
+            reply.update(
+                span_start=start, span_length=length,
+                chunks=sorted({f.chunk for f in
+                               index.functions_in_span(start, length)}))
+        reply["segments"] = [
+            {"offset": offset,
+             "b64": base64.b64encode(blob[offset:offset + length])
+                          .decode("ascii")}
+            for offset, length in ranges
+        ]
+        reply["transferred"] = sum(length for _, length in ranges)
+        return reply
 
     def _op_compile(self, op: str, message: Dict[str, Any],
                     cancel: threading.Event) -> Dict[str, Any]:

@@ -5,10 +5,12 @@ from .network import (
     DSL_1M, ISDN_128K, LAN_10M, MODEM_28_8, DeliveryResult, Link,
     Representation, RetryPolicy, delivery_time,
 )
-from .paging import PagingConfig, PagingResult, paging_run, working_set_pages
+from .paging import (PagingConfig, PagingResult, chunk_faults,
+                     paging_run, working_set_pages)
 
 __all__ = [
     "DSL_1M", "ISDN_128K", "LAN_10M", "MODEM_28_8", "DeliveryResult",
     "Link", "PagingConfig", "PagingResult", "Representation",
-    "RetryPolicy", "delivery_time", "paging_run", "working_set_pages",
+    "RetryPolicy", "chunk_faults", "delivery_time", "paging_run",
+    "working_set_pages",
 ]

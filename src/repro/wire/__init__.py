@@ -1,9 +1,14 @@
 """The wire format: patternized, MTF+Huffman+LZ split-stream compression."""
 
-from .format import decode_module, encode_module, stream_breakdown, wire_size
+from .format import (
+    container_index, decode_function, decode_module, decode_range,
+    encode_module, encode_module_v3, function_image, stream_breakdown,
+    wire_size,
+)
 from .patternize import normalize_labels, patternize_tree, width_class
 
 __all__ = [
-    "decode_module", "encode_module", "normalize_labels", "patternize_tree",
-    "stream_breakdown", "width_class", "wire_size",
+    "container_index", "decode_function", "decode_module", "decode_range",
+    "encode_module", "encode_module_v3", "function_image", "normalize_labels",
+    "patternize_tree", "stream_breakdown", "width_class", "wire_size",
 ]

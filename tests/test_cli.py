@@ -182,6 +182,79 @@ def test_fuzz_rejects_unknown_format(capsys):
     assert "unknown formats" in capsys.readouterr().err
 
 
+def test_fuzz_chunked_formats(capsys):
+    """wire3/brisc3 run both the byte sweep and the isolation harness."""
+    assert main(["fuzz", "--seed", "5", "--mutations", "10",
+                 "--units", "wc", "--formats", "wire3,brisc3",
+                 "--chunk-bytes", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "wc.wire3" in out and "wc.brisc3" in out
+    assert "[chunks]" in out and "0 contract violations" in out
+
+
+# ---------------------------------------------------------------------------
+# seekable containers: verify --function
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def wire3_blob_path(hello_c, tmp_path, capsys):
+    from repro.cfront import compile_to_ast
+    from repro.container import GreedyPlacement
+    from repro.ir import lower_unit
+    from repro.wire import encode_module_v3
+
+    module = lower_unit(compile_to_ast(HELLO, "hello"), "hello")
+    blob = encode_module_v3(module, placement=GreedyPlacement(64))
+    path = tmp_path / "v.wir3"
+    path.write_bytes(blob)
+    return str(path)
+
+
+def test_verify_function_on_chunked_container(wire3_blob_path, capsys):
+    assert main(["verify", wire3_blob_path, "--function", "sq"]) == 0
+    assert "wire function 'sq'" in capsys.readouterr().out
+
+
+def test_verify_function_on_sparse_container(wire3_blob_path, tmp_path,
+                                             capsys):
+    """A container holding only one function's chunks still verifies."""
+    from repro.container import assemble_sparse, container_index
+
+    blob = open(wire3_blob_path, "rb").read()
+    ranges = container_index(blob).ranges_for_function("sq")
+    sparse = assemble_sparse(len(blob),
+                             [(o, blob[o:o + n]) for o, n in ranges])
+    path = tmp_path / "sparse.wir3"
+    path.write_bytes(sparse)
+    assert main(["verify", str(path), "--function", "sq"]) == 0
+    capsys.readouterr()
+    # The full-module check on the same sparse blob must fail loudly --
+    # the unfetched chunks are zero filler.
+    assert main(["verify", str(path)]) == 1
+    assert "corrupt" in capsys.readouterr().err
+
+
+def test_verify_function_missing_exits_1(wire3_blob_path, capsys):
+    assert main(["verify", wire3_blob_path, "--function", "nope"]) == 1
+    assert "corrupt" in capsys.readouterr().err
+
+
+def test_verify_function_corrupt_chunk_exits_1(wire3_blob_path, capsys):
+    from random import Random
+
+    from repro.container import container_index
+    from repro.faults import corrupt_chunk
+
+    blob = open(wire3_blob_path, "rb").read()
+    index = container_index(blob)
+    victim = index.chunk_of("sq")
+    open(wire3_blob_path, "wb").write(
+        corrupt_chunk(blob, victim.index, Random(1)))
+    assert main(["verify", wire3_blob_path, "--function", "sq"]) == 1
+    assert "CRC" in capsys.readouterr().err
+
+
 def test_cache_inspect_and_prune(hello_c, tmp_path, capsys):
     cache_dir = str(tmp_path / "cache")
     # Warm the store through a disk-cached compile.

@@ -1,0 +1,342 @@
+"""Seekable v3 containers: placement, partial decode, and isolation.
+
+The contract under test (the tentpole's acceptance criteria):
+
+* ``decode_range(blob, start, n)`` over a chunked container is
+  byte-identical to slicing the fully-decoded address space — for any
+  span, any chunk-size cap, and both placement policies;
+* ``decode_function`` touches only the chunks covering the function, so
+  it works on *sparse* containers holding just those byte ranges;
+* corruption in one chunk raises a typed error for reads of that chunk
+  and leaves reads of every other chunk byte-identical.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.brisc import compress, decode_image, run_image
+from repro.brisc import encode as brisc_encode
+from repro.cfront import compile_to_ast
+from repro.codegen import generate_program
+from repro.container import (
+    ChunkPlacement, FunctionExtent, GreedyPlacement, HotColdPlacement,
+    assemble_sparse, container_index, container_kind, decode_range_bytes,
+    validate_placement,
+)
+from repro.corpus import get_sample
+from repro.errors import (
+    CorruptStreamError, DecodeError, UnsupportedFormatError,
+)
+from repro.faults import corrupt_chunk, fuzz_chunked_container
+from repro.ir import dump_function, dump_module, lower_unit
+from repro.vm import run_program
+from repro.wire import (
+    decode_function, decode_module, decode_range, encode_module,
+    encode_module_v3, function_image,
+)
+
+MULTI = """
+int a(int x) { return x + 1; }
+int b(int x) { return x * 2; }
+int c(int x) { return x - 3; }
+int d(int x) { return a(x) + b(x) + c(x); }
+int main(void) { print_int(d(5)); putchar('\\n'); return 0; }
+"""
+
+
+def lower(src, name="m"):
+    return lower_unit(compile_to_ast(src, name), name)
+
+
+@pytest.fixture(scope="module")
+def wc_module():
+    return lower(get_sample("wc"), "wc")
+
+
+@pytest.fixture(scope="module")
+def multi_module():
+    return lower(MULTI, "multi")
+
+
+@pytest.fixture(scope="module")
+def multi_program():
+    return generate_program(lower(MULTI, "multi"))
+
+
+# ---------------------------------------------------------------------------
+# placement policies
+# ---------------------------------------------------------------------------
+
+
+EXTENTS = [FunctionExtent("f0", 100), FunctionExtent("f1", 200),
+           FunctionExtent("f2", 900), FunctionExtent("f3", 50),
+           FunctionExtent("f4", 400)]
+
+
+class TestPlacement:
+    def test_greedy_respects_size_cap(self):
+        placement = GreedyPlacement(target_bytes=300).place(EXTENTS)
+        validate_placement(placement, len(EXTENTS))
+        for members in placement:
+            size = sum(EXTENTS[i].size for i in members)
+            assert size <= 300 or len(members) == 1
+
+    def test_oversize_function_gets_own_chunk(self):
+        placement = GreedyPlacement(target_bytes=300).place(EXTENTS)
+        assert [2] in placement  # f2 (900 B) cannot share
+
+    def test_greedy_keeps_module_order(self):
+        placement = GreedyPlacement(target_bytes=10_000).place(EXTENTS)
+        assert placement == [[0, 1, 2, 3, 4]]
+
+    def test_hot_cold_clusters_by_heat(self):
+        hot = HotColdPlacement({"f3": 10.0, "f1": 5.0},
+                               target_bytes=10_000)
+        placement = hot.place(EXTENTS)
+        validate_placement(placement, len(EXTENTS))
+        flat = [i for members in placement for i in members]
+        # The hot functions lead; cold ties keep module order.
+        assert flat[:2] == [3, 1] or placement[0][:2] == [1, 3]
+
+    def test_validate_rejects_lost_and_duplicate(self):
+        with pytest.raises(ValueError):
+            validate_placement([[0, 1]], 3)       # lost index 2
+        with pytest.raises(ValueError):
+            validate_placement([[0, 1], [1, 2]], 3)  # duplicated index 1
+        with pytest.raises(ValueError):
+            validate_placement([[0, 3]], 2)       # invented index 3
+
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ChunkPlacement().place(EXTENTS)
+
+    def test_greedy_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            GreedyPlacement(target_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# wire (WIR3)
+# ---------------------------------------------------------------------------
+
+
+WIRE_PLACEMENTS = [None, GreedyPlacement(256), GreedyPlacement(64),
+                   HotColdPlacement({"main": 5.0})]
+
+
+class TestWireV3:
+    def test_v3_full_decode_matches_v2(self, multi_module):
+        v2 = decode_module(encode_module(multi_module))
+        v3 = decode_module(encode_module_v3(multi_module))
+        assert dump_module(v3) == dump_module(v2)
+
+    @pytest.mark.parametrize("placement", WIRE_PLACEMENTS)
+    def test_decode_range_matches_full_slice(self, multi_module, placement):
+        blob = encode_module_v3(multi_module, placement=placement)
+        whole = b"".join(function_image(fn)
+                         for fn in decode_module(blob).functions)
+        rng = Random(3)
+        for _ in range(40):
+            start = rng.randrange(len(whole))
+            length = rng.randrange(1, len(whole) - start + 1)
+            assert decode_range(blob, start, length) == \
+                whole[start:start + length]
+
+    def test_decode_range_clamps_like_a_slice(self, wc_module):
+        blob = encode_module_v3(wc_module, placement=GreedyPlacement(256))
+        whole = b"".join(function_image(fn)
+                         for fn in decode_module(blob).functions)
+        assert decode_range(blob, len(whole) - 4, 100) == whole[-4:]
+        assert decode_range(blob, len(whole) + 10, 5) == b""
+        assert decode_range(blob, 0, 0) == b""
+
+    def test_negative_range_is_typed(self, wc_module):
+        blob = encode_module_v3(wc_module)
+        with pytest.raises(CorruptStreamError):
+            decode_range(blob, -1, 5)
+        with pytest.raises(CorruptStreamError):
+            decode_range(blob, 0, -5)
+
+    def test_decode_function_matches_full_decode(self, multi_module):
+        blob = encode_module_v3(multi_module, placement=GreedyPlacement(64))
+        full = {fn.name: fn for fn in decode_module(blob).functions}
+        for name in full:
+            assert dump_function(decode_function(blob, name)) == \
+                dump_function(full[name])
+
+    def test_unknown_function_lists_names(self, multi_module):
+        blob = encode_module_v3(multi_module)
+        with pytest.raises(CorruptStreamError, match="nope"):
+            decode_function(blob, "nope")
+
+    def test_sparse_container_serves_one_function(self, multi_module):
+        """Only the header + covering chunks suffice for one function."""
+        blob = encode_module_v3(multi_module, placement=GreedyPlacement(64))
+        index = container_index(blob)
+        ranges = index.ranges_for_function("b")
+        fetched = sum(n for _, n in ranges)
+        assert fetched < len(blob)
+        sparse = assemble_sparse(
+            len(blob), [(o, blob[o:o + n]) for o, n in ranges])
+        assert dump_function(decode_function(sparse, "b")) == \
+            dump_function(decode_function(blob, "b"))
+
+    def test_v2_blob_falls_back_to_full_decode(self, multi_module):
+        v2 = encode_module(multi_module)
+        whole = b"".join(function_image(fn)
+                         for fn in decode_module(v2).functions)
+        assert decode_range(v2, 3, 40) == whole[3:43]
+        assert decode_function(v2, "a").name == "a"
+
+    def test_roundtrip_is_deterministic(self, wc_module):
+        one = encode_module_v3(wc_module, placement=GreedyPlacement(256))
+        two = encode_module_v3(wc_module, placement=GreedyPlacement(256))
+        assert one == two
+
+
+# ---------------------------------------------------------------------------
+# BRISC (BRI3)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bri2_blob(multi_program):
+    return compress(multi_program, k=8, max_passes=6).image.blob
+
+
+@pytest.fixture(scope="module")
+def bri3_blob(bri2_blob):
+    return brisc_encode.repack_v3(bri2_blob, GreedyPlacement(64))
+
+
+class TestBriscV3:
+    def test_repack_preserves_the_program(self, bri2_blob, bri3_blob):
+        v2 = decode_image(bri2_blob)
+        v3 = decode_image(bri3_blob)
+        assert [fn.name for fn in v3.functions] == \
+            [fn.name for fn in v2.functions]
+        assert run_program(v3).output == run_program(v2).output
+
+    def test_chunked_image_still_interprets(self, bri3_blob):
+        assert run_image(bri3_blob).output == "18\n"
+
+    def test_repack_is_idempotent(self, bri3_blob):
+        again = brisc_encode.repack_v3(bri3_blob, GreedyPlacement(64))
+        assert again == bri3_blob
+
+    def test_decode_range_matches_code_bytes(self, bri2_blob, bri3_blob):
+        image = brisc_encode.parse_image(bri2_blob)
+        whole = b"".join(bytes(fn.code) for fn in image.functions)
+        rng = Random(11)
+        for _ in range(40):
+            start = rng.randrange(len(whole))
+            length = rng.randrange(1, len(whole) - start + 1)
+            assert brisc_encode.decode_range(bri3_blob, start, length) == \
+                whole[start:start + length]
+
+    def test_decode_function_matches_full_parse(self, bri2_blob, bri3_blob):
+        full = {fn.name: fn for fn in
+                brisc_encode.parse_image(bri2_blob).functions}
+        for name in full:
+            fn = brisc_encode.decode_function(bri3_blob, name)
+            assert bytes(fn.code) == bytes(full[name].code)
+
+    def test_sparse_image_serves_one_function(self, bri3_blob):
+        index = container_index(bri3_blob)
+        ranges = index.ranges_for_function("c")
+        assert sum(n for _, n in ranges) < len(bri3_blob)
+        sparse = assemble_sparse(
+            len(bri3_blob),
+            [(o, bri3_blob[o:o + n]) for o, n in ranges])
+        want = brisc_encode.decode_function(bri3_blob, "c")
+        got = brisc_encode.decode_function(sparse, "c")
+        assert bytes(got.code) == bytes(want.code)
+
+    def test_v2_image_falls_back(self, bri2_blob):
+        image = brisc_encode.parse_image(bri2_blob)
+        whole = b"".join(bytes(fn.code) for fn in image.functions)
+        assert brisc_encode.decode_range(bri2_blob, 2, 9) == whole[2:11]
+        assert brisc_encode.decode_function(bri2_blob, "a").name == "a"
+
+
+# ---------------------------------------------------------------------------
+# the shared index / dispatch layer
+# ---------------------------------------------------------------------------
+
+
+class TestContainerIndex:
+    def test_kind_dispatch(self, multi_module, bri3_blob):
+        assert container_kind(encode_module_v3(multi_module)) == "wire"
+        assert container_kind(bri3_blob) == "brisc"
+        with pytest.raises(UnsupportedFormatError):
+            container_kind(b"ZZZZ not a container")
+
+    def test_ranges_always_cover_the_header(self, multi_module):
+        blob = encode_module_v3(multi_module, placement=GreedyPlacement(64))
+        index = container_index(blob)
+        for fn in index.functions:
+            ranges = index.ranges_for_function(fn.name)
+            assert ranges[0][0] == 0
+            assert ranges[0][1] >= index.header_bytes
+
+    def test_functions_in_span(self, multi_module):
+        blob = encode_module_v3(multi_module, placement=GreedyPlacement(64))
+        index = container_index(blob)
+        spans = sorted(index.functions, key=lambda f: f.span_start)
+        first = spans[0]
+        hit = index.functions_in_span(first.span_start, 1)
+        assert [f.name for f in hit] == [first.name]
+        everything = index.functions_in_span(0, index.span_bytes)
+        assert len(everything) == len(index.functions)
+
+    def test_decode_range_bytes_dispatches(self, multi_module, bri3_blob):
+        wire_blob = encode_module_v3(multi_module)
+        assert decode_range_bytes(wire_blob, 0, 8) == \
+            decode_range(wire_blob, 0, 8)
+        assert decode_range_bytes(bri3_blob, 0, 8) == \
+            brisc_encode.decode_range(bri3_blob, 0, 8)
+
+
+# ---------------------------------------------------------------------------
+# corruption isolation
+# ---------------------------------------------------------------------------
+
+
+class TestIsolation:
+    @pytest.mark.parametrize("fmt", ("wire", "brisc"))
+    def test_corrupt_chunk_is_contained(self, fmt, multi_module, bri3_blob):
+        if fmt == "wire":
+            blob = encode_module_v3(multi_module,
+                                    placement=GreedyPlacement(64))
+        else:
+            blob = bri3_blob
+        index = container_index(blob)
+        assert len(index.chunks) >= 2, "need multiple chunks to isolate"
+        victim = index.chunks[0]
+        bad = corrupt_chunk(blob, victim.index, Random(5))
+        for fn in index.functions:
+            if fn.chunk == victim.index:
+                with pytest.raises(DecodeError):
+                    decode_range_bytes(bad, fn.span_start, fn.span_length)
+            else:
+                assert decode_range_bytes(bad, fn.span_start,
+                                          fn.span_length) == \
+                    decode_range_bytes(blob, fn.span_start, fn.span_length)
+
+    @pytest.mark.parametrize("fmt", ("wire", "brisc"))
+    def test_fuzz_harness_reports_clean(self, fmt, multi_module, bri3_blob):
+        if fmt == "wire":
+            blob = encode_module_v3(multi_module,
+                                    placement=GreedyPlacement(64))
+        else:
+            blob = bri3_blob
+        report = fuzz_chunked_container(blob, target=f"{fmt}3", seed=2)
+        assert report.ok, [f.detail for f in report.failures]
+        assert report.counts.get("detected", 0) > 0
+
+    def test_header_corruption_is_typed(self, multi_module):
+        blob = bytearray(encode_module_v3(multi_module))
+        blob[6] ^= 0xFF  # inside the header CRC's coverage
+        with pytest.raises(DecodeError):
+            decode_function(bytes(blob), "a")

@@ -192,3 +192,54 @@ def test_brisc_fuzz_report_clean_on_sample():
     report = fuzz_decoder(blob, decode_image, target="wc.brisc",
                           mutations=50, seed=12)
     assert report.ok, [f.detail for f in report.failures]
+
+
+# ---------------------------------------------------------------------------
+# chunked containers: targeted corruption
+# ---------------------------------------------------------------------------
+
+
+def _wire3_blob():
+    from repro.container import GreedyPlacement
+    from repro.wire import encode_module_v3
+
+    source = get_sample("wc")
+    module = lower_unit(compile_to_ast(source, "wc"), "wc")
+    return encode_module_v3(module, placement=GreedyPlacement(256))
+
+
+def test_corrupt_chunk_is_deterministic():
+    from repro.faults import corrupt_chunk
+
+    blob = _wire3_blob()
+    a = corrupt_chunk(blob, 0, Random(9))
+    b = corrupt_chunk(blob, 0, Random(9))
+    assert a == b and a != blob
+
+
+def test_corrupt_chunk_rejects_bad_ids():
+    from repro.faults import corrupt_chunk
+
+    blob = _wire3_blob()
+    with pytest.raises(ValueError):
+        corrupt_chunk(blob, 999, Random(0))
+
+
+def test_corrupt_chunk_needs_a_chunked_container():
+    from repro.errors import UnsupportedFormatError
+    from repro.faults import corrupt_chunk
+    from repro.ir import lower_unit as _lower
+
+    v2 = encode_module(_lower(compile_to_ast(get_sample("wc"), "wc"), "wc"))
+    with pytest.raises(UnsupportedFormatError):
+        corrupt_chunk(v2, 0, Random(0))
+
+
+def test_chunked_fuzz_summary_reports_isolation():
+    from repro.faults import fuzz_chunked_container
+
+    report = fuzz_chunked_container(_wire3_blob(), target="wc.wire3",
+                                    rounds=4, seed=3)
+    assert report.ok, [f.detail for f in report.failures]
+    assert report.counts.get("isolated", 0) > 0
+    assert "isolated=" in report.summary()

@@ -541,3 +541,116 @@ def test_chaos_cli_against_live_server(capsys):
                      "--seed", "7", "--stall-seconds", "0.05"]) == 0
     out = capsys.readouterr().out
     assert "chaos rounds" in out and "OK" in out
+
+
+# ---------------------------------------------------------------------------
+# demand paging: fetch_function / fetch_range / stats accounting
+# ---------------------------------------------------------------------------
+
+MULTI = """
+int sq(int x) { return x * x; }
+int cube(int x) { return x * x * x; }
+int main(void) { print_int(sq(7)); putchar('\\n'); return 0; }
+"""
+
+
+class TestFetchOps:
+    def test_fetch_function_transfers_fewer_bytes(self):
+        from repro.wire import decode_function
+
+        with make_service() as bg:
+            with ServiceClient(port=bg.port, timeout=30.0) as client:
+                result = client.fetch_function(
+                    MULTI, "sq", name="multi.c", chunk_bytes=64)
+        assert result["format"] == "wire"
+        assert 0 < result["transferred"] < result["total_bytes"]
+        assert result["chunks"]
+        # The sparse blob really decodes the requested function.
+        fn = decode_function(result["blob"], "sq")
+        assert fn.name == "sq"
+
+    def test_fetch_range_round_trip(self):
+        from repro.wire import decode_range
+
+        with make_service() as bg:
+            with ServiceClient(port=bg.port, timeout=30.0) as client:
+                result = client.fetch_range(
+                    MULTI, 4, 32, name="multi.c", chunk_bytes=64)
+        assert result["transferred"] <= result["total_bytes"]
+        # The sparse blob serves the span the full container would.
+        assert decode_range(result["blob"], 4, 32)
+
+    def test_fetch_brisc_format(self):
+        from repro.brisc.encode import decode_function
+
+        with make_service() as bg:
+            with ServiceClient(port=bg.port, timeout=30.0) as client:
+                result = client.fetch_function(
+                    MULTI, "cube", name="multi.c", format="brisc",
+                    chunk_bytes=64)
+        assert result["format"] == "brisc"
+        fn = decode_function(result["blob"], "cube")
+        assert fn.name == "cube"
+
+    def test_unknown_function_is_typed_and_final(self):
+        with make_service() as bg:
+            with ServiceClient(port=bg.port, timeout=30.0) as client:
+                with pytest.raises(RemoteServiceError) as info:
+                    client.fetch_function(MULTI, "nope", name="multi.c")
+        assert info.value.taxonomy == "decode"
+        assert info.value.error_type == "CorruptStreamError"
+        assert not info.value.retryable
+
+    def test_bad_range_args_are_typed(self):
+        with make_service() as bg:
+            with ServiceClient(port=bg.port, timeout=30.0) as client:
+                with pytest.raises(RemoteServiceError) as info:
+                    client.fetch_range(MULTI, -3, 10, name="multi.c")
+        assert info.value.taxonomy == "decode"
+
+    def test_stats_count_bytes_served_and_hits(self):
+        with make_service() as bg:
+            with ServiceClient(port=bg.port, timeout=30.0) as client:
+                first = client.fetch_function(
+                    MULTI, "sq", name="multi.c", chunk_bytes=64)
+                second = client.fetch_function(
+                    MULTI, "sq", name="multi.c", chunk_bytes=64)
+                stats = client.stats()["service"]
+        assert not first["cache_hit"]
+        assert second["cache_hit"]  # warm store: no recompilation
+        assert stats["bytes_served"] == \
+            first["transferred"] + second["transferred"]
+        counters = stats["range_ops"]["fetch_function"]
+        assert counters["misses"] == 1 and counters["hits"] == 1
+
+    def test_verify_function_accepts_sparse_blob(self):
+        with make_service() as bg:
+            with ServiceClient(port=bg.port, timeout=30.0) as client:
+                fetched = client.fetch_function(
+                    MULTI, "sq", name="multi.c", chunk_bytes=64)
+                report = client.verify(fetched["blob"], function="sq")
+        assert "sq" in report["detail"]
+
+    def test_fetch_cli_round_trip(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        source = tmp_path / "multi.c"
+        source.write_text(MULTI)
+        out = tmp_path / "sq.wir"
+        with make_service() as bg:
+            rc = main(["fetch", "--port", str(bg.port), "--function", "sq",
+                       "--chunk-bytes", "64", str(source), "-o", str(out)])
+        assert rc == 0
+        assert "transferred" in capsys.readouterr().out
+        assert main(["verify", str(out), "--function", "sq"]) == 0
+        capsys.readouterr()
+
+    def test_fetch_cli_rejects_ambiguous_request(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        source = tmp_path / "multi.c"
+        source.write_text(MULTI)
+        assert main(["fetch", "--port", "1", str(source)]) == 2
+        assert main(["fetch", "--port", "1", "--function", "sq",
+                     "--start", "0", "--length", "4", str(source)]) == 2
+        capsys.readouterr()

@@ -198,3 +198,86 @@ class TestLossyDelivery:
             RetryPolicy(backoff_factor=0.5)
         with pytest.raises(ValueError):
             RetryPolicy(chunk_bytes=0)
+
+
+class TestChunkedPaging:
+    """The measured chunk-size distribution path of ``paging_run``."""
+
+    def test_chunk_faults_accounting(self):
+        from repro.system import chunk_faults
+
+        config = PagingConfig(fault_seconds=0.010,
+                              transfer_bytes_per_second=1_000_000.0)
+        faults, stall = chunk_faults([1000, 2000, 4096], config)
+        assert faults == 3
+        assert stall == pytest.approx(3 * 0.010 + 7096 / 1_000_000.0)
+
+    def test_chunk_faults_rejects_negative_sizes(self):
+        from repro.system import chunk_faults
+
+        with pytest.raises(ValueError):
+            chunk_faults([100, -1])
+
+    def test_omitting_chunks_keeps_the_page_model(self):
+        uniform = paging_run(native_bytes=400_000, compressed_bytes=200_000,
+                             instructions_executed=1_000_000)
+        explicit = paging_run(native_bytes=400_000, compressed_bytes=200_000,
+                              instructions_executed=1_000_000,
+                              native_chunks=None, compressed_chunks=None)
+        for strategy in uniform:
+            assert uniform[strategy].pages_faulted == \
+                explicit[strategy].pages_faulted
+            assert uniform[strategy].fault_seconds == \
+                explicit[strategy].fault_seconds
+
+    def test_measured_chunks_set_fault_counts(self):
+        """Fetch units are the chunks themselves, not page-size guesses."""
+        chunks = [1500, 3000, 800, 2000]
+        results = paging_run(native_bytes=sum(chunks) * 3,
+                             compressed_bytes=sum(chunks),
+                             instructions_executed=1_000_000,
+                             compressed_chunks=chunks)
+        assert results["compressed-interpreted"].pages_faulted == len(chunks)
+
+    def test_fewer_larger_chunks_trade_seeks_for_transfer(self):
+        """The placement trade-off the model must expose: at a fixed byte
+        total, chunk count moves the stall time through the per-fault
+        service cost."""
+        config = PagingConfig(fault_seconds=0.010,
+                              transfer_bytes_per_second=4_000_000.0)
+        many = paging_run(100_000, 50_000, 1_000_000, config,
+                          compressed_chunks=[500] * 100)
+        few = paging_run(100_000, 50_000, 1_000_000, config,
+                         compressed_chunks=[25_000, 25_000])
+        assert many["compressed-interpreted"].fault_seconds > \
+            few["compressed-interpreted"].fault_seconds
+
+    def test_hybrid_splits_hot_prefix_from_cold_suffix(self):
+        """Hot/cold placement lays hot chunks first; the hybrid strategy
+        keeps that prefix native and leaves the suffix compressed."""
+        config = PagingConfig(cold_fraction=0.5)
+        results = paging_run(native_bytes=8000, compressed_bytes=4000,
+                             instructions_executed=10_000, config=config,
+                             native_chunks=[4000, 4000],
+                             compressed_chunks=[2000, 2000])
+        # One hot native chunk + one cold compressed chunk.
+        assert results["hybrid"].pages_faulted == 2
+
+    def test_real_container_chunks_feed_the_model(self):
+        """End to end: a v3 container index's chunk lengths drive it."""
+        from repro.cfront import compile_to_ast
+        from repro.container import GreedyPlacement, container_index
+        from repro.corpus import get_sample
+        from repro.ir import lower_unit
+        from repro.wire import encode_module_v3
+
+        module = lower_unit(compile_to_ast(get_sample("wc"), "wc"), "wc")
+        blob = encode_module_v3(module, placement=GreedyPlacement(256))
+        index = container_index(blob)
+        chunks = [c.length for c in index.chunks]
+        assert len(chunks) >= 2
+        results = paging_run(native_bytes=4 * len(blob),
+                             compressed_bytes=len(blob),
+                             instructions_executed=100_000,
+                             compressed_chunks=chunks)
+        assert results["compressed-interpreted"].pages_faulted == len(chunks)
