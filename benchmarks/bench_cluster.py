@@ -1,0 +1,117 @@
+"""Cluster scaling, failover recovery, and federation economics.
+
+Three questions about the sharded compile farm:
+
+* **throughput** — what does adding nodes buy a mixed corpus batch
+  routed by unit affinity (N = 1, 2, 4, same batch, same client pool)?
+* **recovery** — after a node is SIGKILLed, how long until the router
+  serves that node's hash slot again (health-probe detection plus
+  failover to the ring successor)?
+* **federation** — what does a warm-store byte copy cost next to the
+  recompilation it replaces?
+
+Numbers land in ``benchmarks/results/cluster.txt``.
+"""
+
+import time
+
+from conftest import save_table
+from repro.bench import render_table
+from repro.cluster import (
+    BackgroundRouter, ClusterSupervisor, HashRing, RouterConfig, run_cluster,
+)
+from repro.corpus import get_sample
+from repro.service import ServiceClient
+
+UNITS = ["wc", "sort", "calc", "lzss", "hashtab", "crc32"]
+ROUNDS = 3
+CLIENTS = 6
+
+
+def _throughput_rows():
+    rows = []
+    for nodes in (1, 2, 4):
+        report = run_cluster(UNITS, nodes=nodes, rounds=ROUNDS,
+                             concurrency=CLIENTS, deadline=60.0, retries=4)
+        assert report.ok, report.errors
+        total = report.completed
+        rows.append([str(nodes), str(total), f"{report.elapsed:8.2f}",
+                     f"{total / report.elapsed:8.1f}"])
+    return rows
+
+
+def _recovery_probe():
+    """Seconds from SIGKILL to the first successful request for a unit
+    the dead node owned (detection + failover, not node restart)."""
+    supervisor = ClusterSupervisor(3, concurrency=2)
+    supervisor.start()
+    try:
+        router = BackgroundRouter(
+            supervisor.addresses,
+            RouterConfig(host="127.0.0.1", health_interval=0.1))
+        router.start()
+        try:
+            assert router.wait_alive(3, timeout=15.0)
+            ring = HashRing(supervisor.addresses,
+                            replicas=router.router.config.replicas)
+            unit = next(u for u in UNITS
+                        if ring.node_for(u) == supervisor.addresses[0])
+            source = get_sample(unit)
+            with ServiceClient(port=router.port, timeout=30.0,
+                               retries=8) as client:
+                client.wire(source, name=unit, deadline=30.0)  # warm owner
+                t0 = time.monotonic()
+                supervisor.kill(0)
+                client.wire(source, name=unit, deadline=30.0)
+                return time.monotonic() - t0
+        finally:
+            router.stop()
+    finally:
+        supervisor.stop()
+
+
+def _federation_economics():
+    """A chaos run's federation traffic vs the compile time it avoided."""
+    from repro.pipeline import Toolchain
+
+    report = run_cluster(UNITS, nodes=3, rounds=2, concurrency=CLIENTS,
+                         chaos=True, kills=1, seed=1997,
+                         restart_after=0.5, deadline=60.0, retries=6)
+    assert report.ok, report.errors
+    # Cold-compile cost of one representative unit on a fresh toolchain:
+    # the work each federated fill saved the restarted node.
+    fresh = Toolchain()
+    t0 = time.monotonic()
+    fresh.compile(get_sample(UNITS[0]), name=UNITS[0], stages=("wire",))
+    cold_seconds = time.monotonic() - t0
+    artifacts_per_unit = 3  # parse/codegen/wire chain for a wire build
+    units_refilled = report.federation_fills / artifacts_per_unit
+    return report, cold_seconds, units_refilled
+
+
+def test_cluster_scaling_recovery_and_federation(results_dir):
+    throughput = _throughput_rows()
+    recovery = _recovery_probe()
+    report, cold_seconds, units_refilled = _federation_economics()
+
+    text = render_table(
+        ["nodes", "requests", "seconds", "req/s"], throughput)
+    text += "\n\n" + render_table(
+        ["failover", "value"],
+        [["recovery seconds (kill -> next reply)", f"{recovery:8.3f}"],
+         ["kills", str(report.kills)],
+         ["restarts", str(report.restarts)],
+         ["router failovers", str(report.failovers)],
+         ["router replays", str(report.replays)]])
+    text += "\n\n" + render_table(
+        ["federation", "value"],
+        [["artifacts filled from peers", str(report.federation_fills)],
+         ["bytes copied", str(report.federation_bytes)],
+         ["refills on restarted nodes",
+          str(report.refilled_after_restart)],
+         ["cold wire compile (s/unit)", f"{cold_seconds:8.3f}"],
+         ["compile seconds avoided (est)",
+          f"{units_refilled * cold_seconds:8.3f}"]])
+    save_table(results_dir, "cluster", text)
+    assert recovery < 30.0
+    assert report.federation_fills >= 1

@@ -1,0 +1,40 @@
+"""Sharded compile farm: consistent-hash routing + cache federation.
+
+The cluster layer turns N independent :class:`~repro.service.CompressionService`
+nodes into one logical service:
+
+* :mod:`.ring` — the consistent-hash ring that assigns unit keys to
+  nodes and keeps assignments stable when membership changes;
+* :mod:`.federation` — peer-to-peer warm-store fills over the RSV1
+  ``cache_peek``/``cache_pull`` ops (content-addressed keys make an
+  artifact transfer a verified byte copy);
+* :mod:`.router` — the front-end process clients actually talk to:
+  health-checked routing, transport-failure failover, idempotent
+  replay under the PR 4 error taxonomy's retry rules;
+* :mod:`.supervisor` — local fleets of real ``repro serve``
+  subprocesses, SIGKILL-able for chaos runs;
+* :mod:`.harness` — ``python -m repro cluster``: batch + chaos driver
+  asserting byte-identical results and federation refills.
+"""
+
+from .federation import ArtifactPeer, FederatedCache, make_peers, parse_address
+from .harness import ClusterReport, format_report, run_cluster
+from .ring import HashRing
+from .router import BackgroundRouter, ClusterRouter, RouterConfig
+from .supervisor import ClusterSupervisor, allocate_ports
+
+__all__ = [
+    "ArtifactPeer",
+    "BackgroundRouter",
+    "ClusterReport",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "FederatedCache",
+    "HashRing",
+    "RouterConfig",
+    "allocate_ports",
+    "format_report",
+    "make_peers",
+    "parse_address",
+    "run_cluster",
+]

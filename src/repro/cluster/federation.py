@@ -1,0 +1,191 @@
+"""Cache federation: fill warm-store misses from hash-ring peers.
+
+Artifact keys are content-addressed SHA-256 digests chained over
+(source, unit, stage, config) — see :mod:`repro.pipeline.cache` — so the
+same key means the same bytes on every node.  That makes federation
+almost embarrassingly simple: on a local miss, ask the peers that the
+hash ring says are most likely to hold the key (``cache_peek``), pull
+the serialized artifact from the first one that does (``cache_pull``),
+verify the CRC32 that rode along, and absorb the bytes into the local
+store — a byte copy for the disk backend, never a recompile.
+
+Failure policy: a peer that cannot be reached, times out, or ships bytes
+that fail the CRC or do not unpickle to an :class:`Artifact` is simply
+skipped — federation is an optimization, and the fallback is always the
+same compile the node would have run anyway.  Peer probes are bounded by
+``max_probes`` and a short per-peer timeout so a dead neighbor costs
+milliseconds, not a hung compile.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import DecodeError, ServiceError
+from ..pipeline.artifacts import Artifact
+from ..pipeline.cache import ArtifactCache
+from ..service.client import ServiceClient
+from .ring import HashRing
+
+__all__ = ["ArtifactPeer", "FederatedCache", "make_peers", "parse_address"]
+
+
+def parse_address(address: str) -> tuple:
+    """``"host:port"`` → ``(host, port)`` with a helpful error."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"peer address must be host:port, got {address!r}")
+    return host, int(port)
+
+
+class ArtifactPeer:
+    """One remote warm store, spoken to over the RSV1 cache ops.
+
+    Thread-safe: the compile worker threads of one node share each peer
+    handle, and the underlying :class:`ServiceClient` is one-connection
+    sequential, so every exchange holds the peer's lock.  Transport
+    errors are absorbed (the client reconnects on the next use) and
+    reported as "peer had nothing" — the caller's fallback is a local
+    compile, never an exception.
+    """
+
+    def __init__(self, address: str, timeout: float = 2.0,
+                 retries: int = 1) -> None:
+        self.address = address
+        host, port = parse_address(address)
+        self._client = ServiceClient(host, port, timeout=timeout,
+                                     retries=retries)
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        with self._lock:
+            self._client.close()
+
+    def peek(self, key: str) -> Optional[int]:
+        """Entry size on the peer, or ``None`` (absent or unreachable)."""
+        try:
+            with self._lock:
+                return self._client.cache_peek(key)
+        except (ServiceError, DecodeError, OSError):
+            return None
+
+    def pull(self, key: str) -> Optional[bytes]:
+        """CRC-verified artifact bytes, or ``None`` on absence/failure."""
+        try:
+            with self._lock:
+                return self._client.cache_pull(key)
+        except (ServiceError, DecodeError, OSError):
+            return None
+
+
+class FederatedCache(ArtifactCache):
+    """A local artifact cache that fills misses from cluster peers.
+
+    Wraps any :class:`ArtifactCache` backend; ``get`` tries the local
+    store first, then walks the hash ring's preference order for the
+    key, peeking before pulling so absent keys cost one small round
+    trip per probed peer.  Writes go to the local store only — peers
+    pull from us symmetrically, nobody pushes.
+
+    ``peek_bytes`` deliberately consults only the local store: it is the
+    read the server's ``cache_peek``/``cache_pull`` ops use, so peer
+    probes terminate at one hop and can never recurse around the ring.
+    """
+
+    def __init__(self, local: ArtifactCache,
+                 peers: Sequence[ArtifactPeer],
+                 max_probes: Optional[int] = None,
+                 replicas: int = 32) -> None:
+        super().__init__()
+        self.local = local
+        self.peers = list(peers)
+        self.max_probes = len(self.peers) if max_probes is None else max_probes
+        self._by_address = {peer.address: peer for peer in self.peers}
+        self._ring = HashRing(self._by_address, replicas=replicas)
+        # Federation accounting, mutated under the inherited lock.
+        self._probes = 0
+        self._peek_hits = 0
+        self._fills = 0
+        self._fill_bytes = 0
+        self._rejected = 0
+
+    # -- ArtifactCache interface -------------------------------------------
+
+    def get(self, key: str) -> Optional[Artifact]:
+        artifact = self.local.get(key)
+        if artifact is not None:
+            with self._lock:
+                self.hits += 1
+            return artifact
+        artifact = self._fill_from_peers(key)
+        with self._lock:
+            if artifact is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return artifact
+
+    def put(self, key: str, artifact: Artifact) -> None:
+        self.local.put(key, artifact)
+
+    def flush(self) -> None:
+        self.local.flush()
+
+    def peek_bytes(self, key: str) -> Optional[bytes]:
+        return self.local.peek_bytes(key)  # local-only: no ring recursion
+
+    def absorb_bytes(self, key: str, blob: bytes) -> Optional[Artifact]:
+        return self.local.absorb_bytes(key, blob)
+
+    def close(self) -> None:
+        for peer in self.peers:
+            peer.close()
+
+    # -- peer fill ---------------------------------------------------------
+
+    def _fill_from_peers(self, key: str) -> Optional[Artifact]:
+        for address in self._ring.preference(key)[: self.max_probes]:
+            peer = self._by_address[address]
+            with self._lock:
+                self._probes += 1
+            if peer.peek(key) is None:
+                continue
+            with self._lock:
+                self._peek_hits += 1
+            blob = peer.pull(key)
+            if blob is None:
+                continue  # vanished/unreachable between peek and pull
+            artifact = self.local.absorb_bytes(key, blob)
+            if artifact is None:
+                with self._lock:
+                    self._rejected += 1  # bytes did not validate
+                continue
+            with self._lock:
+                self._fills += 1
+                self._fill_bytes += len(blob)
+            return artifact
+        return None
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            federation = {
+                "peers": len(self.peers),
+                "probes": self._probes,
+                "peek_hits": self._peek_hits,
+                "fills": self._fills,
+                "fill_bytes": self._fill_bytes,
+                "rejected": self._rejected,
+            }
+            top = {"hits": self.hits, "misses": self.misses}
+        top["federation"] = federation
+        top["local"] = self.local.stats()
+        return top
+
+
+def make_peers(addresses: Sequence[str], timeout: float = 2.0
+               ) -> List[ArtifactPeer]:
+    """Peer handles for a ``host:port`` address list (order-preserving)."""
+    return [ArtifactPeer(address, timeout=timeout) for address in addresses]

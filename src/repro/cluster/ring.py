@@ -1,0 +1,125 @@
+"""Consistent hashing for the compile farm.
+
+The router places every unit key on a ring of SHA-256 points; each node
+contributes ``replicas`` virtual points so load spreads evenly even with
+two or three nodes.  The properties the cluster leans on:
+
+* **determinism** — the mapping is a pure function of the node set and
+  the key, so every router (and every node doing peer cache probes)
+  computes the same owner without coordination;
+* **stability** — adding or removing one node only remaps the keys that
+  touched that node's points; everything else keeps its owner, which is
+  what keeps warm stores warm across a failover;
+* **liveness masking** — :meth:`node_for` takes the *live* node set as a
+  filter and walks clockwise past dead nodes, so a crashed node's slots
+  drain onto its ring successors without mutating the ring itself (the
+  node gets its slots back the moment health checks revive it).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _point(label: str) -> int:
+    """A 64-bit ring position for ``label``; SHA-256 keeps the placement
+    independent of Python's randomized ``hash()``."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over opaque node identifiers."""
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._nodes: Set[str] = set()
+        self._points: List[Tuple[int, str]] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.replicas):
+            bisect.insort(self._points, (_point(f"{node}#{i}"), node))
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    # -- placement ---------------------------------------------------------
+
+    def node_for(self, key: str,
+                 alive: Optional[Set[str]] = None) -> Optional[str]:
+        """The first node clockwise of ``key``'s point, restricted to
+        ``alive`` (every node when omitted); ``None`` if nothing is live."""
+        for node in self.preference(key, alive=alive):
+            return node
+        return None
+
+    def preference(self, key: str,
+                   alive: Optional[Set[str]] = None) -> List[str]:
+        """Every eligible node, in clockwise preference order for ``key``.
+
+        Index 0 is the primary owner; index 1 is where the key's slots
+        drain if the primary dies; and so on.  Peer cache probes walk the
+        same list, so a failed-over unit's artifacts are found where the
+        ring actually sent the work.
+        """
+        if not self._points:
+            return []
+        eligible = self._nodes if alive is None else (self._nodes & set(alive))
+        if not eligible:
+            return []
+        start = bisect.bisect(self._points, (_point(key), ""))
+        ordered: List[str] = []
+        seen: Set[str] = set()
+        n = len(self._points)
+        for i in range(n):
+            node = self._points[(start + i) % n][1]
+            if node in eligible and node not in seen:
+                seen.add(node)
+                ordered.append(node)
+                if len(seen) == len(eligible):
+                    break
+        return ordered
+
+    def successor(self, node: str) -> Optional[str]:
+        """The node owning the slots clockwise of ``node``'s first point —
+        the natural first peer to ask for a dead/restarted node's
+        artifacts."""
+        others = self._nodes - {node}
+        if not others:
+            return None
+        return self.node_for(f"{node}#0", alive=others)
+
+    def spread(self, keys: Sequence[str]) -> dict:
+        """``{node: key count}`` over ``keys`` — balance diagnostics."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            owner = self.node_for(key)
+            if owner is not None:
+                counts[owner] += 1
+        return counts

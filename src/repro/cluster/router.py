@@ -1,0 +1,536 @@
+"""The cluster router: one RSV1 address in front of N service nodes.
+
+Clients speak the exact protocol they already speak to a single node —
+the router is a :mod:`repro.service.protocol` server on the front and a
+pool of node connections on the back.  Per request:
+
+1. the unit key (the request's ``name``, or its ``key`` for cache ops,
+   or the op name) is placed on the consistent-hash ring, restricted to
+   the nodes the health monitor currently believes are alive;
+2. the frame is forwarded to the owner over a pooled connection and the
+   node's reply — success or structured error — is relayed verbatim, so
+   the PR 4 error taxonomy (retryable, retry_after) reaches the client
+   untouched;
+3. a *transport* failure (connect refused, connection cut, forward
+   timeout) marks the node down immediately and replays the request on
+   the key's next ring successor.  Replay is safe because every service
+   op is idempotent — content-addressed compilation and reads — so the
+   taxonomy's replay rule is: transport death ⇒ replay elsewhere;
+   structured retryable errors (``OverloadedError``, ``CircuitOpenError``)
+   ⇒ relay to the client, whose own backoff owns that retry; deadline
+   errors ⇒ relay, never replay (the time is already spent).
+
+A background health loop probes every node's ``ready`` op on a short
+interval: probe failures take a node out of rotation, a later success
+puts it back (which is how a restarted node gets its hash slots back).
+Routing with *zero* live nodes sheds with a retryable
+:class:`~repro.errors.OverloadedError` so clients keep retrying through
+a full cluster outage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from ..errors import (
+    DeadlineExceededError, DecodeError, OverloadedError,
+    TruncatedStreamError,
+)
+from ..service import protocol
+from .federation import parse_address
+from .ring import HashRing
+
+__all__ = ["BackgroundRouter", "ClusterRouter", "RouterConfig"]
+
+#: Ops the router answers itself; everything else is forwarded to a node.
+_LOCAL_OPS = frozenset({"ping", "ready", "stats", "shutdown"})
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Knobs for one router instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                    # 0: pick an ephemeral port
+    replicas: int = 64               # virtual ring points per node
+    health_interval: float = 0.25    # seconds between node probes
+    probe_timeout: float = 1.0       # one health probe's budget
+    connect_timeout: float = 2.0     # opening a node connection
+    forward_margin: float = 5.0      # grace beyond the request deadline
+    default_deadline: float = 30.0   # when the request names none
+    replay_budget: int = 2           # transport-failure replays per request
+    max_inflight: int = 64           # concurrent forwards before shedding
+    shed_retry_after: float = 0.1    # hint when no node is live / too busy
+    drain_timeout: float = 10.0      # grace for in-flight forwards
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        for name in ("health_interval", "probe_timeout", "connect_timeout",
+                     "forward_margin", "default_deadline", "drain_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.replay_budget < 0:
+            raise ValueError("replay_budget must be >= 0")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+
+
+class _TransportFailure(Exception):
+    """A node could not be reached or died mid-exchange (internal)."""
+
+
+class _NodeHandle:
+    """One backend node: address, liveness, counters, connection pool."""
+
+    def __init__(self, address: str, config: RouterConfig) -> None:
+        self.address = address
+        self.host, self.port = parse_address(address)
+        self._config = config
+        self.alive = True          # optimistic until the first probe
+        self.probes = 0
+        self.forwards = 0
+        self.failures = 0
+        self.marked_down = 0
+        self.marked_up = 0
+        self._free: List[tuple] = []
+
+    async def _open(self) -> tuple:
+        return await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            timeout=self._config.connect_timeout)
+
+    async def request(self, message: Dict[str, Any],
+                      timeout: float) -> Dict[str, Any]:
+        """One framed exchange over a pooled connection.
+
+        Raises :class:`_TransportFailure` when the node is unreachable,
+        cuts the connection, corrupts a frame, or exceeds ``timeout`` —
+        the signals the failover path treats as "node is gone".
+        """
+        link = self._free.pop() if self._free else None
+        try:
+            if link is None:
+                link = await self._open()
+            reader, writer = link
+            writer.write(protocol.encode_message(message))
+            await asyncio.wait_for(writer.drain(), timeout=timeout)
+            payload = await asyncio.wait_for(
+                protocol.read_frame_async(reader,
+                                          self._config.max_frame_bytes),
+                timeout=timeout)
+            if payload is None:
+                raise TruncatedStreamError(
+                    f"node {self.address} closed before replying")
+            reply = protocol.decode_message(payload)
+        except (DecodeError, ConnectionError, OSError,
+                asyncio.TimeoutError) as exc:
+            if link is not None:
+                link[1].close()
+            raise _TransportFailure(
+                f"{self.address}: {type(exc).__name__}: {exc}") from exc
+        self._free.append(link)
+        return reply
+
+    def close_pool(self) -> None:
+        while self._free:
+            _, writer = self._free.pop()
+            writer.close()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "alive": self.alive,
+            "probes": self.probes,
+            "forwards": self.forwards,
+            "failures": self.failures,
+            "marked_down": self.marked_down,
+            "marked_up": self.marked_up,
+        }
+
+
+class ClusterRouter:
+    """Consistent-hash request router over a fixed node address list."""
+
+    def __init__(self, nodes: Sequence[str],
+                 config: Optional[RouterConfig] = None) -> None:
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        self.config = config or RouterConfig()
+        self.nodes: Dict[str, _NodeHandle] = {
+            address: _NodeHandle(address, self.config)
+            for address in nodes
+        }
+        if len(self.nodes) != len(nodes):
+            raise ValueError(f"duplicate node addresses in {list(nodes)!r}")
+        self.ring = HashRing(self.nodes, replicas=self.config.replicas)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._writers: set = set()
+        self._inflight = 0
+        self._replying = 0
+        self._draining = False
+        self._started = False
+        # Router-level counters (event-loop thread only).
+        self.requests = 0
+        self.replays = 0
+        self.failovers = 0
+        self.shed = 0
+        self.bad_frames = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("router not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self._health_task = asyncio.ensure_future(self._health_loop())
+        self._started = True
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def run(self, ready=None) -> None:
+        await self.start()
+        if ready is not None:
+            ready(self)
+        await self.wait_stopped()
+
+    async def shutdown(self) -> None:
+        """Drain: stop accepting, let in-flight forwards finish, close."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if self._health_task is not None:
+            self._health_task.cancel()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        while (self._inflight or self._replying) and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        for handle in self.nodes.values():
+            handle.close_pool()
+        for writer in list(self._writers):
+            writer.close()
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(self._server.wait_closed(),
+                                       timeout=5.0)
+            except asyncio.TimeoutError:
+                pass
+        self._stopped.set()
+
+    def _request_shutdown(self) -> None:
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(
+            lambda: asyncio.ensure_future(self.shutdown()))
+
+    # -- health ------------------------------------------------------------
+
+    def alive_nodes(self) -> Set[str]:
+        return {a for a, h in self.nodes.items() if h.alive}
+
+    def _mark(self, handle: _NodeHandle, alive: bool) -> None:
+        if handle.alive == alive:
+            return
+        handle.alive = alive
+        if alive:
+            handle.marked_up += 1
+        else:
+            handle.marked_down += 1
+            self.failovers += 1
+
+    async def _probe(self, handle: _NodeHandle) -> None:
+        try:
+            reply = await handle.request({"id": 0, "op": "ready"},
+                                         timeout=self.config.probe_timeout)
+        except _TransportFailure:
+            self._mark(handle, False)
+            handle.probes += 1  # counted at completion: verdict recorded
+            return
+        ready = bool(reply.get("ok")) and bool(
+            reply.get("result", {}).get("ready"))
+        # A draining node answers ready=false: route around it without
+        # counting a failover (it is finishing its in-flight work).
+        self._mark(handle, ready)
+        handle.probes += 1
+
+    async def _health_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.gather(
+                    *(self._probe(h) for h in self.nodes.values()))
+                await asyncio.sleep(self.config.health_interval)
+        except asyncio.CancelledError:
+            pass
+
+    # -- connection loop (mirrors CompressionService) ----------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    payload = await protocol.read_frame_async(
+                        reader, self.config.max_frame_bytes)
+                except TruncatedStreamError:
+                    self.bad_frames += 1
+                    break
+                except DecodeError as exc:
+                    self.bad_frames += 1
+                    await self._send(writer, {
+                        "id": None, "ok": False,
+                        "error": protocol.error_payload(exc)})
+                    if protocol.recoverable(exc):
+                        continue
+                    break
+                if payload is None:
+                    break
+                try:
+                    message = protocol.decode_message(payload)
+                except DecodeError as exc:
+                    self.bad_frames += 1
+                    await self._send(writer, {
+                        "id": None, "ok": False,
+                        "error": protocol.error_payload(exc)})
+                    continue
+                self._replying += 1
+                try:
+                    await self._send(writer, await self._dispatch(message))
+                finally:
+                    self._replying -= 1
+                if self._draining:
+                    break
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    reply: Dict[str, Any]) -> None:
+        writer.write(protocol.encode_message(reply))
+        await writer.drain()
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        req_id = message.get("id")
+        op = message.get("op")
+        self.requests += 1
+        if op in _LOCAL_OPS:
+            return {"id": req_id, "ok": True,
+                    "result": await self._local(op)}
+        try:
+            return await self._forward(message)
+        except Exception as exc:  # typed shed/deadline/transport replies
+            return {"id": req_id, "ok": False,
+                    "error": protocol.error_payload(exc)}
+
+    async def _local(self, op: str) -> Dict[str, Any]:
+        if op == "ping":
+            return {"pong": True, "router": True}
+        if op == "ready":
+            alive = self.alive_nodes()
+            return {
+                "ready": self._started and not self._draining and bool(alive),
+                "draining": self._draining,
+                "nodes": len(self.nodes),
+                "alive": sorted(alive),
+            }
+        if op == "stats":
+            return await self._stats()
+        self._request_shutdown()
+        return {"draining": True}
+
+    async def _stats(self) -> Dict[str, Any]:
+        """Router counters plus every live node's own ``stats`` reply."""
+        per_node: Dict[str, Any] = {
+            address: handle.snapshot()
+            for address, handle in self.nodes.items()
+        }
+
+        async def fill(address: str, handle: _NodeHandle) -> None:
+            try:
+                reply = await handle.request(
+                    {"id": 0, "op": "stats"},
+                    timeout=self.config.probe_timeout)
+            except _TransportFailure:
+                return
+            if reply.get("ok"):
+                per_node[address]["stats"] = reply.get("result", {})
+
+        await asyncio.gather(*(fill(a, h) for a, h in self.nodes.items()
+                               if h.alive))
+        return {
+            "router": {
+                "requests": self.requests,
+                "replays": self.replays,
+                "failovers": self.failovers,
+                "shed": self.shed,
+                "bad_frames": self.bad_frames,
+                "inflight": self._inflight,
+            },
+            "nodes": per_node,
+        }
+
+    # -- forwarding with failover -----------------------------------------
+
+    def _unit_key(self, message: Dict[str, Any]) -> str:
+        name = message.get("name")
+        if isinstance(name, str) and name:
+            return name
+        key = message.get("key")
+        if isinstance(key, str) and key:
+            return key
+        return str(message.get("op"))
+
+    def _deadline_of(self, message: Dict[str, Any]) -> float:
+        deadline = message.get("deadline", self.config.default_deadline)
+        if not isinstance(deadline, (int, float)) or deadline <= 0:
+            return self.config.default_deadline  # node rejects it properly
+        return float(deadline)
+
+    async def _forward(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._draining:
+            raise OverloadedError("router is draining",
+                                  retry_after=self.config.shed_retry_after)
+        if self._inflight >= self.config.max_inflight:
+            self.shed += 1
+            raise OverloadedError(
+                f"router at max_inflight={self.config.max_inflight}",
+                retry_after=self.config.shed_retry_after)
+        unit = self._unit_key(message)
+        deadline = self._deadline_of(message)
+        assert self._loop is not None
+        t0 = self._loop.time()
+        tried: Set[str] = set()
+        replays = 0
+        self._inflight += 1
+        try:
+            while True:
+                candidates = self.alive_nodes() - tried
+                address = self.ring.node_for(unit, alive=candidates)
+                if address is None:
+                    self.shed += 1
+                    raise OverloadedError(
+                        f"no live node for unit {unit!r} "
+                        f"({len(self.nodes)} configured, "
+                        f"{len(self.alive_nodes())} alive, "
+                        f"{len(tried)} already tried)",
+                        retry_after=max(self.config.shed_retry_after,
+                                        self.config.health_interval))
+                handle = self.nodes[address]
+                remaining = deadline - (self._loop.time() - t0)
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"{message.get('op')} of {unit!r} spent its "
+                        f"{deadline:.3f}s deadline failing over")
+                try:
+                    reply = await handle.request(
+                        message,
+                        timeout=remaining + self.config.forward_margin)
+                except _TransportFailure:
+                    # The node is gone (or wedged past the margin): take
+                    # it out of rotation now — the health loop will
+                    # re-admit it — and replay on the ring successor.
+                    handle.failures += 1
+                    self._mark(handle, False)
+                    tried.add(address)
+                    if replays >= self.config.replay_budget:
+                        raise TruncatedStreamError(
+                            f"node {address} failed mid-request and the "
+                            f"replay budget ({self.config.replay_budget}) "
+                            f"is spent") from None
+                    replays += 1
+                    self.replays += 1
+                    continue
+                handle.forwards += 1
+                return reply
+        finally:
+            self._inflight -= 1
+
+
+class BackgroundRouter:
+    """Run a :class:`ClusterRouter` on a dedicated event-loop thread."""
+
+    def __init__(self, nodes: Sequence[str],
+                 config: Optional[RouterConfig] = None) -> None:
+        self.router = ClusterRouter(nodes, config=config)
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> "BackgroundRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    @property
+    def host(self) -> str:
+        return self.router.config.host
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self, timeout: float = 10.0) -> "BackgroundRouter":
+        def main() -> None:
+            try:
+                asyncio.run(self.router.run(
+                    ready=lambda _r: self._ready.set()))
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+
+        self._thread = threading.Thread(target=main, daemon=True,
+                                        name="repro-cluster-router")
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError(f"router failed to start within {timeout}s")
+        if self._startup_error is not None:
+            raise RuntimeError("router failed to start") \
+                from self._startup_error
+        return self
+
+    def stop(self, timeout: float = 15.0) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            return
+        self.router._request_shutdown()
+        self._thread.join(timeout)
+
+    def wait_alive(self, count: int = 1, timeout: float = 10.0) -> bool:
+        """Block until the health loop sees ``count`` live nodes."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self.router.alive_nodes()) >= count:
+                return True
+            time.sleep(0.02)
+        return False

@@ -1,0 +1,196 @@
+"""Spawn, kill, and restart a local fleet of compile-service nodes.
+
+Each node is a real ``python -m repro serve`` subprocess — its own
+interpreter, event loop, worker pool, and warm store — so a SIGKILL in
+chaos mode is the genuine article: the OS reaps the process mid-request,
+in-flight connections die at the TCP layer, and the node's memory-only
+cache is gone when it comes back.  Ports are pre-allocated (bind 0, read
+the assignment, close) because every node's ``--peers`` list must name
+its siblings at spawn time.
+
+The supervisor only manages processes; routing and federation live in
+:mod:`repro.cluster.router` and :mod:`repro.cluster.federation`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import DecodeError, ServiceError
+from ..service.client import ServiceClient
+
+__all__ = ["ClusterSupervisor", "allocate_ports"]
+
+
+def allocate_ports(count: int, host: str = "127.0.0.1") -> List[int]:
+    """Reserve ``count`` distinct ephemeral ports.
+
+    Binds, records the kernel's assignment, and closes — the classic
+    pre-allocation dance.  The tiny window between close and the node's
+    own bind is racy in theory; in practice the kernel avoids recycling
+    just-released ports, and a node losing the race fails fast at bind
+    time rather than serving on a wrong port.
+    """
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class _NodeProcess:
+    """One managed ``repro serve`` subprocess."""
+
+    def __init__(self, index: int, host: str, port: int) -> None:
+        self.index = index
+        self.host = host
+        self.port = port
+        self.proc: Optional[subprocess.Popen] = None
+        self.kills = 0
+        self.restarts = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+
+class ClusterSupervisor:
+    """A fleet of N local service nodes wired as federation peers.
+
+    Nodes run memory-only caches on purpose: a killed-and-restarted node
+    comes back with an *empty* warm store, so any artifact it serves
+    warm afterwards must have been refilled from a peer — which is
+    exactly the observable the chaos harness asserts on.
+    """
+
+    def __init__(self, count: int, host: str = "127.0.0.1",
+                 concurrency: int = 2, deadline: float = 30.0,
+                 peer_timeout: float = 2.0,
+                 extra_args: Sequence[str] = ()) -> None:
+        if count < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.host = host
+        self.concurrency = concurrency
+        self.deadline = deadline
+        self.peer_timeout = peer_timeout
+        self.extra_args = list(extra_args)
+        ports = allocate_ports(count, host)
+        self.nodes = [_NodeProcess(i, host, port)
+                      for i, port in enumerate(ports)]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def addresses(self) -> List[str]:
+        return [node.address for node in self.nodes]
+
+    def _spawn(self, node: _NodeProcess) -> None:
+        peers = [n.address for n in self.nodes if n is not node]
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", node.host,
+            "--port", str(node.port),
+            "--concurrency", str(self.concurrency),
+            "--deadline", str(self.deadline),
+        ]
+        if peers:
+            cmd += ["--peers", ",".join(peers),
+                    "--peer-timeout", str(self.peer_timeout)]
+        cmd += self.extra_args
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p)
+        node.proc = subprocess.Popen(
+            cmd, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            start_new_session=True)
+
+    def start(self, timeout: float = 20.0) -> None:
+        for node in self.nodes:
+            self._spawn(node)
+        deadline = time.monotonic() + timeout
+        for node in self.nodes:
+            self._wait_ready(node, deadline)
+
+    def _wait_ready(self, node: _NodeProcess, deadline: float) -> None:
+        while time.monotonic() < deadline:
+            if not node.running:
+                raise RuntimeError(
+                    f"node {node.index} ({node.address}) exited during "
+                    f"startup (rc={node.proc.poll() if node.proc else '?'})")
+            try:
+                with ServiceClient(node.host, node.port,
+                                   timeout=1.0) as client:
+                    if client.ping().get("pong"):
+                        return
+            except (ServiceError, DecodeError, OSError):
+                time.sleep(0.05)
+        raise RuntimeError(
+            f"node {node.index} ({node.address}) not ready in time")
+
+    def kill(self, index: int) -> None:
+        """SIGKILL one node — no drain, no goodbye, warm store lost."""
+        node = self.nodes[index]
+        if node.proc is not None and node.proc.poll() is None:
+            node.proc.kill()
+            node.proc.wait()
+        node.kills += 1
+
+    def restart(self, index: int, timeout: float = 20.0) -> None:
+        """Bring a killed node back on its original port (empty store)."""
+        node = self.nodes[index]
+        if node.running:
+            return
+        self._spawn(node)
+        self._wait_ready(node, time.monotonic() + timeout)
+        node.restarts += 1
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful fleet shutdown: SIGTERM (drain), then SIGKILL."""
+        for node in self.nodes:
+            if node.running:
+                assert node.proc is not None
+                node.proc.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + timeout
+        for node in self.nodes:
+            if node.proc is None:
+                continue
+            remaining = deadline - time.monotonic()
+            try:
+                node.proc.wait(timeout=max(0.1, remaining))
+            except subprocess.TimeoutExpired:
+                node.proc.kill()
+                node.proc.wait()
+
+    def __enter__(self) -> "ClusterSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [{
+            "index": node.index,
+            "address": node.address,
+            "running": node.running,
+            "kills": node.kills,
+            "restarts": node.restarts,
+        } for node in self.nodes]

@@ -48,6 +48,7 @@ __all__ = [
     "encode_frame",
     "encode_message",
     "error_payload",
+    "read_frame_async",
     "read_frame_sync",
     "recoverable",
 ]
@@ -157,6 +158,35 @@ def read_frame_sync(
     payload = _recv_exact(sock, length, "frame payload")
     trailer = _recv_exact(sock, _TRAILER.size, "frame CRC")
     return check_payload(payload, trailer)
+
+
+# ---------------------------------------------------------------------------
+# Async reader (server connection loop and cluster router)
+# ---------------------------------------------------------------------------
+
+
+async def read_frame_async(reader, max_frame: int = MAX_FRAME_BYTES
+                           ) -> Optional[bytes]:
+    """Read one frame from an :class:`asyncio.StreamReader`; ``None`` on
+    clean EOF between frames, typed errors for everything else."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TruncatedStreamError(
+            f"connection closed {len(exc.partial)} bytes into a frame "
+            f"header") from exc
+    length = check_frame(header, max_frame)
+    try:
+        rest = await reader.readexactly(length + _TRAILER.size)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedStreamError(
+            f"connection closed mid-frame ({len(exc.partial)}/"
+            f"{length + _TRAILER.size} bytes)") from exc
+    return check_payload(rest[:length], rest[length:])
 
 
 # ---------------------------------------------------------------------------

@@ -421,6 +421,54 @@ def test_circuit_breaker_trips_and_half_opens_on_live_server():
             assert breakers["flaky.c"]["state"] == "closed"
 
 
+def test_breaker_half_open_admits_exactly_one_probe_under_concurrency():
+    """While the half-open probe is in flight, concurrent requests for
+    the unit are rejected with a retryable ``CircuitOpenError`` — the
+    probe result alone decides whether the circuit closes."""
+    with make_service(breaker_threshold=1, breaker_reset=0.3,
+                      max_concurrency=4) as bg:
+        with ServiceClient(port=bg.port, timeout=15.0) as client:
+            # One deadline blowout trips the threshold-1 breaker.
+            with pytest.raises(RemoteServiceError) as exc_info:
+                client.sleep(1.0, deadline=0.05, name="probe.c")
+            assert exc_info.value.error_type == "DeadlineExceededError"
+            assert client.stats()["service"]["breakers"]["probe.c"][
+                "state"] == "open"
+            time.sleep(0.35)  # reset window elapses -> half-open
+
+            box = {}
+
+            def slow_probe():
+                try:
+                    with ServiceClient(port=bg.port, timeout=15.0) as probe:
+                        box["reply"] = probe.sleep(0.6, deadline=10.0,
+                                                   name="probe.c")
+                except Exception as exc:
+                    box["error"] = exc
+
+            worker = threading.Thread(target=slow_probe)
+            worker.start()
+            assert wait_until(
+                lambda: client.stats()["service"]["inflight"] >= 1,
+                timeout=10.0)
+            # The probe slot is taken: a concurrent request is rejected
+            # without running, with the retryable half-open error.
+            with pytest.raises(RemoteServiceError) as exc_info:
+                client.sleep(0.01, deadline=5.0, name="probe.c")
+            error = exc_info.value
+            assert error.error_type == "CircuitOpenError"
+            assert error.retryable and error.retry_after > 0
+            assert "probe in flight" in str(error)
+            worker.join(15.0)
+            assert "error" not in box, repr(box.get("error"))
+            assert box["reply"]["slept"] == 0.6
+            # The successful probe closed the circuit for everyone.
+            assert client.stats()["service"]["breakers"]["probe.c"][
+                "state"] == "closed"
+            assert client.sleep(0.01, deadline=5.0,
+                                name="probe.c")["slept"] == 0.01
+
+
 # ---------------------------------------------------------------------------
 # graceful drain
 # ---------------------------------------------------------------------------
@@ -478,6 +526,74 @@ def test_sigterm_drains_inflight_requests_and_exits_zero():
         assert "error" not in box, repr(box.get("error"))
         assert box["reply"]["slept"] == 1.0
         assert proc.wait(timeout=15.0) == 0
+        assert "drained cleanly" in proc.stdout.read()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+@pytest.mark.skipif(os.name != "posix", reason="POSIX signals required")
+def test_sigterm_drains_a_fetch_range_reply_in_flight():
+    """SIGTERM while a ``fetch_range`` request is queued behind the one
+    worker slot: the drain must still produce the full demand-paged
+    reply — segments, total size, transfer accounting — then exit 0."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--concurrency", "1", "--drain-timeout", "15"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    try:
+        for _ in range(20):
+            line = proc.stdout.readline()
+            if "listening on" in line:
+                break
+        assert "listening on" in line, line
+        port = int(line.rsplit(":", 1)[1])
+        box = {}
+
+        def hold():
+            try:
+                with ServiceClient(port=port, timeout=30.0) as client:
+                    box["hold"] = client.sleep(0.8, deadline=15.0,
+                                               name="hold")
+            except Exception as exc:
+                box["hold_error"] = exc
+
+        def fetch():
+            try:
+                with ServiceClient(port=port, timeout=30.0) as client:
+                    box["fetch"] = client.fetch_range(
+                        HELLO, 0, 64, name="drain.c", deadline=15.0)
+            except Exception as exc:
+                box["fetch_error"] = exc
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        with ServiceClient(port=port, timeout=10.0) as probe:
+            assert wait_until(
+                lambda: probe.stats()["service"]["inflight"] >= 1,
+                timeout=10.0)
+        fetcher = threading.Thread(target=fetch)
+        fetcher.start()
+        with ServiceClient(port=port, timeout=10.0) as probe:
+            assert wait_until(
+                lambda: (lambda s: s["inflight"] + s["queued"])(
+                    probe.stats()["service"]) >= 2,
+                timeout=10.0)
+        proc.send_signal(signal.SIGTERM)
+        holder.join(25.0)
+        fetcher.join(25.0)
+        assert "hold_error" not in box, repr(box.get("hold_error"))
+        assert "fetch_error" not in box, repr(box.get("fetch_error"))
+        result = box["fetch"]
+        assert result["total_bytes"] > 0
+        assert 0 < result["transferred"] <= result["total_bytes"]
+        assert len(result["blob"]) == result["total_bytes"]
+        assert proc.wait(timeout=20.0) == 0
         assert "drained cleanly" in proc.stdout.read()
     finally:
         if proc.poll() is None:
