@@ -245,6 +245,29 @@ def test_arith_order1(benchmark):
     assert benchmark.pedantic(roundtrip, rounds=1, iterations=1) == data
 
 
+def test_arith_order0_batch_matches_streaming(benchmark):
+    """The batch kernel's bitstream must stay bit-identical to the
+    streaming coder (the property sweep lives in tests/test_arith.py;
+    this keeps the identity inside the kernel-bench smoke gate)."""
+    from repro.compress.arith import AdaptiveModel, ArithmeticEncoder
+    from repro.compress.bitio import BitWriter
+
+    data = b"the quick brown fox " * 100
+    benchmark.extra_info["bytes"] = len(data)
+    blob = benchmark.pedantic(lambda: arith.compress(data),
+                              rounds=1, iterations=1)
+    assert arith.decompress(blob) == data
+
+    writer = BitWriter()
+    writer.write_bits(len(data), 32)
+    encoder = ArithmeticEncoder(writer)
+    model = AdaptiveModel(256)
+    for b in data:
+        encoder.encode(model, b)
+    encoder.finish()
+    assert blob == writer.getvalue()
+
+
 # ---------------------------------------------------------------------------
 # results table
 # ---------------------------------------------------------------------------

@@ -12,6 +12,8 @@ Usage::
     python -m repro brisc prog.c -o prog.brisc # emit a BRISC image
     python -m repro --workers 4 brisc prog.c -o prog.brisc
                                                # parallel dictionary builder
+    python -m repro brisc prog.c -o prog.brisc --shared-dict a.c b.c
+                                               # corpus-warm-started build
     python -m repro exec-brisc prog.brisc      # interpret an image in place
     python -m repro verify prog.wire           # integrity-check a container
     python -m repro fuzz --seed 1 --mutations 500   # fault-injection sweep
@@ -146,13 +148,24 @@ def cmd_wire(args) -> int:
 def cmd_brisc(args) -> int:
     toolchain = _toolchain(args)
     config = toolchain.config.with_brisc(k=args.k, workers=args.workers)
+    if args.shared_dict:
+        units = []
+        for path in args.shared_dict:
+            with open(path) as f:
+                units.append((path, f.read()))
+        shared = toolchain.shared_dictionary(units, config=config)
+        config = config.with_shared_dict(shared)
+        print(f"shared dictionary: {len(shared)} patterns from "
+              f"{len(units)} corpus unit(s), digest {shared.digest[:12]}")
     res = toolchain.compile_file(args.file, stages=("brisc",), config=config)
     cp = res.brisc
     with open(args.output, "wb") as f:
         f.write(cp.image.blob)
+    warm = (f", {cp.build.warm_patterns} warm-started"
+            if cp.build.warm_patterns else "")
     print(f"wrote {cp.size} bytes to {args.output} "
           f"(code segment {cp.image.code_segment_size}, "
-          f"{cp.image.pattern_count} patterns)")
+          f"{cp.image.pattern_count} patterns{warm})")
     return 0
 
 
@@ -583,6 +596,10 @@ def main(argv=None) -> int:
     p.add_argument("-o", "--output", required=True)
     p.add_argument("-k", type=int, default=20,
                    help="patterns admitted per pass (paper: 20)")
+    p.add_argument("--shared-dict", nargs="+", metavar="SRC", default=None,
+                   help="C sources forming a corpus; their shared BRISC "
+                        "dictionary (content-addressed, cached, federated "
+                        "like any artifact) warm-starts this unit's build")
     p.set_defaults(fn=cmd_brisc)
 
     p = sub.add_parser("exec-brisc", help="interpret a BRISC image in place")

@@ -21,6 +21,29 @@ downstream decision (benefit heap, tie-breaking, admission order) runs in
 the parent on the merged map, so the admitted dictionary is byte-identical
 to the serial builder's.
 
+Two further accelerations keep the output byte-identical:
+
+* **Incremental rescanning** (``prune=True``, the default): the builder
+  keeps each function's candidate→savings contribution from the previous
+  pass and, because savings merge by addition, only re-scans functions
+  whose slots the rewrite step actually changed — subtracting the stale
+  contribution and adding the fresh one reproduces exactly the map a full
+  rescan would build.  Candidates whose running savings total fell to (or
+  below) their admission floor ``dictionary_size() + W`` are dropped from
+  the live heap-candidate set on the spot instead of being re-scored
+  every round; the floor is constant per pattern, so liveness is an exact
+  predicate, not a heuristic bound.
+
+* **Warm starting** (``warm_start=...``): a corpus-level shared
+  dictionary (see :mod:`repro.brisc.shared`) is priced against the unit
+  and its locally profitable subset admitted and applied before the
+  first pass, so per-unit passes only score deltas against the
+  cross-unit patterns.  Corpus patterns whose local savings do not clear
+  the ordinary admission floor are skipped — a unit never pays
+  dictionary bytes its own code cannot earn back — and warm patterns a
+  unit never uses cost nothing in its image anyway, because the encoder
+  emits only patterns its slots reference.
+
 The returned :class:`BuildResult` carries the final slot program, the
 dictionary in admission order, per-pass statistics, and the counters the
 paper reports (candidates tested, dictionary size).
@@ -33,7 +56,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..vm.instr import Instr, VMProgram
 from .cost import CostModel
@@ -50,6 +73,45 @@ _POOL_UNAVAILABLE = (OSError, PermissionError, ImportError)
 
 #: Cache type for memoized augmented sets: (pattern, insns) -> patterns.
 _AugCache = Dict[Tuple[DictPattern, Tuple[Instr, ...]], List[DictPattern]]
+
+#: One shard of the scan: (function index, function) pairs.
+_Shard = List[Tuple[int, SlotFunction]]
+
+
+class _ScanTables:
+    """Memoized candidate tables driving the scan.
+
+    ``aug`` holds each (pattern, insns) key's augmented specialization
+    set; ``spec`` and ``pair`` hold precomputed ``(candidate id, bytes
+    saved per occurrence)`` rows for the specialization and combination
+    scans.  A slot's candidates and their per-occurrence savings depend
+    only on its (pattern, insns) — and, for pairs, the neighbour's — so
+    after the first pass a rescan is a table walk: no pattern objects
+    are rebuilt, re-hashed, or re-sized.
+
+    Candidates are interned to dense integer ids (``ids``/``patterns``)
+    when a row is first built, so every hot map downstream — savings
+    totals, live set, floors — is int-keyed; the only Python-level
+    pattern hash left per occurrence is the row-key lookup.
+    """
+
+    __slots__ = ("aug", "spec", "pair", "ids", "patterns")
+
+    def __init__(self) -> None:
+        self.aug: _AugCache = {}
+        self.spec: Dict[tuple, List[Tuple[int, int]]] = {}
+        self.pair: Dict[tuple, List[Tuple[int, int]]] = {}
+        self.ids: Dict[DictPattern, int] = {}
+        self.patterns: List[DictPattern] = []
+
+    def intern(self, cand: DictPattern) -> int:
+        """The candidate's dense id, assigning one on first sight."""
+        cid = self.ids.get(cand)
+        if cid is None:
+            cid = len(self.patterns)
+            self.ids[cand] = cid
+            self.patterns.append(cand)
+        return cid
 
 
 @dataclass
@@ -72,6 +134,7 @@ class BuildResult:
     base_patterns: int
     pass_stats: List[PassStats] = field(default_factory=list)
     workers: int = 1
+    warm_patterns: int = 0
 
     @property
     def dictionary_size(self) -> int:
@@ -106,25 +169,62 @@ def _augmented_set(
     return out
 
 
+def _spec_row(slot: Slot, tables: _ScanTables) -> List[Tuple[int, int]]:
+    """The slot's specialization candidates and their savings, memoized."""
+    key = (slot.pattern, slot.insns)
+    row = tables.spec.get(key)
+    if row is None:
+        cur_size = slot.pattern.encoded_size()
+        row = []
+        for cand in _augmented_set(slot, tables.aug)[1:]:
+            saved = cur_size - cand.encoded_size()
+            if saved > 0:
+                row.append((tables.intern(cand), saved))
+        tables.spec[key] = row
+    return row
+
+
+def _pair_row(
+    slot: Slot, nxt: Slot, tables: _ScanTables
+) -> List[Tuple[int, int]]:
+    """The adjacent pair's combination candidates and savings, memoized."""
+    key = (slot.pattern, slot.insns, nxt.pattern, nxt.insns)
+    row = tables.pair.get(key)
+    if row is None:
+        pair_size = slot.pattern.encoded_size() + nxt.pattern.encoded_size()
+        row = []
+        for a in _augmented_set(slot, tables.aug):
+            for b in _augmented_set(nxt, tables.aug):
+                cand = DictPattern(a.parts + b.parts)
+                if not cand.is_control_ok():
+                    continue
+                saved = pair_size - cand.encoded_size()
+                if saved > 0:
+                    row.append((tables.intern(cand), saved))
+        tables.pair[key] = row
+    return row
+
+
 def _scan_slots(
     slots: List[Slot],
-    savings: Dict[DictPattern, int],
-    cache: _AugCache,
+    savings: Dict[int, int],
+    tables: _ScanTables,
 ) -> None:
-    """Accumulate one function's raw candidate savings into ``savings``.
+    """Accumulate one function's raw candidate savings into ``savings``
+    (keyed by the tables' candidate ids).
 
     Raw means pre-filter: every candidate whose occurrence saves bytes is
     summed, including patterns already in the dictionary — the caller
     filters those out.  Keeping the scan filter-free is what lets worker
-    processes run it without a copy of the (growing) dictionary set.
+    processes run it without a copy of the (growing) dictionary set, and
+    what makes per-function contributions subtractable for the
+    incremental rescan.
     """
+    get = savings.get
     for i, slot in enumerate(slots):
-        cur_size = slot.size
         # Operand specialization, one field at a time.
-        for cand in _augmented_set(slot, cache)[1:]:
-            saved = cur_size - cand.encoded_size()
-            if saved > 0:
-                savings[cand] = savings.get(cand, 0) + saved
+        for cid, saved in _spec_row(slot, tables):
+            savings[cid] = get(cid, 0) + saved
         # Opcode combination with the right neighbour.
         if i + 1 >= len(slots):
             continue
@@ -133,42 +233,46 @@ def _scan_slots(
             continue
         if len(slot.insns) + len(nxt.insns) > _MAX_PARTS:
             continue
-        pair_size = cur_size + nxt.size
-        for a in _augmented_set(slot, cache):
-            for b in _augmented_set(nxt, cache):
-                cand = DictPattern(a.parts + b.parts)
-                if not cand.is_control_ok():
-                    continue
-                saved = pair_size - cand.encoded_size()
-                if saved > 0:
-                    savings[cand] = savings.get(cand, 0) + saved
+        for cid, saved in _pair_row(slot, nxt, tables):
+            savings[cid] = get(cid, 0) + saved
 
 
-def _scan_worker(functions: List[SlotFunction]) -> Dict[DictPattern, int]:
-    """Process-pool entry: raw savings for one shard of functions."""
-    savings: Dict[DictPattern, int] = {}
-    cache: _AugCache = {}
-    for fn in functions:
-        _scan_slots(fn.slots, savings, cache)
-    return savings
+#: Per-process scan tables for pool workers.  The pool persists across
+#: passes, so a worker's tables warm up on pass 1 and serve every rescan.
+_WORKER_TABLES = _ScanTables()
 
 
-def _shard_functions(
-    functions: List[SlotFunction], shards: int
-) -> List[List[SlotFunction]]:
-    """Split functions into ``shards`` groups balanced by slot count.
+def _scan_worker(shard: _Shard) -> List[Tuple[int, Dict[DictPattern, int]]]:
+    """Process-pool entry: per-function raw savings for one shard.
+
+    Worker-local candidate ids mean nothing to the parent, so results
+    travel keyed by pattern; the parent re-interns them into its own id
+    space.
+    """
+    out: List[Tuple[int, Dict[DictPattern, int]]] = []
+    patterns = _WORKER_TABLES.patterns
+    for index, fn in shard:
+        savings: Dict[int, int] = {}
+        _scan_slots(fn.slots, savings, _WORKER_TABLES)
+        out.append((index, {patterns[cid]: v for cid, v in savings.items()}))
+    return out
+
+
+def _shard_functions(pairs: _Shard, shards: int) -> List[_Shard]:
+    """Split (index, function) pairs into ``shards`` groups balanced by
+    slot count.
 
     Greedy longest-processing-time assignment; merge order is irrelevant
     (savings totals are summed), so balance is all that matters.
     """
-    buckets: List[List[SlotFunction]] = [[] for _ in range(shards)]
+    buckets: List[_Shard] = [[] for _ in range(shards)]
     loads = [0] * shards
-    order = sorted(range(len(functions)),
-                   key=lambda i: len(functions[i].slots), reverse=True)
+    order = sorted(range(len(pairs)),
+                   key=lambda i: len(pairs[i][1].slots), reverse=True)
     for i in order:
         target = loads.index(min(loads))
-        buckets[target].append(functions[i])
-        loads[target] += len(functions[i].slots)
+        buckets[target].append(pairs[i])
+        loads[target] += len(pairs[i][1].slots)
     return [b for b in buckets if b]
 
 
@@ -179,31 +283,83 @@ class BriscBuilder:
     process pool; results are deterministic and byte-identical to the
     serial builder (``workers=1``, the default).  Hosts without process
     support degrade to the serial scan transparently.
+
+    ``warm_start`` admits the locally profitable subset of a shared
+    dictionary's patterns before the first pass;
+    ``prune=False`` disables the incremental rescan and re-scores
+    every candidate every pass (the pre-optimization behaviour, kept as
+    the reference for determinism tests).  ``program`` may be a
+    :class:`VMProgram` or an already-built :class:`SlotProgram` (the
+    shared-dictionary builder concatenates several units' slots).
     """
 
     def __init__(
         self,
-        program: VMProgram,
+        program: Union[VMProgram, SlotProgram],
         k: int = 20,
         abundant_memory: bool = False,
         max_passes: int = 40,
         workers: Optional[int] = None,
+        warm_start: Optional[Sequence[DictPattern]] = None,
+        prune: bool = True,
     ) -> None:
-        self.slots = build_slots(program)
+        if isinstance(program, SlotProgram):
+            self.slots = program
+        else:
+            self.slots = build_slots(program)
         self.k = k
         self.cost = CostModel(abundant_memory)
         self.max_passes = max_passes
         self.workers = max(1, workers or 1)
+        self.prune = prune
         self.seen: set = set()
         self.dictionary: List[DictPattern] = []
         self.in_dictionary: set = set()
         self.candidates_tested = 0
         self.passes = 0
         self.pass_stats: List[PassStats] = []
-        self._aug_cache: _AugCache = {}
+        self._tables = _ScanTables()
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Incremental-scan state, keyed by the tables' dense candidate
+        # ids: per-function raw contributions, their merged totals, the
+        # live (positive-benefit) candidate set, which ids are already
+        # dictionary members (and how many of those sit in the merged
+        # map), admission floors, and the functions the last rewrite
+        # touched.  All maintained so the merged map always equals what
+        # a full rescan would produce.
+        self._fn_savings: Optional[List[Dict[int, int]]] = None
+        self._savings: Dict[int, int] = {}
+        self._live: Set[int] = set()
+        self._dict_ids: Set[int] = set()
+        self._dict_checked: Set[int] = set()
+        self._dict_overlap = 0
+        self._floors: Dict[int, int] = {}
+        self._changed: Set[int] = set()
         self._seed_base_patterns()
         self.base_patterns = len(self.dictionary)
+        self.warm_patterns = 0
+        if warm_start:
+            # Price the corpus patterns against *this* unit before
+            # admitting: a shared pattern enters only when its local
+            # savings clear the same floor ordinary admission uses, so a
+            # unit never pays dictionary bytes for corpus patterns its
+            # own code cannot earn back.  The scan that prices them is
+            # the one pass 1 needs anyway; the rewrite's changed set is
+            # carried into that pass's incremental refresh.
+            self._refresh_savings()
+            fresh = []
+            for pattern in warm_start:
+                if pattern in self.in_dictionary:
+                    continue
+                cid = self._tables.ids.get(pattern)
+                if cid is None:
+                    continue
+                if self._savings.get(cid, 0) > self._floor(cid):
+                    self._admit(pattern)
+                    fresh.append(pattern)
+            self.warm_patterns = len(fresh)
+            if fresh:
+                self._changed = self._apply_patterns(fresh)
 
     def _seed_base_patterns(self) -> None:
         for fn in self.slots.functions:
@@ -214,25 +370,104 @@ class BriscBuilder:
         if pattern not in self.in_dictionary:
             self.in_dictionary.add(pattern)
             self.dictionary.append(pattern)
+            cid = self._tables.ids.get(pattern)
+            if cid is not None:
+                self._dict_ids.add(cid)
+                if cid in self._savings:
+                    self._dict_overlap += 1
+                self._live.discard(cid)
+
+    def _is_dict(self, cid: int) -> bool:
+        """Whether the candidate id's pattern is a dictionary member.
+
+        Membership is cached per id: a pattern-level set lookup happens
+        at most once per id (``_admit`` keeps the cache current when a
+        known id's pattern is admitted later).
+        """
+        if cid in self._dict_ids:
+            return True
+        if cid in self._dict_checked:
+            return False
+        self._dict_checked.add(cid)
+        if self._tables.patterns[cid] in self.in_dictionary:
+            self._dict_ids.add(cid)
+            return True
+        return False
 
     # -- candidate generation ----------------------------------------------
 
     def _augmented_set(self, slot: Slot) -> List[DictPattern]:
         """The slot's augmented operand-specialization set (memoized)."""
-        return _augmented_set(slot, self._aug_cache)
+        return _augmented_set(slot, self._tables.aug)
 
-    def _raw_savings(self) -> Dict[DictPattern, int]:
-        """One scan over every function: candidate -> summed bytes saved."""
-        if self.workers > 1 and len(self.slots.functions) > 1:
-            merged = self._parallel_scan()
-            if merged is not None:
-                return merged
-        savings: Dict[DictPattern, int] = {}
-        for fn in self.slots.functions:
-            _scan_slots(fn.slots, savings, self._aug_cache)
-        return savings
+    def _floor(self, cid: int) -> int:
+        """The admission floor: savings must exceed the pattern's
+        dictionary-entry bytes plus its working-set cost for B > 0.
+        Constant per pattern, so it is computed once and cached."""
+        floor = self._floors.get(cid)
+        if floor is None:
+            cand = self._tables.patterns[cid]
+            floor = cand.dictionary_size() + self.cost.working_set_cost(cand)
+            self._floors[cid] = floor
+        return floor
 
-    def _parallel_scan(self) -> Optional[Dict[DictPattern, int]]:
+    def _adjust(self, cid: int, delta: int) -> None:
+        """Apply one candidate's savings delta to the merged map,
+        maintaining the live set, the dictionary-overlap count, and the
+        paper's candidates-tested counter exactly as a full rescan
+        would."""
+        savings = self._savings
+        current = savings.get(cid)
+        if current is None:
+            if delta <= 0:
+                return
+            savings[cid] = delta
+            if self._is_dict(cid):
+                self._dict_overlap += 1
+            else:
+                if cid not in self.seen:
+                    self.seen.add(cid)
+                    self.candidates_tested += 1
+                if delta > self._floor(cid):
+                    self._live.add(cid)
+            return
+        value = current + delta
+        if value <= 0:
+            del savings[cid]
+            if self._is_dict(cid):
+                self._dict_overlap -= 1
+            else:
+                self._live.discard(cid)
+            return
+        savings[cid] = value
+        if not self._is_dict(cid):
+            if value > self._floor(cid):
+                self._live.add(cid)
+            else:
+                self._live.discard(cid)
+
+    def _scan_functions(
+        self, indices: Iterable[int]
+    ) -> List[Tuple[int, Dict[int, int]]]:
+        """Raw per-function savings (id-keyed) for the given indices."""
+        functions = self.slots.functions
+        pairs: _Shard = [(i, functions[i]) for i in indices]
+        if self.workers > 1 and len(pairs) > 1:
+            scanned = self._parallel_scan(pairs)
+            if scanned is not None:
+                intern = self._tables.intern
+                return [(index, {intern(p): v for p, v in fresh.items()})
+                        for index, fresh in scanned]
+        out: List[Tuple[int, Dict[int, int]]] = []
+        for index, fn in pairs:
+            savings: Dict[int, int] = {}
+            _scan_slots(fn.slots, savings, self._tables)
+            out.append((index, savings))
+        return out
+
+    def _parallel_scan(
+        self, pairs: _Shard
+    ) -> Optional[List[Tuple[int, Dict[DictPattern, int]]]]:
         """Sharded scan over the pool; None when the host has no pools.
 
         Savings merge by addition, which is commutative, so shard order
@@ -241,46 +476,76 @@ class BriscBuilder:
         try:
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            shards = _shard_functions(self.slots.functions, self.workers)
+            shards = _shard_functions(pairs, self.workers)
             futures = [self._pool.submit(_scan_worker, s) for s in shards]
-            merged: Dict[DictPattern, int] = {}
+            out: List[Tuple[int, Dict[DictPattern, int]]] = []
             for future in futures:
-                for cand, saved in future.result().items():
-                    merged[cand] = merged.get(cand, 0) + saved
-            return merged
+                out.extend(future.result())
+            return out
         except _POOL_UNAVAILABLE + (BrokenProcessPool,):
             self._shutdown_pool()
             self.workers = 1  # degrade for the remaining passes
             return None
 
-    def _gather_candidates(self) -> Dict[DictPattern, int]:
-        """One scan: candidate pattern -> total bytes saved (pre-dictionary
-        cost), filtered to patterns not already admitted.  Occurrence
-        savings are summed greedily."""
-        savings: Dict[DictPattern, int] = {}
-        for cand, saved in self._raw_savings().items():
-            if cand in self.in_dictionary:
-                continue
-            if cand not in self.seen:
-                self.candidates_tested += 1
-                self.seen.add(cand)
-            savings[cand] = saved
-        return savings
+    def _refresh_savings(self) -> None:
+        """Bring the merged savings map up to date for this pass.
+
+        The first pass (and every pass when ``prune=False``) scans every
+        function; later passes re-scan only the functions the previous
+        rewrite changed, subtracting each one's stale contribution and
+        adding the fresh one.  Both paths produce the same merged map.
+        """
+        functions = self.slots.functions
+        if self._fn_savings is None or not self.prune:
+            self._fn_savings = [{} for _ in functions]
+            self._savings = {}
+            self._live = set()
+            self._dict_overlap = 0
+            self._apply_rescan(self._scan_functions(range(len(functions))))
+        elif self._changed:
+            self._apply_rescan(self._scan_functions(sorted(self._changed)))
+        self._changed = set()
+
+    def _apply_rescan(
+        self, scanned: List[Tuple[int, Dict[int, int]]]
+    ) -> None:
+        assert self._fn_savings is not None
+        for index, fresh in scanned:
+            stale = self._fn_savings[index]
+            for cid, value in stale.items():
+                if cid not in fresh:
+                    self._adjust(cid, -value)
+            for cid, value in fresh.items():
+                delta = value - stale.get(cid, 0)
+                if delta:
+                    self._adjust(cid, delta)
+            self._fn_savings[index] = fresh
 
     # -- rewriting -----------------------------------------------------------
 
-    def _apply_patterns(self, admitted: List[DictPattern]) -> None:
+    def _apply_patterns(self, admitted: List[DictPattern]) -> Set[int]:
+        """Rewrite every function with the newly admitted patterns.
+
+        Returns the indices of functions whose slots actually changed —
+        the only ones whose candidate contributions the next pass must
+        re-scan.
+        """
+        changed: Set[int] = set()
         combos = [p for p in admitted if len(p.parts) > 1]
         singles_by_shape: Dict[Tuple[str, ...], List[DictPattern]] = {}
         for p in admitted:
             shape = tuple(part.name for part in p.parts)
             singles_by_shape.setdefault(shape, []).append(p)
 
-        for fn in self.slots.functions:
+        for index, fn in enumerate(self.slots.functions):
             # Combination pass: left-to-right, merge windows of slots whose
             # concatenated instructions match a new combined pattern.
             if combos:
-                fn.slots = self._combine_function(fn.slots, combos)
+                merged_slots, merged_any = self._combine_function(
+                    fn.slots, combos)
+                if merged_any:
+                    fn.slots = merged_slots
+                    changed.add(index)
             # Specialization pass: adopt any new pattern that represents a
             # slot more compactly.
             for slot in fn.slots:
@@ -291,15 +556,19 @@ class BriscBuilder:
                     if cand.encoded_size() < best_size and cand.matches(slot.insns):
                         best = cand
                         best_size = cand.encoded_size()
-                slot.pattern = best
+                if best is not slot.pattern:
+                    slot.pattern = best
+                    changed.add(index)
+        return changed
 
     def _combine_function(
         self, slots: List[Slot], combos: List[DictPattern]
-    ) -> List[Slot]:
+    ) -> Tuple[List[Slot], bool]:
         by_first: Dict[str, List[DictPattern]] = {}
         for p in combos:
             by_first.setdefault(p.parts[0].name, []).append(p)
         out: List[Slot] = []
+        merged_any = False
         i = 0
         while i < len(slots):
             slot = slots[i]
@@ -336,10 +605,11 @@ class BriscBuilder:
                 break
             if merged is not None:
                 out.append(merged)
+                merged_any = True
             else:
                 out.append(slot)
                 i += 1
-        return out
+        return out, merged_any
 
     # -- driver ------------------------------------------------------------
 
@@ -353,13 +623,23 @@ class BriscBuilder:
             while self.passes < self.max_passes:
                 self.passes += 1
                 t0 = time.perf_counter()
-                savings = self._gather_candidates()
+                self._refresh_savings()
+                savings = self._savings
+                # Snapshot before admission: the pass's candidate count is
+                # the merged map minus patterns already admitted when the
+                # scan ran, exactly what the full-rescan filter reported.
+                candidates = len(savings) - self._dict_overlap
+                # The live set is exactly {cand : benefit(cand) > 0} and
+                # benefit == savings - floor, so the heap (and therefore
+                # the admission order) matches a full benefit sweep.  The
+                # tie-break keys come from the pattern objects, so the
+                # order is invariant under id assignment.
+                patterns = self._tables.patterns
                 heap = []
-                for cand, saved in savings.items():
-                    benefit = self.cost.benefit(cand, saved)
-                    if benefit > 0:
-                        heap.append(
-                            (-benefit, cand.dictionary_size(), str(cand), cand))
+                for cid in self._live:
+                    cand = patterns[cid]
+                    heap.append((self._floor(cid) - savings[cid],
+                                 cand.dictionary_size(), str(cand), cand))
                 heapq.heapify(heap)
                 admitted: List[DictPattern] = []
                 while heap and len(admitted) < self.k:
@@ -367,9 +647,9 @@ class BriscBuilder:
                     admitted.append(cand)
                     self._admit(cand)
                 if admitted:
-                    self._apply_patterns(admitted)
+                    self._changed = self._apply_patterns(admitted)
                 self.pass_stats.append(PassStats(
-                    candidates=len(savings),
+                    candidates=candidates,
                     admitted=len(admitted),
                     seconds=time.perf_counter() - t0,
                 ))
@@ -385,21 +665,28 @@ class BriscBuilder:
             base_patterns=self.base_patterns,
             pass_stats=self.pass_stats,
             workers=self.workers,
+            warm_patterns=self.warm_patterns,
         )
 
 
 def build_dictionary(
-    program: VMProgram,
+    program: Union[VMProgram, SlotProgram],
     k: int = 20,
     abundant_memory: bool = False,
     max_passes: int = 40,
     workers: Optional[int] = None,
+    warm_start: Optional[Sequence[DictPattern]] = None,
+    prune: bool = True,
 ) -> BuildResult:
     """Run greedy BRISC dictionary construction over ``program``.
 
     ``workers`` shards the per-pass candidate scan over a process pool;
     the result is byte-identical to the serial builder regardless of the
-    worker count.
+    worker count.  ``warm_start`` seeds the dictionary with shared
+    corpus patterns before the first pass; ``prune=False`` falls back to
+    re-scoring every candidate every pass (identical output, used as the
+    determinism reference).
     """
     return BriscBuilder(program, k, abundant_memory, max_passes,
-                        workers=workers).run()
+                        workers=workers, warm_start=warm_start,
+                        prune=prune).run()

@@ -1,0 +1,105 @@
+"""Corpus-level shared BRISC dictionaries (warm starts).
+
+The paper builds one pattern dictionary per program; the MIPS code
+compression literature observes that instruction statistics are stable
+*across* programs, which is exactly the property a corpus-level shared
+dictionary exploits.  :func:`build_shared_dictionary` runs the greedy
+builder once over the concatenated slot programs of a whole corpus; the
+admitted (non-base) patterns become a :class:`SharedDictionary` that
+per-unit builds admit before their first pass, so each unit's passes
+only score deltas against the cross-unit warm start.
+
+A shared dictionary is content-addressed: its :attr:`digest` covers the
+serialized pattern list, so the pipeline can hash it into the brisc
+stage's cache key, and the cluster's cache federation can ship it
+between nodes like any other artifact (a "fleet dictionary").  Warm
+patterns a unit never uses are free — the image encoder emits only
+patterns the unit's slots reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..compress.bitio import read_uvarint, write_uvarint
+from ..vm.instr import VMProgram
+from .builder import BriscBuilder, BuildResult
+from .pattern import DictPattern, deserialize_pattern, serialize_pattern
+from .slots import SlotProgram, build_slots
+
+__all__ = ["SharedDictionary", "build_shared_dictionary", "merge_slot_programs"]
+
+
+@dataclass(frozen=True)
+class SharedDictionary:
+    """An ordered, content-addressed set of cross-unit patterns."""
+
+    patterns: Tuple[DictPattern, ...]
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the serialized patterns (cached per instance)."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = hashlib.sha256(self.serialize()).hexdigest()
+            self.__dict__["_digest"] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def serialize(self) -> bytes:
+        """Pattern count, then each pattern in the dictionary wire form."""
+        out = bytearray()
+        write_uvarint(out, len(self.patterns))
+        for pattern in self.patterns:
+            out += serialize_pattern(pattern)
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "SharedDictionary":
+        count, pos = read_uvarint(blob, 0)
+        patterns: List[DictPattern] = []
+        for _ in range(count):
+            pattern, pos = deserialize_pattern(blob, pos)
+            patterns.append(pattern)
+        return cls(patterns=tuple(patterns))
+
+
+def merge_slot_programs(
+    programs: Sequence[Union[VMProgram, SlotProgram]],
+    name: str = "<corpus>",
+) -> SlotProgram:
+    """One slot program holding every unit's functions, in input order.
+
+    Function names may collide across units; the builder never keys on
+    them, so collisions are harmless here.
+    """
+    merged = SlotProgram(name)
+    for program in programs:
+        slots = (program if isinstance(program, SlotProgram)
+                 else build_slots(program))
+        merged.functions.extend(slots.functions)
+    return merged
+
+
+def build_shared_dictionary(
+    programs: Sequence[Union[VMProgram, SlotProgram]],
+    k: int = 20,
+    abundant_memory: bool = False,
+    max_passes: int = 40,
+    workers: Optional[int] = None,
+) -> Tuple[SharedDictionary, BuildResult]:
+    """Greedy construction over the whole corpus at once.
+
+    Returns the shared dictionary (the admitted patterns only — base
+    patterns are re-seeded per unit anyway) plus the corpus-level
+    :class:`BuildResult` for reporting.
+    """
+    merged = merge_slot_programs(programs)
+    result = BriscBuilder(merged, k=k, abundant_memory=abundant_memory,
+                          max_passes=max_passes, workers=workers).run()
+    admitted = tuple(result.dictionary[result.base_patterns:])
+    return SharedDictionary(patterns=admitted), result

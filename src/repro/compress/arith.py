@@ -5,20 +5,28 @@ The paper's design-space section places arithmetic coding at the
 bit per symbol but forces decompression before execution (the authors used
 it per-function).  This module implements a classic 32-bit range arithmetic
 coder with adaptive frequency models so the design-space benchmark
-(`benchmarks/bench_design_space.py`) can place that extreme on the curve.
+(`benchmarks/bench_design_space.py`) can place that extreme on the curve,
+and so the wire container can offer it as a ratio-over-speed codec
+(``pack_streams(..., codec="arith")``).
 
 The coder follows Witten, Neal & Cleary (CACM 1987), the paper's citation.
-The model keeps its cumulative counts in a Fenwick tree, so the two
-cumulative lookups per symbol are O(log size) instead of an O(size) list
-sum, and the decoder's symbol search is a binary-indexed descend instead
-of a linear scan.  The counts themselves are integers updated exactly as
-before, so the coded bitstream is unchanged.
+The streaming classes (:class:`AdaptiveModel`, :class:`ArithmeticEncoder`,
+:class:`ArithmeticDecoder`) are the readable reference implementation;
+:func:`compress`/:func:`decompress` are batch kernels in the style of the
+other table-driven compressors in this package: the whole coder loop runs
+in one function frame with the model state in local lists, Fenwick
+prefix/update walks driven by precomputed per-byte index tables
+(:data:`_PREFIX_PATH`/:data:`_UPDATE_PATH`), and bits accumulated in a
+single int that flushes whole bytes at a time.  The emitted bitstream is
+bit-for-bit identical to the streaming classes' (pinned by
+``tests/golden/arith1.bin`` and a cross-check property test).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from ..errors import TruncatedStreamError
 from .bitio import BitReader, BitWriter
 
 __all__ = ["AdaptiveModel", "ArithmeticEncoder", "ArithmeticDecoder",
@@ -215,55 +223,253 @@ class ArithmeticDecoder:
         return symbol
 
 
+# ---------------------------------------------------------------------------
+# batch kernels
+# ---------------------------------------------------------------------------
+
+#: Fenwick prefix-sum walk per byte value: the tree indices summed by
+#: ``AdaptiveModel._prefix(b)``.  Static for the 256-symbol model, so
+#: every cumulative lookup is a table-driven walk over at most 8 indices
+#: with no index arithmetic in the hot loop.
+_PREFIX_PATH: List[tuple] = []
+for _b in range(256):
+    _path = []
+    _c = _b
+    while _c:
+        _path.append(_c)
+        _c &= _c - 1
+    _PREFIX_PATH.append(tuple(_path))
+
+#: Fenwick point-update walk per byte value: the tree indices bumped by
+#: ``AdaptiveModel.update(b)`` (tree size 256).
+_UPDATE_PATH: List[tuple] = []
+for _b in range(256):
+    _path = []
+    _j = _b + 1
+    while _j <= 256:
+        _path.append(_j)
+        _j += _j & -_j
+    _UPDATE_PATH.append(tuple(_path))
+del _b, _c, _j, _path
+
+
+def _fresh_context() -> List:
+    """A new 256-symbol adaptive context: [freq list, Fenwick tree, total].
+
+    Initial counts are all 1, for which the Fenwick cell at index ``j``
+    holds ``j & -j`` (the size of its range).
+    """
+    return [[1] * 256, [0] + [j & -j for j in range(1, 257)], 256]
+
+
+def _rescale(freq: List[int], tree: List[int]) -> int:
+    """Halve every count (as ``AdaptiveModel`` does at ``_MAX_TOTAL``),
+    rebuild the tree, and return the new total."""
+    total = 0
+    for i, f in enumerate(freq):
+        freq[i] = (f + 1) // 2
+        total += freq[i]
+    for j in range(1, 257):
+        tree[j] = 0
+    for i, f in enumerate(freq):
+        j = i + 1
+        while j <= 256:
+            tree[j] += f
+            j += j & -j
+    return total
+
+
 def compress(data: bytes, order: int = 0) -> bytes:
     """Arithmetic-code ``data`` with an adaptive byte model.
 
     ``order=0`` uses a single model; ``order=1`` conditions each byte's
     model on the previous byte (256 models), the analogue of the paper's
-    order-1 Markov opcode contexts.
+    order-1 Markov opcode contexts.  Batch kernel: bit-identical to
+    feeding :class:`ArithmeticEncoder` one symbol at a time.
     """
     if order not in (0, 1):
         raise ValueError("only order 0 and 1 models are provided")
-    w = BitWriter()
-    w.write_bits(len(data), 32)
-    enc = ArithmeticEncoder(w)
-    if order == 0:
-        model = AdaptiveModel(256)
-        for b in data:
-            enc.encode(model, b)
-    else:
-        models: List[Optional[AdaptiveModel]] = [None] * 256
-        prev = 0
-        for b in data:
-            m = models[prev]
-            if m is None:
-                m = models[prev] = AdaptiveModel(256)
-            enc.encode(m, b)
+    out = bytearray()
+    # Bit accumulator, MSB-first (same discipline as BitWriter): the
+    # 32-bit length prefix, then the coded bits.
+    acc = len(data)
+    nbits = 32
+    low = 0
+    high = _TOP
+    pending = 0
+
+    contexts: List[Optional[List]] = [None] * 256
+    ctx = _fresh_context() if order == 0 else None
+    prev = 0
+    prefix_path = _PREFIX_PATH
+    update_path = _UPDATE_PATH
+
+    for b in data:
+        if order:
+            ctx = contexts[prev]
+            if ctx is None:
+                ctx = contexts[prev] = _fresh_context()
             prev = b
-    enc.finish()
-    return w.getvalue()
+        freq, tree, total = ctx
+        low_c = 0
+        for j in prefix_path[b]:
+            low_c += tree[j]
+        high_c = low_c + freq[b]
+        span = high - low + 1
+        high = low + span * high_c // total - 1
+        low = low + span * low_c // total
+        while True:
+            if high < _HALF:
+                bit = 0
+            elif low >= _HALF:
+                bit = 1
+                low -= _HALF
+                high -= _HALF
+            elif low >= _QUARTER and high < _THREE_QUARTERS:
+                pending += 1
+                low = (low - _QUARTER) << 1
+                high = ((high - _QUARTER) << 1) | 1
+                continue
+            else:
+                break
+            # Emit the decided bit plus ``pending`` opposite bits.
+            if pending:
+                acc = ((acc << (pending + 1))
+                       | ((1 << pending) if bit else ((1 << pending) - 1)))
+                nbits += pending + 1
+                pending = 0
+            else:
+                acc = (acc << 1) | bit
+                nbits += 1
+            low <<= 1
+            high = (high << 1) | 1
+        if nbits >= 4096:
+            rem = nbits & 7
+            out += (acc >> rem).to_bytes(nbits >> 3, "big")
+            acc &= (1 << rem) - 1
+            nbits = rem
+        # Model update (+32 with halving, exactly AdaptiveModel.update).
+        freq[b] += 32
+        total = ctx[2] = ctx[2] + 32
+        if total >= _MAX_TOTAL:
+            ctx[2] = _rescale(freq, tree)
+        else:
+            for j in update_path[b]:
+                tree[j] += 32
+
+    # finish(): one more pending bit, then the interval disambiguator.
+    pending += 1
+    bit = 0 if low < _QUARTER else 1
+    acc = ((acc << (pending + 1))
+           | ((1 << pending) if bit else ((1 << pending) - 1)))
+    nbits += pending + 1
+    rem = nbits & 7
+    if rem:  # zero-pad the final partial byte, as BitWriter.getvalue does
+        acc <<= 8 - rem
+        nbits += 8 - rem
+    out += acc.to_bytes(nbits >> 3, "big")
+    return bytes(out)
 
 
 def decompress(blob: bytes, order: int = 0) -> bytes:
-    """Invert :func:`compress` (the ``order`` must match)."""
+    """Invert :func:`compress` (the ``order`` must match).
+
+    Batch kernel: the decoder state lives in locals and coded bits are
+    pulled from a chunked big-int cache; past the final flush the cache
+    yields the implicit trailing zeros.
+    """
     if order not in (0, 1):
         raise ValueError("only order 0 and 1 models are provided")
-    r = BitReader(blob)
-    n = r.read_bits(32)
-    dec = ArithmeticDecoder(r)
-    out = bytearray()
-    if order == 0:
-        model = AdaptiveModel(256)
-        for _ in range(n):
-            out.append(dec.decode(model))
+    if len(blob) < 4:
+        raise TruncatedStreamError("bit stream exhausted")
+    n = int.from_bytes(blob[:4], "big")
+    pos = 4
+    cache = 0
+    cache_bits = 0
+    # Prime the 32-bit code register.
+    chunk = blob[pos:pos + 32]
+    if chunk:
+        cache = int.from_bytes(chunk, "big")
+        cache_bits = len(chunk) * 8
+        pos += len(chunk)
+    if cache_bits >= _CODE_BITS:
+        cache_bits -= _CODE_BITS
+        code = (cache >> cache_bits) & _TOP
+        cache &= (1 << cache_bits) - 1
     else:
-        models: List[Optional[AdaptiveModel]] = [None] * 256
-        prev = 0
-        for _ in range(n):
-            m = models[prev]
-            if m is None:
-                m = models[prev] = AdaptiveModel(256)
-            b = dec.decode(m)
-            out.append(b)
-            prev = b
+        code = (cache << (_CODE_BITS - cache_bits)) & _TOP
+        cache = cache_bits = 0
+
+    out = bytearray()
+    append = out.append
+    low = 0
+    high = _TOP
+    contexts: List[Optional[List]] = [None] * 256
+    ctx = _fresh_context() if order == 0 else None
+    prev = 0
+    prefix_path = _PREFIX_PATH
+    update_path = _UPDATE_PATH
+
+    for _ in range(n):
+        if order:
+            ctx = contexts[prev]
+            if ctx is None:
+                ctx = contexts[prev] = _fresh_context()
+        freq, tree, total = ctx
+        span = high - low + 1
+        scaled = ((code - low + 1) * total - 1) // span
+        if scaled >= total:
+            raise ValueError("scaled value outside model total")
+        # Binary-indexed descend (AdaptiveModel.find, topbit=256).
+        sym = 0
+        rem = scaled
+        mask = 256
+        while mask:
+            nxt = sym + mask
+            if nxt <= 256 and tree[nxt] <= rem:
+                rem -= tree[nxt]
+                sym = nxt
+            mask >>= 1
+        low_c = 0
+        for j in prefix_path[sym]:
+            low_c += tree[j]
+        high_c = low_c + freq[sym]
+        high = low + span * high_c // total - 1
+        low = low + span * low_c // total
+        while True:
+            if high < _HALF:
+                pass
+            elif low >= _HALF:
+                low -= _HALF
+                high -= _HALF
+                code -= _HALF
+            elif low >= _QUARTER and high < _THREE_QUARTERS:
+                low -= _QUARTER
+                high -= _QUARTER
+                code -= _QUARTER
+            else:
+                break
+            low <<= 1
+            high = (high << 1) | 1
+            if not cache_bits:
+                chunk = blob[pos:pos + 32]
+                if chunk:
+                    cache = int.from_bytes(chunk, "big")
+                    cache_bits = len(chunk) * 8
+                    pos += len(chunk)
+                else:
+                    cache = 0
+                    cache_bits = 256  # implicit trailing zeros
+            cache_bits -= 1
+            code = (code << 1) | ((cache >> cache_bits) & 1)
+        append(sym)
+        if order:
+            prev = sym
+        freq[sym] += 32
+        total = ctx[2] = ctx[2] + 32
+        if total >= _MAX_TOTAL:
+            ctx[2] = _rescale(freq, tree)
+        else:
+            for j in update_path[sym]:
+                tree[j] += 32
     return bytes(out)

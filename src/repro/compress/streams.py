@@ -16,8 +16,11 @@ Layout (all integers LEB128):
 Flag 1 marks a deflate-compressed payload; flag 2 marks a CRC32 of the
 *stored* payload bytes, verified before any decompression, so a flipped
 bit in transit is reported as :class:`~repro.errors.CorruptStreamError`
-up front rather than surfacing mid-Huffman-rebuild.  Readers accept both
-checksummed and legacy (CRC-less) entries.
+up front rather than surfacing mid-Huffman-rebuild.  Flag 4 marks an
+arithmetic-coded payload (the ``codec="arith"`` ratio-over-speed knob);
+the flag rides with each stream, so readers decode mixed containers
+without out-of-band configuration.  Readers accept both checksummed and
+legacy (CRC-less) entries.
 """
 
 from __future__ import annotations
@@ -36,31 +39,43 @@ __all__ = ["pack_streams", "unpack_streams", "stream_sizes"]
 
 _FLAG_DEFLATE = 1
 _FLAG_CRC32 = 2
+_FLAG_ARITH = 4
 
 
 def pack_streams(
     streams: Mapping[str, bytes],
     compress: bool = True,
     checksums: bool = False,
+    codec: str = "deflate",
 ) -> bytes:
     """Serialize named byte streams, compressing each in isolation.
 
-    When ``compress`` is true each stream is deflate-compressed unless the
-    compressed form would be larger (tiny streams), in which case it is
-    stored raw — the flag byte records which happened.  ``checksums``
-    appends a CRC32 per stream (4 bytes each) so the receiver can detect
-    corruption before decoding.
+    When ``compress`` is true each stream is run through ``codec``
+    (``"deflate"`` or the order-1 adaptive arithmetic coder, ``"arith"``)
+    unless the compressed form would be larger (tiny streams), in which
+    case it is stored raw — the flag byte records which happened.
+    ``checksums`` appends a CRC32 per stream (4 bytes each) so the
+    receiver can detect corruption before decoding.
     """
+    if codec not in ("deflate", "arith"):
+        raise ValueError(f"unknown stream codec {codec!r}")
     out = bytearray()
     write_uvarint(out, len(streams))
     for name in sorted(streams):
         payload = streams[name]
         flags = 0
         if compress:
-            packed = deflate.compress(payload)
+            if codec == "arith":
+                from . import arith
+
+                packed = arith.compress(payload, order=1)
+                codec_flag = _FLAG_ARITH
+            else:
+                packed = deflate.compress(payload)
+                codec_flag = _FLAG_DEFLATE
             if len(packed) < len(payload):
                 payload = packed
-                flags = _FLAG_DEFLATE
+                flags = codec_flag
         if checksums:
             flags |= _FLAG_CRC32
         raw_name = name.encode("utf-8")
@@ -97,9 +112,12 @@ def unpack_streams(
                 raise TruncatedStreamError("truncated stream container")
             flags = blob[pos]
             pos += 1
-            if flags & ~(_FLAG_DEFLATE | _FLAG_CRC32):
+            if flags & ~(_FLAG_DEFLATE | _FLAG_CRC32 | _FLAG_ARITH):
                 raise CorruptStreamError(
                     f"unknown stream flags {flags:#x} for {name!r}")
+            if (flags & _FLAG_DEFLATE) and (flags & _FLAG_ARITH):
+                raise CorruptStreamError(
+                    f"stream {name!r} claims two codecs at once")
             crc = None
             if flags & _FLAG_CRC32:
                 crc_raw, pos = take_bytes(blob, pos, 4, "stream checksum")
@@ -114,6 +132,15 @@ def unpack_streams(
                     f"stream {name!r} failed its CRC32 check")
             if flags & _FLAG_DEFLATE:
                 payload = deflate.decompress(payload, limits=limits)
+            elif flags & _FLAG_ARITH:
+                from . import arith
+
+                # The coded stream leads with its decoded length (32-bit
+                # big-endian); bound it before decoding allocates.
+                declared = int.from_bytes(payload[:4], "big")
+                limits.check("decoded stream bytes", declared,
+                             limits.max_decoded_bytes)
+                payload = arith.decompress(payload, order=1)
             decoded_total += len(payload)
             limits.check("decoded container bytes", decoded_total,
                          limits.max_decoded_bytes)

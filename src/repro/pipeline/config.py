@@ -7,11 +7,18 @@ with different ISAs, BRISC knobs, or wire settings never share artifacts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..vm.isa import ISA
 
+if TYPE_CHECKING:  # deferred: brisc is the heaviest import
+    from ..brisc.shared import SharedDictionary
+
 __all__ = ["PipelineConfig"]
+
+#: Wire-stream codecs: deflate (the default) or the adaptive arithmetic
+#: coder (smaller, slower — the paper's "compresses best" extreme).
+_WIRE_CODECS = ("deflate", "arith")
 
 
 @dataclass
@@ -27,12 +34,19 @@ class PipelineConfig:
     the parallel builder is byte-identical to the serial one, so two
     compiles differing only in worker count share artifacts.
 
+    ``brisc_shared_dict`` warm-starts every unit's builder from a shared
+    corpus dictionary (see :mod:`repro.brisc.shared`).  Unlike
+    ``brisc_workers`` it *changes the output*, so its content digest is
+    hashed into the brisc stage's cache-key fragment.
+
     ``wire_container``/``brisc_container`` select the container layout
     (2 = the flat v2 default, 3 = the seekable chunked v3);
     ``chunk_target_bytes`` caps v3 chunk sizes (in decoded-address-space
-    bytes — see the format modules).  The stage fragments only mention
-    these when they differ from the v2 defaults, so existing cache keys
-    are untouched.
+    bytes — see the format modules).  ``wire_codec`` picks the per-stream
+    entropy coder (``"deflate"`` default, ``"arith"`` for the adaptive
+    arithmetic coder — smaller streams, slower to decode).  The stage
+    fragments only mention these when they differ from the defaults, so
+    existing cache keys are untouched.
     """
 
     isa: ISA = field(default_factory=ISA)
@@ -40,7 +54,9 @@ class PipelineConfig:
     brisc_abundant_memory: bool = False
     brisc_max_passes: int = 40
     brisc_workers: int = 1
+    brisc_shared_dict: Optional["SharedDictionary"] = None
     wire_compress: bool = True
+    wire_codec: str = "deflate"
     wire_container: int = 2
     brisc_container: int = 2
     chunk_target_bytes: int = 2048
@@ -84,3 +100,17 @@ class PipelineConfig:
             brisc_workers=(self.brisc_workers
                            if workers is None else workers),
         )
+
+    def with_shared_dict(
+        self, shared: Optional["SharedDictionary"]
+    ) -> "PipelineConfig":
+        """A copy warm-starting brisc builds from ``shared`` (``None``
+        clears the warm start)."""
+        return replace(self, brisc_shared_dict=shared)
+
+    def with_wire_codec(self, codec: str) -> "PipelineConfig":
+        """A copy compressing wire streams with ``codec``."""
+        if codec not in _WIRE_CODECS:
+            raise ValueError(
+                f"wire codec must be one of {_WIRE_CODECS}, got {codec!r}")
+        return replace(self, wire_codec=codec)

@@ -122,8 +122,10 @@ class WireStage(Stage):
 
     def config_fragment(self, config):
         fragment = f"compress={config.wire_compress}"
-        # Only non-default container settings enter the key, so existing
-        # v2 cache entries stay valid.
+        # Only non-default container/codec settings enter the key, so
+        # existing v2 deflate cache entries stay valid.
+        if config.wire_codec != "deflate":
+            fragment += f";codec={config.wire_codec}"
         if config.wire_container != 2:
             fragment += (f";container={config.wire_container}"
                          f";chunk={config.chunk_target_bytes}")
@@ -143,12 +145,14 @@ class WireStage(Stage):
                 "chunks": len(index.chunks),
                 "index_bytes": index.header_bytes,
             }
-        blob = encode_module(value, compress=config.wire_compress)
+        blob = encode_module(value, compress=config.wire_compress,
+                             codec=config.wire_codec)
         streams = unpack_streams(blob[4:])
         code_streams = {k: v for k, v in streams.items()
                         if k not in ("meta", "symtab")}
         code_size = 4 + len(pack_streams(code_streams,
-                                         compress=config.wire_compress))
+                                         compress=config.wire_compress,
+                                         codec=config.wire_codec))
         return blob, len(blob), {"code_size": code_size,
                                  "streams": len(streams)}
 
@@ -162,10 +166,14 @@ class BriscStage(Stage):
     def config_fragment(self, config):
         # brisc_workers is intentionally absent: the parallel builder is
         # byte-identical to the serial one, so changing the worker count
-        # must not invalidate cached artifacts.
+        # must not invalidate cached artifacts.  A shared warm-start
+        # dictionary *does* change the output, so its content digest is
+        # in (but only when one is set, keeping legacy keys stable).
         fragment = (f"k={config.brisc_k};"
                     f"abundant={config.brisc_abundant_memory};"
                     f"passes={config.brisc_max_passes}")
+        if config.brisc_shared_dict is not None:
+            fragment += f";dict={config.brisc_shared_dict.digest}"
         if config.brisc_container != 2:
             fragment += (f";container={config.brisc_container}"
                          f";chunk={config.chunk_target_bytes}")
@@ -174,10 +182,12 @@ class BriscStage(Stage):
     def run(self, value, unit, config):
         from ..brisc import compress  # deferred: brisc is the heaviest import
 
+        shared = config.brisc_shared_dict
         cp = compress(value, k=config.brisc_k,
                       abundant_memory=config.brisc_abundant_memory,
                       max_passes=config.brisc_max_passes,
-                      workers=config.brisc_workers)
+                      workers=config.brisc_workers,
+                      warm_start=shared.patterns if shared else None)
         chunk_meta = {}
         if config.brisc_container == 3:
             from ..brisc.encode import container_index, repack_v3
@@ -202,6 +212,7 @@ class BriscStage(Stage):
             "passes": cp.build.passes,
             "candidates_tested": cp.build.candidates_tested,
             "builder_workers": cp.build.workers,
+            "builder_warm_patterns": cp.build.warm_patterns,
             "builder_seconds": round(cp.build.seconds, 6),
             "builder_passes": [
                 {"candidates": p.candidates, "admitted": p.admitted,

@@ -431,14 +431,21 @@ def _pack_code_streams(
     return streams
 
 
-def encode_module(module: IRModule, compress: bool = True) -> bytes:
-    """Encode ``module`` into the wire format (WIR2: per-stream CRC32)."""
+def encode_module(module: IRModule, compress: bool = True,
+                  codec: str = "deflate") -> bytes:
+    """Encode ``module`` into the wire format (WIR2: per-stream CRC32).
+
+    ``codec`` picks the per-stream entropy coder; the flag byte each
+    stream carries makes the choice self-describing, so decoding needs
+    no matching knob.
+    """
     pattern_stream, literal_streams, tree_counts, normalized = (
         _collect_streams(module)
     )
     streams = _pack_code_streams(pattern_stream, literal_streams)
     streams["meta"] = _pack_meta(normalized, tree_counts)
-    return _MAGIC + pack_streams(streams, compress=compress, checksums=True)
+    return _MAGIC + pack_streams(streams, compress=compress, checksums=True,
+                                 codec=codec)
 
 
 def _container_streams(

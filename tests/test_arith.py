@@ -4,7 +4,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compress import arith
-from repro.compress.arith import AdaptiveModel
+from repro.compress.arith import AdaptiveModel, ArithmeticEncoder
+from repro.compress.bitio import BitWriter
+from repro.errors import TruncatedStreamError
 
 
 class TestModel:
@@ -80,3 +82,38 @@ class TestBehaviour:
             arith.compress(b"x", order=2)
         with pytest.raises(ValueError):
             arith.decompress(b"\0\0\0\0", order=3)
+
+
+class TestBatchMatchesStreaming:
+    """The batch kernels are bit-identical to the streaming classes."""
+
+    @staticmethod
+    def _streaming_compress(data: bytes, order: int) -> bytes:
+        writer = BitWriter()
+        writer.write_bits(len(data), 32)
+        encoder = ArithmeticEncoder(writer)
+        if order == 0:
+            model = AdaptiveModel(256)
+            for b in data:
+                encoder.encode(model, b)
+        else:
+            models = {}
+            prev = 0
+            for b in data:
+                model = models.get(prev)
+                if model is None:
+                    model = models[prev] = AdaptiveModel(256)
+                encoder.encode(model, b)
+                prev = b
+        encoder.finish()
+        return writer.getvalue()
+
+    @given(st.binary(max_size=1200), st.integers(min_value=0, max_value=1))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_bitstream_identical(self, data, order):
+        assert arith.compress(data, order=order) == \
+            self._streaming_compress(data, order)
+
+    def test_truncated_header_is_typed(self):
+        with pytest.raises(TruncatedStreamError):
+            arith.decompress(b"\0\0")

@@ -770,3 +770,52 @@ class TestFetchOps:
         assert main(["fetch", "--port", "1", "--function", "sq",
                      "--start", "0", "--length", "4", str(source)]) == 2
         capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# client retry budget under transport failure
+# ---------------------------------------------------------------------------
+
+
+def test_transport_failures_consume_the_retry_budget():
+    """A peer that accepts and immediately hangs up must burn one retry
+    per attempt: the budget bounds total connection attempts, so a hard
+    transport failure cannot retry forever."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    port = listener.getsockname()[1]
+    accepts = []
+    stop = threading.Event()
+
+    def slam_door():
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            accepts.append(1)
+            conn.close()
+
+    thread = threading.Thread(target=slam_door, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(port=port, timeout=2.0, retries=2,
+                               backoff_base=0.001, backoff_max=0.002,
+                               rng=Random(7))
+        with pytest.raises(TruncatedStreamError):
+            client.ping()
+        client.close()
+        assert len(accepts) == 3  # the first attempt + 2 retries
+
+        # With no budget the first transport failure is final.
+        accepts.clear()
+        client = ServiceClient(port=port, timeout=2.0, retries=0)
+        with pytest.raises(TruncatedStreamError):
+            client.ping()
+        client.close()
+        assert len(accepts) == 1
+    finally:
+        stop.set()
+        listener.close()
+        thread.join(timeout=2.0)

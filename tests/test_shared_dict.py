@@ -1,0 +1,217 @@
+"""Shared-dictionary warm starts, candidate pruning, and stage accounting.
+
+Covers the acceptance criteria of the BRISC-bottleneck change:
+
+* incremental candidate pruning produces a dictionary (and pass stats)
+  byte-identical to the re-score-everything reference builder;
+* pass statistics are identical under any worker count, and the build's
+  ``seconds`` is exactly the per-pass sum;
+* a shared dictionary round-trips through its wire form with a stable
+  content digest, warm-starts per-unit builds (admitted right after the
+  base patterns), and keeps warm-started image sizes within 1% of cold;
+* the shared-dictionary artifact participates in the brisc stage's
+  content-addressed cache key while ``brisc_workers`` stays excluded
+  (the PR 3 invariant);
+* a cold full compile reports nonzero runs for every executed stage, and
+  worker stats folded into the parent keep their cache-hit counts.
+"""
+
+import pytest
+
+import repro
+from repro.brisc import SharedDictionary, build_shared_dictionary, compress
+from repro.brisc.builder import build_dictionary
+from repro.brisc.shared import merge_slot_programs
+from repro.pipeline import STAGE_NAMES, Toolchain
+
+SMALL = """
+int sq(int x) { return x * x; }
+int main(void) { print_int(sq(7)); putchar('\\n'); return 0; }
+"""
+
+#: Repetitive bodies so the greedy builder runs several passes at small k.
+UNIT_A = "\n".join(
+    f"int f{i}(int a, int b) {{ return a * {i} + b; }}" for i in range(40)
+) + "\nint main(void) { return f1(1, 2); }"
+
+UNIT_B = "\n".join(
+    f"int g{i}(int a) {{ return (a ^ {i}) + {i}; }}" for i in range(30)
+) + "\nint main(void) { return g1(4); }"
+
+
+def _fingerprint(result):
+    slots = [
+        [(str(s.pattern), s.insns) for s in fn.slots]
+        for fn in result.slots.functions
+    ]
+    return ([str(p) for p in result.dictionary], slots,
+            result.candidates_tested, result.passes, result.base_patterns,
+            [(p.candidates, p.admitted) for p in result.pass_stats])
+
+
+# ---------------------------------------------------------------------------
+# incremental pruning
+# ---------------------------------------------------------------------------
+
+
+class TestPruning:
+    def test_pruned_build_matches_unpruned_reference(self):
+        """Dropping below-floor candidates and re-scanning only changed
+        functions must reproduce the full-rescan build exactly — same
+        dictionary, same slots, same per-pass candidate counts."""
+        pruned = build_dictionary(repro.compile_c(UNIT_A), k=6)
+        reference = build_dictionary(repro.compile_c(UNIT_A), k=6,
+                                     prune=False)
+        assert pruned.passes > 1  # multi-pass, or the test proves nothing
+        assert _fingerprint(pruned) == _fingerprint(reference)
+
+    def test_pass_stats_identical_under_workers(self):
+        """PassStats (and their sum, BuildResult.seconds) must not depend
+        on the worker count."""
+        prog = repro.compile_c(UNIT_A)
+        serial = build_dictionary(prog, k=6)
+        parallel = build_dictionary(prog, k=6, workers=2)
+        assert [(p.candidates, p.admitted) for p in serial.pass_stats] == \
+            [(p.candidates, p.admitted) for p in parallel.pass_stats]
+        assert _fingerprint(serial) == _fingerprint(parallel)
+        for result in (serial, parallel):
+            assert result.seconds == sum(p.seconds for p in result.pass_stats)
+
+
+# ---------------------------------------------------------------------------
+# shared dictionaries
+# ---------------------------------------------------------------------------
+
+
+class TestSharedDictionary:
+    @pytest.fixture(scope="class")
+    def shared(self):
+        programs = [repro.compile_c(UNIT_A, "a"), repro.compile_c(UNIT_B, "b")]
+        shared, build = build_shared_dictionary(programs, k=6)
+        assert build.passes >= 1
+        return shared
+
+    def test_serialization_roundtrip_preserves_digest(self, shared):
+        assert len(shared) > 0
+        back = SharedDictionary.deserialize(shared.serialize())
+        assert back.digest == shared.digest
+        assert [str(p) for p in back.patterns] == \
+            [str(p) for p in shared.patterns]
+
+    def test_digest_tracks_content(self, shared):
+        smaller = SharedDictionary(patterns=shared.patterns[:-1])
+        assert smaller.digest != shared.digest
+
+    def test_merge_keeps_every_function_in_order(self):
+        a = repro.compile_c(UNIT_A, "a")
+        b = repro.compile_c(UNIT_B, "b")
+        merged = merge_slot_programs([a, b])
+        names = [fn.name for fn in merged.functions]
+        assert len(names) == len(a.functions) + len(b.functions)
+
+    def test_warm_start_admits_after_base_patterns(self, shared):
+        result = build_dictionary(repro.compile_c(UNIT_A, "a"), k=6,
+                                  warm_start=shared.patterns)
+        assert 0 < result.warm_patterns <= len(shared)
+        warm = result.dictionary[
+            result.base_patterns:result.base_patterns + result.warm_patterns]
+        # The warm block is a subsequence of the shared dictionary (only
+        # patterns that duplicate a base pattern are skipped).
+        shared_strs = iter(str(p) for p in shared.patterns)
+        for pattern in warm:
+            assert any(str(pattern) == s for s in shared_strs)
+
+    def test_warm_start_image_within_one_percent(self, shared):
+        cold = compress(repro.compile_c(UNIT_A, "a"), k=6)
+        warm = compress(repro.compile_c(UNIT_A, "a"), k=6,
+                        warm_start=shared.patterns)
+        assert warm.build.warm_patterns > 0
+        # 1% with a small absolute allowance for tiny images (a couple of
+        # corpus dictionary entries can exceed 1% of a 2 KB unit).
+        assert abs(warm.size - cold.size) <= max(64, int(0.01 * cold.size))
+
+    def test_no_warm_start_is_byte_identical_to_reference(self):
+        """With the warm start disabled the builder output is unchanged."""
+        cold = compress(repro.compile_c(UNIT_A, "a"), k=6)
+        again = compress(repro.compile_c(UNIT_A, "a"), k=6, warm_start=None)
+        assert again.image.blob == cold.image.blob
+        assert again.build.warm_patterns == 0
+
+
+# ---------------------------------------------------------------------------
+# pipeline integration: cache keys and accounting
+# ---------------------------------------------------------------------------
+
+
+class TestSharedDictCacheKeys:
+    def _shared(self, tc):
+        return tc.shared_dictionary([("a.c", UNIT_A), ("b.c", UNIT_B)])
+
+    def test_shared_dict_participates_in_brisc_key(self):
+        tc = Toolchain()
+        tc.compile(SMALL, name="u", stages=("brisc",))
+        shared = self._shared(tc)
+        config = tc.config.with_shared_dict(shared)
+        res = tc.compile(SMALL, name="u", stages=("brisc",), config=config)
+        # A different dictionary digest is a different artifact.
+        assert not res.artifact("brisc").from_cache
+        again = tc.compile(SMALL, name="u", stages=("brisc",), config=config)
+        assert again.artifact("brisc").from_cache
+
+    def test_brisc_workers_stay_excluded_with_shared_dict(self):
+        """PR 3 invariant: worker count never churns the cache key, with
+        or without a warm-start dictionary in the configuration."""
+        tc = Toolchain()
+        shared = self._shared(tc)
+        config = tc.config.with_shared_dict(shared)
+        tc.compile(SMALL, name="u", stages=("brisc",), config=config)
+        res = tc.compile(SMALL, name="u", stages=("brisc",),
+                         config=config.with_brisc(workers=2))
+        assert res.artifact("brisc").from_cache
+
+    def test_corpus_content_addresses_the_shared_dict(self):
+        tc = Toolchain()
+        self._shared(tc)
+        stats = tc.stats()["stages"]["shared-dict"]
+        assert stats["runs"] == 1 and stats["cache_hits"] == 0
+        # Same corpus (either unit order) is a cache hit...
+        tc.shared_dictionary([("b.c", UNIT_B), ("a.c", UNIT_A)])
+        stats = tc.stats()["stages"]["shared-dict"]
+        assert stats["runs"] == 1 and stats["cache_hits"] == 1
+        # ...while a different corpus rebuilds.
+        tc.shared_dictionary([("a.c", UNIT_A)])
+        assert tc.stats()["stages"]["shared-dict"]["runs"] == 2
+
+    def test_warm_meta_recorded_on_the_artifact(self):
+        tc = Toolchain()
+        shared = self._shared(tc)
+        config = tc.config.with_shared_dict(shared)
+        res = tc.compile(UNIT_A, name="a.c", stages=("brisc",), config=config)
+        assert res.artifact("brisc").meta["builder_warm_patterns"] > 0
+
+
+class TestStageAccounting:
+    def test_cold_compile_reports_nonzero_runs_for_every_stage(self):
+        """Regression: a cold full compile must never report a stage it
+        executed as ``0 runs, 0.000s``."""
+        tc = Toolchain()
+        tc.compile(SMALL, name="u")  # every stage
+        stages = tc.stats()["stages"]
+        for name in STAGE_NAMES:
+            assert stages[name]["runs"] == 1, name
+            assert stages[name]["seconds"] > 0, name
+
+    def test_fold_outcome_keeps_worker_cache_hits(self):
+        """Worker stats folded into the parent toolchain must preserve
+        cache hits, not just runs/seconds/bytes."""
+        worker = Toolchain()
+        worker.compile(SMALL, name="u", stages=("wire",))
+        result = worker.compile(SMALL, name="u", stages=("wire",))
+        parent = Toolchain()
+        items = [None]
+        parent._fold_outcome(
+            0, "u", ("ok", result, worker.stats()["stages"], 0.01), items)
+        stages = parent.stats()["stages"]
+        assert stages["parse"]["runs"] == 1
+        assert stages["parse"]["cache_hits"] == 1
+        assert items[0].result is result
