@@ -89,9 +89,11 @@ def toolchain_stats_table(stats: dict) -> str:
     when any BRISC build ran, the builder's aggregated per-pass counters.
     """
     table = render_table(
-        ["stage", "runs", "cache hits", "seconds", "bytes"],
+        ["stage", "runs", "cache hits", "replays", "hit rate", "seconds",
+         "bytes"],
         [
             [name, str(s["runs"]), str(s["cache_hits"]),
+             str(s.get("replays", 0)), f"{s.get('hit_rate', 0.0):.0%}",
              f"{s['seconds']:8.3f}", str(s["bytes"])]
             for name, s in stats["stages"].items()
         ],

@@ -63,6 +63,7 @@ def compress(
     max_passes: int = 40,
     workers: Optional[int] = None,
     warm_start: Optional[Sequence[DictPattern]] = None,
+    journal: bool = False,
 ) -> CompressedProgram:
     """Compress a VM program into BRISC (K best candidates per pass).
 
@@ -70,11 +71,14 @@ def compress(
     the compressed image is byte-identical for any worker count.
     ``warm_start`` (a shared corpus dictionary's patterns) admits the
     locally profitable patterns before the first pass; patterns the
-    program never uses do not enter the image.
+    program never uses do not enter the image.  ``journal=True`` records
+    a replay journal on ``result.build`` so a later compile of an edited
+    program can replay this build (:mod:`repro.brisc.journal`); the
+    image bytes are unaffected.
     """
     build = build_dictionary(program, k=k, abundant_memory=abundant_memory,
                              max_passes=max_passes, workers=workers,
-                             warm_start=warm_start)
+                             warm_start=warm_start, journal=journal)
     image, model = encode_image(build.slots, program.globals)
     return CompressedProgram(image=image, build=build, model=model)
 

@@ -63,7 +63,8 @@ from .cost import CostModel
 from .pattern import DictPattern
 from .slots import Slot, SlotFunction, SlotProgram, build_slots
 
-__all__ = ["BuildResult", "BriscBuilder", "PassStats", "build_dictionary"]
+__all__ = ["BuildResult", "BriscBuilder", "PassStats", "build_dictionary",
+           "prepare_rewrite", "rewrite_function"]
 
 _MAX_PARTS = 4
 
@@ -135,6 +136,11 @@ class BuildResult:
     pass_stats: List[PassStats] = field(default_factory=list)
     workers: int = 1
     warm_patterns: int = 0
+    #: Pass-by-pass replay journal (see :mod:`repro.brisc.journal`),
+    #: recorded when the builder ran with ``journal=True``.  It is what
+    #: lets a later build of an edited program replay this build's
+    #: trajectory instead of re-scoring every candidate.
+    journal: Optional[object] = None
 
     @property
     def dictionary_size(self) -> int:
@@ -237,6 +243,105 @@ def _scan_slots(
             savings[cid] = get(cid, 0) + saved
 
 
+def prepare_rewrite(
+    admitted: Sequence[DictPattern],
+) -> Tuple[Dict[str, List[DictPattern]], Dict[Tuple[str, ...], List[DictPattern]]]:
+    """Index one pass's admitted patterns for rewriting: combinations
+    grouped by first opcode, and every pattern grouped by instruction
+    shape (for the specialization sweep).  Shared with the journal
+    replayer, which rewrites only the edited functions."""
+    combos_by_first: Dict[str, List[DictPattern]] = {}
+    singles_by_shape: Dict[Tuple[str, ...], List[DictPattern]] = {}
+    for p in admitted:
+        if len(p.parts) > 1:
+            combos_by_first.setdefault(p.parts[0].name, []).append(p)
+        shape = tuple(part.name for part in p.parts)
+        singles_by_shape.setdefault(shape, []).append(p)
+    return combos_by_first, singles_by_shape
+
+
+def rewrite_function(
+    fn: SlotFunction,
+    combos_by_first: Dict[str, List[DictPattern]],
+    singles_by_shape: Dict[Tuple[str, ...], List[DictPattern]],
+) -> bool:
+    """Rewrite one function with a pass's admitted patterns (indexed by
+    :func:`prepare_rewrite`).  Returns whether its slots changed."""
+    changed = False
+    # Combination pass: left-to-right, merge windows of slots whose
+    # concatenated instructions match a new combined pattern.
+    if combos_by_first:
+        merged_slots, merged_any = _combine_slots(fn.slots, combos_by_first)
+        if merged_any:
+            fn.slots = merged_slots
+            changed = True
+    # Specialization pass: adopt any new pattern that represents a slot
+    # more compactly.  Candidates are tried in admission order, so a
+    # pass's rewrite outcome depends on the admitted *sequence* — which
+    # is why the journal replayer verifies its re-derived admissions
+    # against the recorded list, order included.
+    for slot in fn.slots:
+        shape = tuple(i.name for i in slot.insns)
+        best = slot.pattern
+        best_size = slot.size
+        for cand in singles_by_shape.get(shape, ()):
+            if cand.encoded_size() < best_size and cand.matches(slot.insns):
+                best = cand
+                best_size = cand.encoded_size()
+        if best is not slot.pattern:
+            slot.pattern = best
+            changed = True
+    return changed
+
+
+def _combine_slots(
+    slots: List[Slot], by_first: Dict[str, List[DictPattern]]
+) -> Tuple[List[Slot], bool]:
+    out: List[Slot] = []
+    merged_any = False
+    i = 0
+    while i < len(slots):
+        slot = slots[i]
+        merged = None
+        for cand in by_first.get(slot.insns[0].name, ()):
+            nparts = len(cand.parts)
+            # Collect a window of whole slots covering nparts insns.
+            window = [slot]
+            total = len(slot.insns)
+            j = i + 1
+            ok = True
+            while total < nparts:
+                if j >= len(slots) or slots[j].is_block_start:
+                    ok = False
+                    break
+                window.append(slots[j])
+                total += len(slots[j].insns)
+                j += 1
+            if not ok or total != nparts:
+                continue
+            insns = tuple(ins for s in window for ins in s.insns)
+            if not cand.matches(insns):
+                continue
+            old = sum(s.size for s in window)
+            if cand.encoded_size() >= old:
+                continue
+            merged = Slot(
+                insns=insns,
+                pattern=cand,
+                is_block_start=slot.is_block_start,
+                labels=slot.labels,
+            )
+            i = j
+            break
+        if merged is not None:
+            out.append(merged)
+            merged_any = True
+        else:
+            out.append(slot)
+            i += 1
+    return out, merged_any
+
+
 #: Per-process scan tables for pool workers.  The pool persists across
 #: passes, so a worker's tables warm up on pass 1 and serve every rescan.
 _WORKER_TABLES = _ScanTables()
@@ -302,6 +407,7 @@ class BriscBuilder:
         workers: Optional[int] = None,
         warm_start: Optional[Sequence[DictPattern]] = None,
         prune: bool = True,
+        journal: bool = False,
     ) -> None:
         if isinstance(program, SlotProgram):
             self.slots = program
@@ -335,6 +441,21 @@ class BriscBuilder:
         self._dict_overlap = 0
         self._floors: Dict[int, int] = {}
         self._changed: Set[int] = set()
+        # Replay journal: records each pass's savings deltas, live set,
+        # and admissions so an edited program can replay this build (see
+        # :mod:`repro.brisc.journal`).  Warm-started builds already fold
+        # in cross-unit state the journal does not capture, and
+        # ``prune=False`` never computes per-function deltas — both
+        # simply skip recording.
+        self._journal = None
+        if journal and prune and not warm_start:
+            from .journal import BuildJournal
+
+            self._journal = BuildJournal(
+                config_sig=_config_sig(k, abundant_memory, max_passes),
+                patterns=self._tables.patterns,
+                ids=self._tables.ids,
+            )
         self._seed_base_patterns()
         self.base_patterns = len(self.dictionary)
         self.warm_patterns = 0
@@ -362,7 +483,14 @@ class BriscBuilder:
                 self._changed = self._apply_patterns(fresh)
 
     def _seed_base_patterns(self) -> None:
+        journal = self._journal
+        intern = self._tables.intern
         for fn in self.slots.functions:
+            if journal is not None:
+                # Interning here only assigns dense ids early; admission
+                # order (and therefore the dictionary) is unchanged.
+                journal.base_seed.append(
+                    [intern(slot.pattern) for slot in fn.slots])
             for slot in fn.slots:
                 self._admit(slot.pattern)
 
@@ -510,6 +638,8 @@ class BriscBuilder:
         self, scanned: List[Tuple[int, Dict[int, int]]]
     ) -> None:
         assert self._fn_savings is not None
+        journal = self._journal
+        record = journal.passes[-1].deltas if journal is not None else None
         for index, fresh in scanned:
             stale = self._fn_savings[index]
             for cid, value in stale.items():
@@ -519,6 +649,17 @@ class BriscBuilder:
                 delta = value - stale.get(cid, 0)
                 if delta:
                     self._adjust(cid, delta)
+            if record is not None:
+                # Net per-function delta (fresh − stale): replaying these
+                # in sequence reproduces the merged savings map exactly,
+                # because merging is plain addition.
+                net = {cid: -v for cid, v in stale.items()
+                       if cid not in fresh}
+                for cid, value in fresh.items():
+                    delta = value - stale.get(cid, 0)
+                    if delta:
+                        net[cid] = delta
+                record.append((index, net))
             self._fn_savings[index] = fresh
 
     # -- rewriting -----------------------------------------------------------
@@ -531,85 +672,11 @@ class BriscBuilder:
         re-scan.
         """
         changed: Set[int] = set()
-        combos = [p for p in admitted if len(p.parts) > 1]
-        singles_by_shape: Dict[Tuple[str, ...], List[DictPattern]] = {}
-        for p in admitted:
-            shape = tuple(part.name for part in p.parts)
-            singles_by_shape.setdefault(shape, []).append(p)
-
+        combos_by_first, singles_by_shape = prepare_rewrite(admitted)
         for index, fn in enumerate(self.slots.functions):
-            # Combination pass: left-to-right, merge windows of slots whose
-            # concatenated instructions match a new combined pattern.
-            if combos:
-                merged_slots, merged_any = self._combine_function(
-                    fn.slots, combos)
-                if merged_any:
-                    fn.slots = merged_slots
-                    changed.add(index)
-            # Specialization pass: adopt any new pattern that represents a
-            # slot more compactly.
-            for slot in fn.slots:
-                shape = tuple(i.name for i in slot.insns)
-                best = slot.pattern
-                best_size = slot.size
-                for cand in singles_by_shape.get(shape, ()):
-                    if cand.encoded_size() < best_size and cand.matches(slot.insns):
-                        best = cand
-                        best_size = cand.encoded_size()
-                if best is not slot.pattern:
-                    slot.pattern = best
-                    changed.add(index)
+            if rewrite_function(fn, combos_by_first, singles_by_shape):
+                changed.add(index)
         return changed
-
-    def _combine_function(
-        self, slots: List[Slot], combos: List[DictPattern]
-    ) -> Tuple[List[Slot], bool]:
-        by_first: Dict[str, List[DictPattern]] = {}
-        for p in combos:
-            by_first.setdefault(p.parts[0].name, []).append(p)
-        out: List[Slot] = []
-        merged_any = False
-        i = 0
-        while i < len(slots):
-            slot = slots[i]
-            merged = None
-            for cand in by_first.get(slot.insns[0].name, ()):
-                nparts = len(cand.parts)
-                # Collect a window of whole slots covering nparts insns.
-                window = [slot]
-                total = len(slot.insns)
-                j = i + 1
-                ok = True
-                while total < nparts:
-                    if j >= len(slots) or slots[j].is_block_start:
-                        ok = False
-                        break
-                    window.append(slots[j])
-                    total += len(slots[j].insns)
-                    j += 1
-                if not ok or total != nparts:
-                    continue
-                insns = tuple(ins for s in window for ins in s.insns)
-                if not cand.matches(insns):
-                    continue
-                old = sum(s.size for s in window)
-                if cand.encoded_size() >= old:
-                    continue
-                merged = Slot(
-                    insns=insns,
-                    pattern=cand,
-                    is_block_start=slot.is_block_start,
-                    labels=slot.labels,
-                )
-                i = j
-                break
-            if merged is not None:
-                out.append(merged)
-                merged_any = True
-            else:
-                out.append(slot)
-                i += 1
-        return out, merged_any
 
     # -- driver ------------------------------------------------------------
 
@@ -619,16 +686,26 @@ class BriscBuilder:
             self._pool = None
 
     def run(self) -> BuildResult:
+        journal = self._journal
         try:
             while self.passes < self.max_passes:
                 self.passes += 1
                 t0 = time.perf_counter()
+                journal_pass = None
+                if journal is not None:
+                    from .journal import PassJournal
+
+                    journal_pass = PassJournal()
+                    journal.passes.append(journal_pass)
                 self._refresh_savings()
                 savings = self._savings
                 # Snapshot before admission: the pass's candidate count is
                 # the merged map minus patterns already admitted when the
                 # scan ran, exactly what the full-rescan filter reported.
                 candidates = len(savings) - self._dict_overlap
+                if journal_pass is not None:
+                    journal_pass.candidates = candidates
+                    journal_pass.live = sorted(self._live)
                 # The live set is exactly {cand : benefit(cand) > 0} and
                 # benefit == savings - floor, so the heap (and therefore
                 # the admission order) matches a full benefit sweep.  The
@@ -646,6 +723,9 @@ class BriscBuilder:
                     _, _, _, cand = heapq.heappop(heap)
                     admitted.append(cand)
                     self._admit(cand)
+                if journal_pass is not None:
+                    ids = self._tables.ids
+                    journal_pass.admitted = [ids[p] for p in admitted]
                 if admitted:
                     self._changed = self._apply_patterns(admitted)
                 self.pass_stats.append(PassStats(
@@ -657,6 +737,9 @@ class BriscBuilder:
                     break
         finally:
             self._shutdown_pool()
+        if journal is not None:
+            journal.seen = sorted(self.seen)
+            journal.candidates_tested = self.candidates_tested
         return BuildResult(
             slots=self.slots,
             dictionary=self.dictionary,
@@ -666,7 +749,14 @@ class BriscBuilder:
             pass_stats=self.pass_stats,
             workers=self.workers,
             warm_patterns=self.warm_patterns,
+            journal=journal,
         )
+
+
+def _config_sig(k: int, abundant_memory: bool, max_passes: int) -> str:
+    """Builder-knob signature stored in the journal; replay refuses a
+    journal recorded under different knobs."""
+    return f"k={k};abundant={abundant_memory};passes={max_passes}"
 
 
 def build_dictionary(
@@ -677,6 +767,7 @@ def build_dictionary(
     workers: Optional[int] = None,
     warm_start: Optional[Sequence[DictPattern]] = None,
     prune: bool = True,
+    journal: bool = False,
 ) -> BuildResult:
     """Run greedy BRISC dictionary construction over ``program``.
 
@@ -685,8 +776,11 @@ def build_dictionary(
     worker count.  ``warm_start`` seeds the dictionary with shared
     corpus patterns before the first pass; ``prune=False`` falls back to
     re-scoring every candidate every pass (identical output, used as the
-    determinism reference).
+    determinism reference).  ``journal=True`` additionally records a
+    pass-by-pass replay journal on the result (see
+    :mod:`repro.brisc.journal`) that lets a later build of an edited
+    program skip re-scoring unchanged functions.
     """
     return BriscBuilder(program, k, abundant_memory, max_passes,
                         workers=workers, warm_start=warm_start,
-                        prune=prune).run()
+                        prune=prune, journal=journal).run()

@@ -19,7 +19,8 @@ from typing import Dict, List, Tuple
 from ..vm.instr import Instr, VMProgram
 from .pattern import DictPattern, pattern_of_instr
 
-__all__ = ["Slot", "SlotFunction", "SlotProgram", "build_slots"]
+__all__ = ["Slot", "SlotFunction", "SlotProgram", "build_slot_function",
+           "build_slots"]
 
 
 @dataclass
@@ -65,31 +66,39 @@ class SlotProgram:
         return sum(len(fn.slots) for fn in self.functions)
 
 
+def build_slot_function(fn) -> SlotFunction:
+    """Initial slots for one VM function: one slot per instruction, base
+    patterns.  Factored out of :func:`build_slots` so the incremental
+    builder (:mod:`repro.brisc.journal`) can re-slot just the functions
+    an edit changed."""
+    sf = SlotFunction(fn.name, frame_size=fn.frame_size,
+                      param_bytes=fn.param_bytes)
+    starts: Dict[int, List[str]] = {}
+    for label, index in fn.labels.items():
+        starts.setdefault(index, []).append(label)
+    # Return addresses land on the slot after a call, so those slots
+    # are block starts too — the paper's block beginnings "of various
+    # types" (branch targets and post-call resumption points).
+    post_call = {
+        i + 1 for i, instr in enumerate(fn.code)
+        if instr.name in ("call", "calli")
+    }
+    for i, instr in enumerate(fn.code):
+        base = pattern_of_instr(instr)
+        sf.slots.append(
+            Slot(
+                insns=(instr,),
+                pattern=DictPattern((base,)),
+                is_block_start=(i == 0 or i in starts or i in post_call),
+                labels=tuple(sorted(starts.get(i, ()))),
+            )
+        )
+    return sf
+
+
 def build_slots(program: VMProgram) -> SlotProgram:
     """Initial slot program: one slot per instruction, base patterns."""
     out = SlotProgram(program.name, entry=program.entry)
     for fn in program.functions:
-        sf = SlotFunction(fn.name, frame_size=fn.frame_size,
-                          param_bytes=fn.param_bytes)
-        starts: Dict[int, List[str]] = {}
-        for label, index in fn.labels.items():
-            starts.setdefault(index, []).append(label)
-        # Return addresses land on the slot after a call, so those slots
-        # are block starts too — the paper's block beginnings "of various
-        # types" (branch targets and post-call resumption points).
-        post_call = {
-            i + 1 for i, instr in enumerate(fn.code)
-            if instr.name in ("call", "calli")
-        }
-        for i, instr in enumerate(fn.code):
-            base = pattern_of_instr(instr)
-            sf.slots.append(
-                Slot(
-                    insns=(instr,),
-                    pattern=DictPattern((base,)),
-                    is_block_start=(i == 0 or i in starts or i in post_call),
-                    labels=tuple(sorted(starts.get(i, ()))),
-                )
-            )
-        out.functions.append(sf)
+        out.functions.append(build_slot_function(fn))
     return out

@@ -40,11 +40,18 @@ class Artifact:
 
 @dataclass
 class CompilationResult:
-    """Every artifact produced for one translation unit."""
+    """Every artifact produced for one translation unit.
+
+    ``config`` records the :class:`~repro.pipeline.config.PipelineConfig`
+    the compile ran under; the incremental delta compiler refuses to
+    derive from a previous result whose configuration fragments differ
+    (``None`` — a result predating the field — disables delta reuse).
+    """
 
     unit: str
     source: str
     artifacts: Dict[str, Artifact]
+    config: Optional[Any] = None
 
     def artifact(self, stage: str) -> Artifact:
         try:

@@ -55,6 +55,12 @@ class PipelineConfig:
     brisc_max_passes: int = 40
     brisc_workers: int = 1
     brisc_shared_dict: Optional["SharedDictionary"] = None
+    #: Record a replay journal on brisc artifacts so a later
+    #: ``Toolchain.compile(prev=...)`` can replay the build for an edited
+    #: unit (see :mod:`repro.brisc.journal`).  Image bytes are unchanged,
+    #: but the artifact payload grows, so this is opt-in and enters the
+    #: brisc cache key only when set.
+    brisc_journal: bool = False
     wire_compress: bool = True
     wire_codec: str = "deflate"
     wire_container: int = 2
@@ -100,6 +106,10 @@ class PipelineConfig:
             brisc_workers=(self.brisc_workers
                            if workers is None else workers),
         )
+
+    def with_journal(self, journal: bool = True) -> "PipelineConfig":
+        """A copy recording (or not) BRISC replay journals."""
+        return replace(self, brisc_journal=journal)
 
     def with_shared_dict(
         self, shared: Optional["SharedDictionary"]

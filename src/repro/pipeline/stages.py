@@ -31,7 +31,7 @@ from .config import PipelineConfig
 __all__ = [
     "STAGES", "STAGE_NAMES", "Stage", "BriscStage", "CodegenStage",
     "DeflateStage", "LowerStage", "ParseStage", "WireStage",
-    "resolve_stages", "vm_code_bytes",
+    "finish_brisc", "resolve_stages", "vm_code_bytes",
 ]
 
 
@@ -169,11 +169,15 @@ class BriscStage(Stage):
         # must not invalidate cached artifacts.  A shared warm-start
         # dictionary *does* change the output, so its content digest is
         # in (but only when one is set, keeping legacy keys stable).
+        # Journaling leaves the image bytes untouched but attaches the
+        # replay journal to the payload, so it keys separately too.
         fragment = (f"k={config.brisc_k};"
                     f"abundant={config.brisc_abundant_memory};"
                     f"passes={config.brisc_max_passes}")
         if config.brisc_shared_dict is not None:
             fragment += f";dict={config.brisc_shared_dict.digest}"
+        if config.brisc_journal:
+            fragment += ";journal=1"
         if config.brisc_container != 2:
             fragment += (f";container={config.brisc_container}"
                          f";chunk={config.chunk_target_bytes}")
@@ -187,41 +191,50 @@ class BriscStage(Stage):
                       abundant_memory=config.brisc_abundant_memory,
                       max_passes=config.brisc_max_passes,
                       workers=config.brisc_workers,
-                      warm_start=shared.patterns if shared else None)
-        chunk_meta = {}
-        if config.brisc_container == 3:
-            from ..brisc.encode import container_index, repack_v3
-            from ..container import GreedyPlacement
+                      warm_start=shared.patterns if shared else None,
+                      journal=config.brisc_journal)
+        return finish_brisc(cp, config)
 
-            blob = repack_v3(
-                cp.image.blob,
-                GreedyPlacement(config.chunk_target_bytes))
-            index = container_index(blob)
-            cp.image.blob = blob
-            # The v3 header re-homes the function/chunk metadata that v2
-            # interleaved with the code; report it as index overhead.
-            cp.image.breakdown["index"] = (
-                index.header_bytes - cp.image.breakdown.get("dictionary", 0)
-                - cp.image.breakdown.get("tables", 0)
-                - cp.image.breakdown.get("meta", 0))
-            chunk_meta = {"chunks": len(index.chunks),
-                          "index_bytes": index.header_bytes}
-        meta = {
-            "code_segment": cp.image.code_segment_size,
-            "patterns": cp.image.pattern_count,
-            "passes": cp.build.passes,
-            "candidates_tested": cp.build.candidates_tested,
-            "builder_workers": cp.build.workers,
-            "builder_warm_patterns": cp.build.warm_patterns,
-            "builder_seconds": round(cp.build.seconds, 6),
-            "builder_passes": [
-                {"candidates": p.candidates, "admitted": p.admitted,
-                 "seconds": round(p.seconds, 6)}
-                for p in cp.build.pass_stats
-            ],
-        }
-        meta.update(chunk_meta)
-        return cp, cp.image.size, meta
+
+def finish_brisc(cp, config: PipelineConfig) -> Tuple[Any, int, Dict[str, Any]]:
+    """Post-process a :class:`repro.brisc.CompressedProgram` into a brisc
+    stage result: optional v3 repack plus the artifact meta.  Shared by
+    the cold stage and the incremental replay path, so both produce
+    identical payloads and meta for identical builds."""
+    chunk_meta = {}
+    if config.brisc_container == 3:
+        from ..brisc.encode import container_index, repack_v3
+        from ..container import GreedyPlacement
+
+        blob = repack_v3(
+            cp.image.blob,
+            GreedyPlacement(config.chunk_target_bytes))
+        index = container_index(blob)
+        cp.image.blob = blob
+        # The v3 header re-homes the function/chunk metadata that v2
+        # interleaved with the code; report it as index overhead.
+        cp.image.breakdown["index"] = (
+            index.header_bytes - cp.image.breakdown.get("dictionary", 0)
+            - cp.image.breakdown.get("tables", 0)
+            - cp.image.breakdown.get("meta", 0))
+        chunk_meta = {"chunks": len(index.chunks),
+                      "index_bytes": index.header_bytes}
+    meta = {
+        "code_segment": cp.image.code_segment_size,
+        "patterns": cp.image.pattern_count,
+        "passes": cp.build.passes,
+        "candidates_tested": cp.build.candidates_tested,
+        "builder_workers": cp.build.workers,
+        "builder_warm_patterns": cp.build.warm_patterns,
+        "builder_seconds": round(cp.build.seconds, 6),
+        "builder_passes": [
+            {"candidates": p.candidates, "admitted": p.admitted,
+             "seconds": round(p.seconds, 6)}
+            for p in cp.build.pass_stats
+        ],
+    }
+    meta.update(chunk_meta)
+    return cp, cp.image.size, meta
 
 
 class DeflateStage(Stage):

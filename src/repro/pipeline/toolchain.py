@@ -42,16 +42,30 @@ _POOL_UNAVAILABLE = (OSError, PermissionError, ImportError)
 
 @dataclass
 class StageStats:
-    """Per-stage accounting across a toolchain's lifetime."""
+    """Per-stage accounting across a toolchain's lifetime.
+
+    ``replays`` counts the subset of ``runs`` served by the incremental
+    delta compiler (:mod:`repro.pipeline.incremental`) instead of the
+    cold stage; ``hit_rate`` is cache hits over total requests — the
+    number the ``tables`` trend tracker diffs between runs.
+    """
 
     runs: int = 0
     cache_hits: int = 0
     seconds: float = 0.0
     bytes_out: int = 0
+    replays: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.runs + self.cache_hits
+        return self.cache_hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {"runs": self.runs, "cache_hits": self.cache_hits,
-                "seconds": self.seconds, "bytes": self.bytes_out}
+                "seconds": self.seconds, "bytes": self.bytes_out,
+                "replays": self.replays,
+                "hit_rate": round(self.hit_rate, 6)}
 
 
 @dataclass
@@ -123,6 +137,27 @@ class Toolchain:
 
     # -- single-unit compilation ------------------------------------------
 
+    def stage_keys(
+        self,
+        source: str,
+        name: str = "<input>",
+        stages: Optional[Sequence[str]] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> Dict[str, str]:
+        """The content-addressed cache keys :meth:`compile` would use for
+        ``source``, without compiling anything.  The ``tables`` command
+        diffs these between runs to detect cache-key churn (a key that
+        changed while the source did not)."""
+        config = config or self.config
+        base_key = _digest(f"{SCHEMA_VERSION}|{name}|{source}")
+        keys: Dict[str, str] = {}
+        for stage in resolve_stages(stages):
+            parent = (base_key if stage.requires is None
+                      else keys[stage.requires])
+            keys[stage.name] = _digest(
+                f"{parent}|{stage.name}|{stage.config_fragment(config)}")
+        return keys
+
     def compile(
         self,
         source: str,
@@ -130,6 +165,7 @@ class Toolchain:
         stages: Optional[Sequence[str]] = None,
         config: Optional[PipelineConfig] = None,
         cancel: Optional[Callable[[], bool]] = None,
+        prev: Optional[CompilationResult] = None,
     ) -> CompilationResult:
         """Run ``source`` through the selected stages (all by default).
 
@@ -144,22 +180,30 @@ class Toolchain:
         actually stop pipeline work instead of merely abandoning the
         thread (already-finished stages stay cached, so a retry resumes
         where the cancelled attempt left off).
+
+        ``prev`` — a previous :class:`CompilationResult` for the same
+        unit — switches cache misses to **delta mode**: per-function
+        stage outputs are derived from the previous build where the
+        incremental layer can prove byte-identity, and fall back to the
+        cold stage where it cannot (see
+        :mod:`repro.pipeline.incremental`).  Cache keys are unchanged,
+        so delta-derived artifacts are interchangeable with cold ones.
         """
         config = config or self.config
         selected = resolve_stages(stages)
-        base_key = _digest(f"{SCHEMA_VERSION}|{name}|{source}")
-        keys: Dict[str, str] = {}
+        keys = self.stage_keys(source, name, stages, config)
+        delta = None
+        if prev is not None:
+            from .incremental import DeltaCompiler
+
+            delta = DeltaCompiler(prev, source, config)
         artifacts: Dict[str, Artifact] = {}
         for stage in selected:
             if cancel is not None and cancel():
                 raise CancelledWorkError(
                     f"compile of {name!r} cancelled before stage "
                     f"{stage.name!r}")
-            parent = base_key if stage.requires is None else keys[stage.requires]
-            key = _digest(
-                f"{parent}|{stage.name}|{stage.config_fragment(config)}"
-            )
-            keys[stage.name] = key
+            key = keys[stage.name]
             stats = self._stats[stage.name]
             cached = self.cache.get(key)
             if cached is not None:
@@ -170,7 +214,12 @@ class Toolchain:
             upstream = (source if stage.requires is None
                         else artifacts[stage.requires].payload)
             t0 = time.perf_counter()
-            payload, size, meta = stage.run(upstream, name, config)
+            derived = (delta.derive(stage, upstream, name, config)
+                       if delta is not None else None)
+            if derived is not None:
+                payload, size, meta = derived
+            else:
+                payload, size, meta = stage.run(upstream, name, config)
             dt = time.perf_counter() - t0
             artifact = Artifact(stage=stage.name, unit=name, key=key,
                                 payload=payload, size=size, seconds=dt,
@@ -179,11 +228,14 @@ class Toolchain:
                 stats.runs += 1
                 stats.seconds += dt
                 stats.bytes_out += size
+                if derived is not None:
+                    stats.replays += 1
                 if stage.name == "brisc":
                     self._builder_stats.note(meta)
             self.cache.put(key, artifact)
             artifacts[stage.name] = artifact
-        return CompilationResult(unit=name, source=source, artifacts=artifacts)
+        return CompilationResult(unit=name, source=source,
+                                 artifacts=artifacts, config=config)
 
     # -- corpus-level shared dictionaries ---------------------------------
 
@@ -279,6 +331,7 @@ class Toolchain:
         stages: Optional[Sequence[str]] = None,
         config: Optional[PipelineConfig] = None,
         timeout: Optional[float] = None,
+        prev: Optional[Dict[str, CompilationResult]] = None,
     ) -> List[BatchItem]:
         """Compile ``(name, source)`` units, optionally in parallel.
 
@@ -296,28 +349,37 @@ class Toolchain:
         underneath the batch (a worker killed by the OS), the unfinished
         units get one fresh pool; after a second death they finish on the
         serial path, which cannot enforce ``timeout``.
+
+        ``prev`` maps unit names to their previous
+        :class:`CompilationResult`; units with an entry compile in delta
+        mode (see :meth:`compile`).  Delta batches always run serially —
+        previous builds carry live journals and shared IR objects that
+        are expensive to pickle into a pool, and a one-function edit
+        rarely leaves enough cold work to amortize workers.
         """
         unit_list = [(str(name), source) for name, source in units]
-        if workers is not None and workers > 1 and unit_list:
+        if prev is None and workers is not None and workers > 1 and unit_list:
             try:
                 return self._compile_parallel(unit_list, workers, stages,
                                               config, timeout)
             except _POOL_UNAVAILABLE:
                 pass  # no process support (sandbox, missing semaphores)
-        return self._compile_serial(unit_list, stages, config)
+        return self._compile_serial(unit_list, stages, config, prev=prev)
 
-    def _compile_serial(self, unit_list, stages, config,
-                        start: int = 0) -> List[BatchItem]:
+    def _compile_serial(self, unit_list, stages, config, start: int = 0,
+                        prev=None) -> List[BatchItem]:
         return [
-            self._serial_item(start + i, name, source, stages, config)
+            self._serial_item(start + i, name, source, stages, config,
+                              prev=None if prev is None else prev.get(name))
             for i, (name, source) in enumerate(unit_list)
         ]
 
-    def _serial_item(self, index, name, source, stages, config) -> BatchItem:
+    def _serial_item(self, index, name, source, stages, config,
+                     prev=None) -> BatchItem:
         t0 = time.perf_counter()
         try:
             result = self.compile(source, name=name, stages=stages,
-                                  config=config)
+                                  config=config, prev=prev)
             return BatchItem(index=index, unit=name, result=result,
                              seconds=time.perf_counter() - t0)
         except CompileError as exc:
@@ -395,6 +457,7 @@ class Toolchain:
                     mine.cache_hits += stat["cache_hits"]
                     mine.seconds += stat["seconds"]
                     mine.bytes_out += stat["bytes"]
+                    mine.replays += stat.get("replays", 0)
             items[index] = BatchItem(index=index, unit=name, result=result,
                                      seconds=seconds)
         else:
@@ -405,15 +468,26 @@ class Toolchain:
     # -- stats ------------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        """Per-stage runs/hits/seconds/bytes plus cache hit counters and
-        the BRISC builder's aggregated per-pass accounting."""
+        """Per-stage runs/hits/seconds/bytes plus cache hit counters, the
+        BRISC builder's aggregated per-pass accounting, and cross-stage
+        totals (with the overall hit rate CI diffs between runs)."""
         with self._stats_lock:
+            runs = sum(s.runs for s in self._stats.values())
+            hits = sum(s.cache_hits for s in self._stats.values())
             return {
                 "stages": {
                     name: s.as_dict() for name, s in self._stats.items()
                 },
                 "cache": self.cache.stats(),
                 "brisc_builder": self._builder_stats.as_dict(),
+                "totals": {
+                    "runs": runs,
+                    "cache_hits": hits,
+                    "replays": sum(s.replays for s in self._stats.values()),
+                    "seconds": sum(s.seconds for s in self._stats.values()),
+                    "hit_rate": round(hits / (runs + hits), 6)
+                                if runs + hits else 0.0,
+                },
             }
 
     def reset_stats(self) -> None:

@@ -336,9 +336,13 @@ def test_stats_dict_shape():
     tc = Toolchain()
     tc.compile(SMALL, name="u", stages=("codegen",))
     stats = tc.stats()
-    assert set(stats) == {"stages", "cache", "brisc_builder"}
+    assert set(stats) == {"stages", "cache", "brisc_builder", "totals"}
     assert set(stats["stages"]) == set(STAGE_NAMES)
     assert stats["cache"]["misses"] >= 3
+    assert set(stats["totals"]) == {
+        "runs", "cache_hits", "replays", "seconds", "hit_rate"}
+    assert stats["totals"]["runs"] >= 3
+    assert stats["totals"]["replays"] == 0
     # No BRISC stage ran, so the builder section is all zeros.
     assert stats["brisc_builder"] == {
         "builds": 0, "passes": 0, "candidates": 0, "admitted": 0,

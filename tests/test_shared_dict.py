@@ -91,6 +91,19 @@ class TestSharedDictionary:
         assert build.passes >= 1
         return shared
 
+    def test_corpus_build_deterministic_under_workers(self):
+        """The whole-corpus build — merge, candidate scan, admission —
+        must be byte-identical for any worker count, down to the shared
+        dictionary's content digest and the per-pass statistics."""
+        programs = [repro.compile_c(UNIT_A, "a"), repro.compile_c(UNIT_B, "b")]
+        serial_dict, serial = build_shared_dictionary(programs, k=6)
+        programs = [repro.compile_c(UNIT_A, "a"), repro.compile_c(UNIT_B, "b")]
+        parallel_dict, parallel = build_shared_dictionary(
+            programs, k=6, workers=2)
+        assert serial_dict.digest == parallel_dict.digest
+        assert serial_dict.serialize() == parallel_dict.serialize()
+        assert _fingerprint(serial) == _fingerprint(parallel)
+
     def test_serialization_roundtrip_preserves_digest(self, shared):
         assert len(shared) > 0
         back = SharedDictionary.deserialize(shared.serialize())
@@ -200,6 +213,33 @@ class TestStageAccounting:
         for name in STAGE_NAMES:
             assert stages[name]["runs"] == 1, name
             assert stages[name]["seconds"] > 0, name
+
+    def test_shared_dict_cache_hit_charges_no_runs_or_seconds(self):
+        """The pipeline_stats shared-dict row must not bill a cache-hit
+        corpus build as if the dictionary were rebuilt: a hit adds one
+        cache hit and nothing else."""
+        tc = Toolchain()
+        tc.shared_dictionary([("a.c", UNIT_A), ("b.c", UNIT_B)])
+        before = tc.stats()["stages"]["shared-dict"]
+        tc.shared_dictionary([("a.c", UNIT_A), ("b.c", UNIT_B)])
+        after = tc.stats()["stages"]["shared-dict"]
+        assert after["runs"] == before["runs"]
+        assert after["seconds"] == before["seconds"]
+        assert after["cache_hits"] == before["cache_hits"] + 1
+
+    def test_brisc_cache_hit_not_charged_build_seconds(self):
+        """Same pin for the brisc stage under a warm-start dictionary."""
+        tc = Toolchain()
+        shared = tc.shared_dictionary([("a.c", UNIT_A), ("b.c", UNIT_B)])
+        config = tc.config.with_shared_dict(shared)
+        tc.compile(SMALL, name="u", stages=("brisc",), config=config)
+        before = tc.stats()["stages"]["brisc"]
+        tc.compile(SMALL, name="u", stages=("brisc",), config=config)
+        after = tc.stats()["stages"]["brisc"]
+        assert after["runs"] == before["runs"]
+        assert after["seconds"] == before["seconds"]
+        assert after["cache_hits"] == before["cache_hits"] + 1
+        assert after["hit_rate"] > before["hit_rate"]
 
     def test_fold_outcome_keeps_worker_cache_hits(self):
         """Worker stats folded into the parent toolchain must preserve
